@@ -1,0 +1,39 @@
+package ecmsketch
+
+import (
+	"ecmsketch/internal/distrib"
+	"ecmsketch/internal/workload"
+)
+
+// Cluster simulates a set of distributed sites, each summarizing its local
+// sub-stream in an ECM-sketch, plus the balanced-binary-tree aggregation
+// path of the paper's distributed experiments. Sites run as goroutines;
+// every aggregation edge ships a serialized sketch whose size is charged to
+// the cluster's Network accounting.
+type Cluster = distrib.Cluster
+
+// Network is the communication-cost accounting of a Cluster.
+type Network = distrib.Network
+
+// Event is one stream arrival routed to a site.
+type Event = workload.Event
+
+// NewCluster builds n sites with identically configured, mergeable sketches.
+func NewCluster(p Params, n int) (*Cluster, error) { return distrib.NewCluster(p, n) }
+
+// StreamConfig parameterizes a synthetic workload stream.
+type StreamConfig = workload.Config
+
+// StreamGenerator produces reproducible synthetic event streams, including
+// the wc'98-like and snmp-like stand-ins used by the experiment harness.
+type StreamGenerator = workload.Generator
+
+// NewStream builds a synthetic stream generator.
+func NewStream(cfg StreamConfig) (*StreamGenerator, error) { return workload.NewGenerator(cfg) }
+
+// Oracle tracks exact sliding-window statistics; useful for validating
+// sketch output in tests and demos.
+type Oracle = workload.Oracle
+
+// NewOracle builds an exact oracle over a window of the given length.
+func NewOracle(length Tick) *Oracle { return workload.NewOracle(length) }

@@ -1,0 +1,122 @@
+// Command ecmcoord is the coordinator half of an ecmserve deployment: it
+// pulls the serialized ECM-sketch of every site (GET /sketch), aggregates
+// them with the order-preserving merge, and answers queries about the global
+// stream — the network-monitoring workflow of the paper's introduction.
+//
+// Usage:
+//
+//	ecmcoord -sites http://a:8080,http://b:8080 -key /index.html -range 3600000
+//	ecmcoord -sites ... -selfjoin -range 3600000
+//	ecmcoord -sites ... -total               # ||a||_1 of the whole window
+//	ecmcoord -sites ... -out merged.sketch   # persist the merged summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ecmsketch"
+)
+
+func main() {
+	var (
+		sites    = flag.String("sites", "", "comma-separated site base URLs")
+		key      = flag.String("key", "", "string key to point-query")
+		ikey     = flag.Uint64("ikey", 0, "integer key to point-query (when key is empty)")
+		useIKey  = flag.Bool("use-ikey", false, "query -ikey instead of -key")
+		rng      = flag.Uint64("range", 0, "query range in ticks (0 = whole window)")
+		selfjoin = flag.Bool("selfjoin", false, "answer a self-join query")
+		total    = flag.Bool("total", false, "estimate total arrivals in range")
+		out      = flag.String("out", "", "write the merged sketch to this file")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
+	)
+	flag.Parse()
+	urls := splitSites(*sites)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "ecmcoord: -sites is required")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	merged, transferred, err := PullAndMerge(client, urls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecmcoord:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d site sketches (%d bytes pulled, global count %d, clock %d)\n",
+		len(urls), transferred, merged.Count(), merged.Now())
+	queryRange := *rng
+	if queryRange == 0 {
+		queryRange = merged.Params().WindowLength
+	}
+	switch {
+	case *selfjoin:
+		fmt.Printf("self-join over last %d ticks ≈ %.6g\n", queryRange, merged.SelfJoin(queryRange))
+	case *total:
+		fmt.Printf("total arrivals over last %d ticks ≈ %.0f\n", queryRange, merged.EstimateTotal(queryRange))
+	case *useIKey:
+		fmt.Printf("frequency of item %d over last %d ticks ≈ %.0f\n",
+			*ikey, queryRange, merged.Estimate(*ikey, queryRange))
+	case *key != "":
+		fmt.Printf("frequency of %q over last %d ticks ≈ %.0f\n",
+			*key, queryRange, merged.EstimateString(*key, queryRange))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, merged.Marshal(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmcoord: writing merged sketch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged sketch written to %s\n", *out)
+	}
+}
+
+func splitSites(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSpace(u)
+		if u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
+}
+
+// PullAndMerge fetches /sketch from every site and merges the results. It
+// returns the merged sketch and the total bytes transferred.
+func PullAndMerge(client *http.Client, siteURLs []string) (*ecmsketch.Sketch, int, error) {
+	sketches := make([]*ecmsketch.Sketch, 0, len(siteURLs))
+	transferred := 0
+	for _, u := range siteURLs {
+		enc, err := fetchSketch(client, u)
+		if err != nil {
+			return nil, 0, fmt.Errorf("site %s: %w", u, err)
+		}
+		transferred += len(enc)
+		sk, err := ecmsketch.Unmarshal(enc)
+		if err != nil {
+			return nil, 0, fmt.Errorf("site %s: decoding sketch: %w", u, err)
+		}
+		sketches = append(sketches, sk)
+	}
+	merged, err := ecmsketch.Merge(sketches...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("merging: %w", err)
+	}
+	return merged, transferred, nil
+}
+
+func fetchSketch(client *http.Client, baseURL string) ([]byte, error) {
+	resp, err := client.Get(baseURL + "/sketch")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /sketch returned %s", resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+}

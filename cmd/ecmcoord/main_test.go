@@ -1,0 +1,102 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ecmsketch"
+)
+
+// fakeSite serves a marshaled site sketch the way ecmserve does.
+func fakeSite(t *testing.T, seed uint64, feed func(*ecmsketch.Sketch)) *httptest.Server {
+	t.Helper()
+	sk, err := ecmsketch.New(ecmsketch.Params{
+		Epsilon: 0.1, Delta: 0.1, WindowLength: 10000, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(sk)
+	enc := sk.Marshal()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/sketch" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(enc)
+	}))
+}
+
+func TestPullAndMerge(t *testing.T) {
+	a := fakeSite(t, 9, func(s *ecmsketch.Sketch) {
+		for i := ecmsketch.Tick(1); i <= 100; i++ {
+			s.AddString("x", i)
+		}
+	})
+	defer a.Close()
+	b := fakeSite(t, 9, func(s *ecmsketch.Sketch) {
+		for i := ecmsketch.Tick(1); i <= 50; i++ {
+			s.AddString("x", i)
+			s.AddString("y", i)
+		}
+	})
+	defer b.Close()
+
+	merged, transferred, err := PullAndMerge(http.DefaultClient, []string{a.URL, b.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transferred <= 0 {
+		t.Error("no transfer accounted")
+	}
+	if got := merged.EstimateString("x", 10000); got < 130 || got > 180 {
+		t.Errorf("merged x = %v, want ≈150", got)
+	}
+	if got := merged.EstimateString("y", 10000); got < 40 || got > 80 {
+		t.Errorf("merged y = %v, want ≈50", got)
+	}
+	if merged.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", merged.Count())
+	}
+}
+
+func TestPullAndMergeIncompatibleSeeds(t *testing.T) {
+	a := fakeSite(t, 1, func(s *ecmsketch.Sketch) { s.Add(1, 1) })
+	defer a.Close()
+	b := fakeSite(t, 2, func(s *ecmsketch.Sketch) { s.Add(1, 1) })
+	defer b.Close()
+	if _, _, err := PullAndMerge(http.DefaultClient, []string{a.URL, b.URL}); err == nil {
+		t.Fatal("merging sketches with different seeds succeeded")
+	}
+}
+
+func TestPullAndMergeHTTPErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, _, err := PullAndMerge(http.DefaultClient, []string{bad.URL}); err == nil {
+		t.Fatal("HTTP 500 not surfaced")
+	}
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not a sketch"))
+	}))
+	defer garbage.Close()
+	if _, _, err := PullAndMerge(http.DefaultClient, []string{garbage.URL}); err == nil {
+		t.Fatal("garbage payload not surfaced")
+	}
+	if _, _, err := PullAndMerge(http.DefaultClient, []string{"http://127.0.0.1:1"}); err == nil {
+		t.Fatal("connection failure not surfaced")
+	}
+}
+
+func TestSplitSites(t *testing.T) {
+	got := splitSites(" http://a:1/, ,http://b:2 ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("splitSites = %v", got)
+	}
+	if len(splitSites("")) != 0 {
+		t.Error("empty input produced sites")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestBuildPresets(t *testing.T) {
+	for _, preset := range []string{"wc98", "snmp", ""} {
+		g, err := build(preset, 100, 1000, 64, 1.0, 2, 0, false, 1)
+		if err != nil {
+			t.Fatalf("build(%q): %v", preset, err)
+		}
+		if g.Remaining() != 100 {
+			t.Errorf("preset %q: %d events", preset, g.Remaining())
+		}
+	}
+	if _, err := build("bogus", 100, 1000, 64, 1.0, 2, 0, false, 1); err == nil {
+		t.Error("bogus preset accepted")
+	}
+	if _, err := build("", 0, 1000, 64, 1.0, 2, 0, false, 1); err == nil {
+		t.Error("zero events accepted")
+	}
+}
+
+func TestEmitFormat(t *testing.T) {
+	g, err := build("", 50, 500, 16, 1.0, 3, 0, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := emit(&sb, g, false, "k%d"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		parts := strings.Split(sc.Text(), ",")
+		if len(parts) != 2 {
+			t.Fatalf("line %q: want key,tick", sc.Text())
+		}
+		if !strings.HasPrefix(parts[0], "k") {
+			t.Fatalf("key %q missing format prefix", parts[0])
+		}
+	}
+	if lines != 50 {
+		t.Errorf("emitted %d lines, want 50", lines)
+	}
+}
+
+func TestEmitWithSite(t *testing.T) {
+	g, err := build("", 20, 200, 16, 1.0, 3, 0, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := emit(&sb, g, true, "%d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if parts := strings.Split(line, ","); len(parts) != 3 {
+			t.Fatalf("line %q: want key,tick,site", line)
+		}
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	render := func() string {
+		g, err := build("wc98", 200, 5000, 0, 0, 0, 0, false, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := emit(&sb, g, true, "%d"); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Error("same seed produced different streams")
+	}
+}

@@ -1,0 +1,51 @@
+// Command ecmserve runs an ECM-sketch behind a small HTTP API, the shape a
+// monitoring site would deploy: collectors POST arrivals, dashboards GET
+// sliding-window estimates, and a coordinator can pull the serialized sketch
+// to aggregate several sites (see cmd/ecmcoord in EXPERIMENTS.md workflows,
+// or ecmsketch.Merge programmatically).
+//
+// Usage:
+//
+//	ecmserve -addr :8080 -epsilon 0.02 -delta 0.01 -window 3600000
+//
+// Endpoints (see handler docs below): POST /add, POST /batch,
+// GET /estimate, GET /selfjoin, GET /total, GET /stats, GET /sketch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		epsilon = flag.Float64("epsilon", 0.02, "total error budget")
+		delta   = flag.Float64("delta", 0.01, "failure probability")
+		window  = flag.Uint64("window", 3_600_000, "window length in ticks")
+		algo    = flag.String("algo", "eh", "counter algorithm: eh|dw|rw")
+		ubound  = flag.Uint64("ubound", 0, "u(N,S) arrival bound (waves; 0 = window length)")
+		seed    = flag.Uint64("seed", 1, "hash seed (sites to be merged must share it)")
+		topk    = flag.Int("topk", 0, "track the N hottest keys and serve GET /topk (0 = off)")
+	)
+	flag.Parse()
+	srv, err := NewServer(ServerConfig{
+		Epsilon:      *epsilon,
+		Delta:        *delta,
+		WindowLength: *window,
+		Algorithm:    *algo,
+		UpperBound:   *ubound,
+		Seed:         *seed,
+		TopK:         *topk,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecmserve:", err)
+		os.Exit(1)
+	}
+	log.Printf("ecmserve listening on %s (eps=%v delta=%v window=%d algo=%s)",
+		*addr, *epsilon, *delta, *window, *algo)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ecmsketch"
+)
+
+// ServerConfig configures the sketch behind the HTTP API.
+type ServerConfig struct {
+	Epsilon      float64
+	Delta        float64
+	WindowLength uint64
+	Algorithm    string // "eh", "dw" or "rw"
+	UpperBound   uint64
+	Seed         uint64
+	// TopK enables the /topk endpoint tracking this many hottest keys.
+	TopK int
+}
+
+// Server is an HTTP front end over one ECM-sketch. All handlers are safe for
+// concurrent use; updates take the write lock, queries the read lock.
+type Server struct {
+	mu     sync.RWMutex
+	sketch *ecmsketch.Sketch
+	topk   *ecmsketch.TopK // nil unless TopK > 0
+	cfg    ServerConfig
+	mux    *http.ServeMux
+}
+
+// NewServer builds the sketch and routes.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	algo, err := parseAlgo(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	params := ecmsketch.Params{
+		Epsilon:      cfg.Epsilon,
+		Delta:        cfg.Delta,
+		Algorithm:    algo,
+		WindowLength: cfg.WindowLength,
+		UpperBound:   cfg.UpperBound,
+		Seed:         cfg.Seed,
+	}
+	sk, err := ecmsketch.New(params)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sketch: sk, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.TopK > 0 {
+		tk, err := ecmsketch.NewTopK(cfg.TopK, params)
+		if err != nil {
+			return nil, err
+		}
+		s.topk = tk
+		s.mux.HandleFunc("GET /topk", s.handleTopK)
+	}
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /interval", s.handleInterval)
+	s.mux.HandleFunc("GET /selfjoin", s.handleSelfJoin)
+	s.mux.HandleFunc("GET /total", s.handleTotal)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /sketch", s.handleSketch)
+	s.mux.HandleFunc("POST /advance", s.handleAdvance)
+	return s, nil
+}
+
+func parseAlgo(s string) (ecmsketch.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "eh":
+		return ecmsketch.AlgoEH, nil
+	case "dw":
+		return ecmsketch.AlgoDW, nil
+	case "rw":
+		return ecmsketch.AlgoRW, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want eh, dw or rw)", s)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// parseKey resolves the item key from either ?key= (string, digested) or
+// ?ikey= (raw uint64).
+func parseKey(r *http.Request) (uint64, error) {
+	if k := r.URL.Query().Get("key"); k != "" {
+		return ecmsketch.KeyString(k), nil
+	}
+	if k := r.URL.Query().Get("ikey"); k != "" {
+		v, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad ikey: %v", err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("missing key or ikey parameter")
+}
+
+func parseU64(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleAdd registers one arrival: POST /add?key=/home&t=12345[&n=3].
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := parseU64(r, "t", 0)
+	if err != nil || t == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad t parameter"))
+		return
+	}
+	n, err := parseU64(r, "n", 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.sketch.AddN(key, t, n)
+	if s.topk != nil {
+		for i := uint64(0); i < n; i++ {
+			s.topk.Offer(key, t)
+		}
+	}
+	s.mu.Unlock()
+	respond(w, map[string]any{"ok": true})
+}
+
+// handleBatch ingests newline-separated "key,tick[,count]" records:
+// POST /batch with a text body. Returns the number of accepted records and
+// the first error encountered, if any.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	accepted, lineNo := 0, 0
+	var firstErr string
+	s.mu.Lock()
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("line %d: want key,tick[,count]", lineNo)
+			}
+			continue
+		}
+		t, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("line %d: bad tick: %v", lineNo, err)
+			}
+			continue
+		}
+		n := uint64(1)
+		if len(parts) >= 3 {
+			if n, err = strconv.ParseUint(strings.TrimSpace(parts[2]), 10, 64); err != nil {
+				if firstErr == "" {
+					firstErr = fmt.Sprintf("line %d: bad count: %v", lineNo, err)
+				}
+				continue
+			}
+		}
+		key := ecmsketch.KeyString(strings.TrimSpace(parts[0]))
+		s.sketch.AddN(key, t, n)
+		if s.topk != nil {
+			for j := uint64(0); j < n; j++ {
+				s.topk.Offer(key, t)
+			}
+		}
+		accepted++
+	}
+	s.mu.Unlock()
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := map[string]any{"accepted": accepted}
+	if firstErr != "" {
+		resp["firstError"] = firstErr
+	}
+	respond(w, resp)
+}
+
+// handleEstimate answers a point query: GET /estimate?key=/home&range=60000.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock() // Estimate advances counters, so it mutates
+	est := s.sketch.Estimate(key, rng)
+	s.mu.Unlock()
+	respond(w, map[string]any{"estimate": est, "range": rng})
+}
+
+// handleInterval answers a point query over an arbitrary tick interval:
+// GET /interval?key=/home&from=1000&to=2000 estimates the key's frequency
+// within (from, to]. Interval queries carry twice the window error of
+// suffix queries.
+func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	from, err := parseU64(r, "from", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := parseU64(r, "to", 0)
+	if err != nil || to == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad to parameter"))
+		return
+	}
+	s.mu.Lock()
+	est := s.sketch.EstimateInterval(key, from, to)
+	s.mu.Unlock()
+	respond(w, map[string]any{"estimate": est, "from": from, "to": to})
+}
+
+// handleSelfJoin answers GET /selfjoin?range=60000.
+func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	est := s.sketch.SelfJoin(rng)
+	s.mu.Unlock()
+	respond(w, map[string]any{"selfJoin": est, "range": rng})
+}
+
+// handleTotal answers GET /total?range=60000 with the estimated ‖a_r‖₁.
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	est := s.sketch.EstimateTotal(rng)
+	s.mu.Unlock()
+	respond(w, map[string]any{"total": est, "range": rng})
+}
+
+// handleStats reports sketch dimensions, clock and footprint.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	respond(w, map[string]any{
+		"width":       s.sketch.Width(),
+		"depth":       s.sketch.Depth(),
+		"now":         s.sketch.Now(),
+		"count":       s.sketch.Count(),
+		"memoryBytes": s.sketch.MemoryBytes(),
+		"epsilon":     s.cfg.Epsilon,
+		"delta":       s.cfg.Delta,
+		"window":      s.cfg.WindowLength,
+		"algorithm":   s.cfg.Algorithm,
+	})
+}
+
+// handleSketch ships the serialized sketch, letting a coordinator pull and
+// merge several sites' summaries.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	enc := s.sketch.Marshal()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc)
+}
+
+// handleAdvance moves the window clock forward without an arrival:
+// POST /advance?t=99999.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	t, err := parseU64(r, "t", 0)
+	if err != nil || t == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad t parameter"))
+		return
+	}
+	s.mu.Lock()
+	s.sketch.Advance(t)
+	s.mu.Unlock()
+	respond(w, map[string]any{"ok": true, "now": t})
+}
+
+// handleTopK reports the current hottest keys: GET /topk?range=60000.
+// Available only when the server was started with -topk N.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	items := s.topk.Top(rng)
+	s.mu.Unlock()
+	// Keys are rendered as decimal strings: uint64 digests exceed the
+	// float64-exact integer range of JSON consumers.
+	type entry struct {
+		Key      string  `json:"key"`
+		Estimate float64 `json:"estimate"`
+	}
+	out := make([]entry, len(items))
+	for i, it := range items {
+		out[i] = entry{Key: strconv.FormatUint(it.Key, 10), Estimate: it.Estimate}
+	}
+	respond(w, map[string]any{"top": out, "range": rng})
+}

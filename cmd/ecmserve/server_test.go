@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ecmsketch"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Epsilon:      0.05,
+		Delta:        0.05,
+		WindowLength: 10000,
+		Algorithm:    "eh",
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func doJSON(t *testing.T, srv *Server, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, url, rd)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 && strings.Contains(rec.Header().Get("Content-Type"), "json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON from %s %s: %v", method, url, err)
+		}
+	}
+	return rec.Code, out
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Epsilon: 0.1, Delta: 0.1, WindowLength: 100, Algorithm: "bogus"}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := NewServer(ServerConfig{Epsilon: 0, Delta: 0.1, WindowLength: 100}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}
+
+func TestAddAndEstimate(t *testing.T) {
+	srv := testServer(t)
+	for i := 1; i <= 50; i++ {
+		code, _ := doJSON(t, srv, "POST", fmt.Sprintf("/add?key=/home&t=%d", i), "")
+		if code != http.StatusOK {
+			t.Fatalf("add returned %d", code)
+		}
+	}
+	code, out := doJSON(t, srv, "GET", "/estimate?key=/home&range=10000", "")
+	if code != http.StatusOK {
+		t.Fatalf("estimate returned %d", code)
+	}
+	if est := out["estimate"].(float64); est < 45 || est > 60 {
+		t.Errorf("estimate = %v, want ≈50", est)
+	}
+	// Unknown key estimates near zero.
+	_, out = doJSON(t, srv, "GET", "/estimate?key=/missing", "")
+	if est := out["estimate"].(float64); est > 10 {
+		t.Errorf("estimate for unseen key = %v", est)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	srv := testServer(t)
+	for _, url := range []string{
+		"/add",              // no key, no t
+		"/add?key=a",        // no t
+		"/add?key=a&t=abc",  // bad t
+		"/add?ikey=zzz&t=5", // bad ikey
+		"/estimate",         // no key
+		"/estimate?key=a&range=x" /* bad range */} {
+		method := "POST"
+		if strings.HasPrefix(url, "/estimate") {
+			method = "GET"
+		}
+		code, _ := doJSON(t, srv, method, url, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %s returned %d, want 400", method, url, code)
+		}
+	}
+}
+
+func TestIntegerKeys(t *testing.T) {
+	srv := testServer(t)
+	doJSON(t, srv, "POST", "/add?ikey=42&t=1&n=7", "")
+	_, out := doJSON(t, srv, "GET", "/estimate?ikey=42", "")
+	if est := out["estimate"].(float64); est < 7 {
+		t.Errorf("estimate = %v, want ≥7", est)
+	}
+}
+
+func TestBatchIngest(t *testing.T) {
+	srv := testServer(t)
+	body := strings.Join([]string{
+		"# comment line",
+		"/home,1",
+		"/home,2",
+		"/about,3,5",
+		"",
+		"garbage-line",
+		"/home,notanumber",
+		"/home,4",
+	}, "\n")
+	code, out := doJSON(t, srv, "POST", "/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch returned %d", code)
+	}
+	if acc := out["accepted"].(float64); acc != 4 {
+		t.Errorf("accepted = %v, want 4", acc)
+	}
+	if _, hasErr := out["firstError"]; !hasErr {
+		t.Error("malformed lines not reported")
+	}
+	_, est := doJSON(t, srv, "GET", "/estimate?key=/about", "")
+	if v := est["estimate"].(float64); v < 5 {
+		t.Errorf("/about estimate = %v, want ≥5", v)
+	}
+}
+
+func TestSelfJoinAndTotal(t *testing.T) {
+	srv := testServer(t)
+	for i := 1; i <= 100; i++ {
+		doJSON(t, srv, "POST", fmt.Sprintf("/add?key=k%d&t=%d", i%4, i), "")
+	}
+	_, sj := doJSON(t, srv, "GET", "/selfjoin", "")
+	if v := sj["selfJoin"].(float64); v < 2000 || v > 4000 {
+		t.Errorf("selfJoin = %v, want ≈2500 (4 keys × 25²)", v)
+	}
+	_, tot := doJSON(t, srv, "GET", "/total", "")
+	if v := tot["total"].(float64); v < 90 || v > 120 {
+		t.Errorf("total = %v, want ≈100", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv := testServer(t)
+	doJSON(t, srv, "POST", "/add?key=a&t=5", "")
+	code, out := doJSON(t, srv, "GET", "/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	if out["count"].(float64) != 1 || out["now"].(float64) != 5 {
+		t.Errorf("stats = %v", out)
+	}
+	if out["width"].(float64) <= 0 || out["memoryBytes"].(float64) <= 0 {
+		t.Errorf("degenerate stats: %v", out)
+	}
+}
+
+func TestSketchPullAndMerge(t *testing.T) {
+	// Two "sites" with identical config; the coordinator pulls both wire
+	// sketches and merges them.
+	siteA := testServer(t)
+	siteB := testServer(t)
+	for i := 1; i <= 30; i++ {
+		doJSON(t, siteA, "POST", fmt.Sprintf("/add?key=x&t=%d", i), "")
+		doJSON(t, siteB, "POST", fmt.Sprintf("/add?key=x&t=%d", i), "")
+	}
+	pull := func(s *Server) []byte {
+		req := httptest.NewRequest("GET", "/sketch", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("sketch pull returned %d", rec.Code)
+		}
+		return rec.Body.Bytes()
+	}
+	a, err := ecmsketch.Unmarshal(pull(siteA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ecmsketch.Unmarshal(pull(siteB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ecmsketch.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := m.EstimateString("x", 10000); est < 50 || est > 70 {
+		t.Errorf("merged estimate = %v, want ≈60", est)
+	}
+}
+
+func TestAdvanceExpiresWindow(t *testing.T) {
+	srv := testServer(t)
+	doJSON(t, srv, "POST", "/add?key=old&t=10", "")
+	doJSON(t, srv, "POST", "/advance?t=50000", "")
+	_, out := doJSON(t, srv, "GET", "/estimate?key=old", "")
+	if est := out["estimate"].(float64); est != 0 {
+		t.Errorf("estimate after expiry = %v, want 0", est)
+	}
+	code, _ := doJSON(t, srv, "POST", "/advance", "")
+	if code != http.StatusBadRequest {
+		t.Errorf("advance without t returned %d", code)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				if i%10 == 0 {
+					doJSON(t, srv, "GET", "/estimate?key=hot", "")
+				} else {
+					doJSON(t, srv, "POST", fmt.Sprintf("/add?key=hot&t=%d", i), "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, out := doJSON(t, srv, "GET", "/stats", "")
+	if c := out["count"].(float64); c != 8*180 {
+		t.Errorf("count = %v, want %d", c, 8*180)
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	for in, want := range map[string]ecmsketch.Algorithm{
+		"": ecmsketch.AlgoEH, "eh": ecmsketch.AlgoEH, "EH": ecmsketch.AlgoEH,
+		"dw": ecmsketch.AlgoDW, "rw": ecmsketch.AlgoRW,
+	} {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestIntervalEndpoint(t *testing.T) {
+	srv := testServer(t)
+	for i := 1; i <= 100; i++ {
+		doJSON(t, srv, "POST", fmt.Sprintf("/add?key=x&t=%d", i), "")
+	}
+	_, out := doJSON(t, srv, "GET", "/interval?key=x&from=20&to=70", "")
+	if est := out["estimate"].(float64); est < 35 || est > 65 {
+		t.Errorf("interval estimate = %v, want ≈50", est)
+	}
+	code, _ := doJSON(t, srv, "GET", "/interval?key=x&from=20", "")
+	if code != http.StatusBadRequest {
+		t.Errorf("interval without to returned %d", code)
+	}
+	code, _ = doJSON(t, srv, "GET", "/interval?from=1&to=2", "")
+	if code != http.StatusBadRequest {
+		t.Errorf("interval without key returned %d", code)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, TopK: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 60; i++ {
+		doJSON(t, srv, "POST", fmt.Sprintf("/add?key=hot&t=%d", i), "")
+		if i%3 == 0 {
+			doJSON(t, srv, "POST", fmt.Sprintf("/add?key=warm&t=%d", i), "")
+		}
+		if i%10 == 0 {
+			doJSON(t, srv, "POST", fmt.Sprintf("/add?key=cold&t=%d", i), "")
+		}
+	}
+	code, out := doJSON(t, srv, "GET", "/topk", "")
+	if code != http.StatusOK {
+		t.Fatalf("/topk returned %d", code)
+	}
+	top := out["top"].([]any)
+	if len(top) != 2 {
+		t.Fatalf("top has %d entries, want 2", len(top))
+	}
+	first := top[0].(map[string]any)
+	if want := fmt.Sprintf("%d", ecmsketch.KeyString("hot")); first["key"].(string) != want {
+		t.Errorf("rank 1 is %v, want digest of \"hot\" (%s)", first["key"], want)
+	}
+	if est := first["estimate"].(float64); est < 55 {
+		t.Errorf("rank 1 estimate %v, want ≈60", est)
+	}
+	// Without -topk, the endpoint does not exist.
+	plain := testServer(t)
+	code, _ = doJSON(t, plain, "GET", "/topk", "")
+	if code == http.StatusOK {
+		t.Error("/topk served without TopK configured")
+	}
+}

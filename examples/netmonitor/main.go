@@ -1,0 +1,85 @@
+// Network monitor: the paper's motivating scenario (Section 1). Routers
+// maintain sliding-window counts of messages per target IP; a dyadic
+// ECM-sketch hierarchy detects targets whose recent traffic share exceeds a
+// threshold — the distributed-trigger building block of DDoS detection — and
+// quantiles of the target distribution, all in sketch space.
+//
+// Run with: go run ./examples/netmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ecmsketch"
+)
+
+func main() {
+	// 16-bit target space (a /16's worth of hosts), 10-minute window over
+	// millisecond ticks.
+	const window = 600_000
+	h, err := ecmsketch.NewHierarchy(ecmsketch.HierarchyParams{
+		Sketch: ecmsketch.Params{
+			Epsilon:      0.01,
+			Delta:        0.05,
+			WindowLength: window,
+		},
+		DomainBits: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var now ecmsketch.Tick
+
+	feed := func(n int, attack bool) {
+		for i := 0; i < n; i++ {
+			now += ecmsketch.Tick(rng.Intn(8))
+			target := uint64(rng.Intn(1 << 16)) // background scatter
+			if attack && rng.Intn(3) == 0 {     // 1/3 of traffic converges
+				target = 0xBEEF
+			}
+			if err := h.Add(target, now); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	report := func(phase string) {
+		h.Advance(now)
+		hits, err := h.HeavyHitters(0.05, window) // >5% of window traffic
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] t=%dms, ~%.0f msgs in window, %d hot targets\n",
+			phase, now, h.EstimateTotal(window), len(hits))
+		for _, it := range hits {
+			fmt.Printf("        target %#04x: ≈%.0f msgs — possible overload, trigger coordinator\n",
+				it.Key, it.Estimate)
+		}
+		qs, err := h.Quantiles([]float64{0.5, 0.99}, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("        target-space quantiles: median=%#04x p99=%#04x\n", qs[0], qs[1])
+	}
+
+	fmt.Println("phase 1: normal background traffic")
+	feed(120_000, false)
+	report("normal")
+
+	fmt.Println("\nphase 2: traffic converges on one target")
+	feed(120_000, true)
+	report("attack")
+
+	fmt.Println("\nphase 3: attack stops; the window slides past it")
+	now += window // quiet period longer than the window
+	h.Advance(now)
+	feed(30_000, false) // background traffic resumes
+	report("recovered")
+
+	fmt.Printf("\nhierarchy memory: %.1f MiB for a 65536-target space\n",
+		float64(h.MemoryBytes())/(1<<20))
+}

@@ -1,0 +1,67 @@
+// Quickstart: summarize a web-access stream over a sliding window, answer
+// point and self-join queries, and ship the sketch over the wire.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ecmsketch"
+)
+
+func main() {
+	// A sketch over a 1-hour window (ticks are milliseconds here), with a
+	// total error budget of 2% and failure probability 1%.
+	const hour = 3_600_000
+	sk, err := ecmsketch.New(ecmsketch.Params{
+		Epsilon:      0.02,
+		Delta:        0.01,
+		WindowLength: hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sketch: %dx%d counters, split eps_cm=%.4f eps_sw=%.4f\n",
+		sk.Depth(), sk.Width(), sk.EffectiveSplit().EpsCM, sk.EffectiveSplit().EpsSW)
+
+	// Feed two hours of page views: /home dominates, /search is steady,
+	// and a long tail of product pages churns underneath.
+	rng := rand.New(rand.NewSource(1))
+	var now ecmsketch.Tick
+	for i := 0; i < 200_000; i++ {
+		now += ecmsketch.Tick(rng.Intn(72)) // ~1 view / 36ms
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			sk.AddString("/home", now)
+		case 3:
+			sk.AddString("/search", now)
+		default:
+			sk.AddString(fmt.Sprintf("/product/%d", rng.Intn(5000)), now)
+		}
+	}
+
+	// Point queries over nested ranges of the window.
+	for _, r := range []ecmsketch.Tick{hour, hour / 6, hour / 60} {
+		fmt.Printf("last %4d s: /home ≈ %6.0f views, /search ≈ %6.0f views\n",
+			r/1000, sk.EstimateString("/home", r), sk.EstimateString("/search", r))
+	}
+
+	// Self-join (second frequency moment) of the last hour — a standard
+	// skew statistic used, e.g., for join-size estimation.
+	fmt.Printf("F2 over the last hour ≈ %.3g\n", sk.SelfJoin(hour))
+	fmt.Printf("total views in window ≈ %.0f\n", sk.EstimateTotal(hour))
+
+	// Ship the sketch to another process and keep querying there.
+	wire := sk.Marshal()
+	remote, err := ecmsketch.Unmarshal(wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized sketch: %d bytes; remote /home estimate ≈ %.0f\n",
+		len(wire), remote.EstimateString("/home", hour))
+	fmt.Printf("sketch memory: %d bytes (vs exact per-key tracking of ~5000 keys)\n",
+		sk.MemoryBytes())
+}

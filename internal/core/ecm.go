@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"ecmsketch/internal/cm"
+	"ecmsketch/internal/hashing"
+	"ecmsketch/internal/window"
+)
+
+// Tick re-exports the window package's logical timestamp.
+type Tick = window.Tick
+
+// Params configures an ECM-sketch.
+type Params struct {
+	// Epsilon is the total error budget ε of the sketch. It is divided
+	// between the Count-Min array and the sliding-window counters according
+	// to Query and Algorithm, unless an explicit Split is given.
+	Epsilon float64
+	// Delta is the total failure probability δ. Deterministic window
+	// synopses charge it entirely to the Count-Min array (δ_cm = δ,
+	// Theorem 1); randomized waves split it evenly (Theorem 3).
+	Delta float64
+	// Query selects which query type memory is optimized for.
+	Query QueryKind
+	// Algorithm selects the sliding-window synopsis implementing each
+	// counter: window.AlgoEH (default), window.AlgoDW, or window.AlgoRW.
+	Algorithm window.Algorithm
+	// Model selects time-based or count-based windows.
+	Model window.Model
+	// WindowLength is N, the window length in ticks.
+	WindowLength Tick
+	// UpperBound is u(N,S), the per-window arrival bound required by wave
+	// synopses; 0 defaults to WindowLength.
+	UpperBound uint64
+	// Seed derives all hash functions. Sketches must share a Seed (and all
+	// dimensions) to be mergeable.
+	Seed uint64
+	// Split optionally overrides the automatic ε division.
+	Split *Split
+	// Width and Depth optionally override the derived Count-Min dimensions.
+	Width, Depth int
+}
+
+// ecmSaltCounter hands out distinct default identifier salts to sketches in
+// the same process so that auto-generated randomized-wave event identifiers
+// never collide across sites.
+var ecmSaltCounter uint64
+
+// Sketch is an ECM-sketch: a d×w Count-Min array whose counters are sliding
+// window synopses. It supports point queries, inner-product and self-join
+// queries over any sub-range of the window, and order-preserving aggregation
+// with other sketches of identical configuration.
+//
+// Sketch is not safe for concurrent use; distributed sites each own one.
+type Sketch struct {
+	params   Params
+	split    Split
+	fam      *hashing.Family
+	counters []window.Counter // row-major d×w
+	w, d     int
+	wcfg     window.Config
+	now      Tick
+	count    uint64 // arrivals (total inserted value) since stream start
+	salt     uint64
+	seq      uint64
+}
+
+// New constructs an ECM-sketch.
+func New(p Params) (*Sketch, error) {
+	split, err := resolveSplit(&p)
+	if err != nil {
+		return nil, err
+	}
+	w, d := p.Width, p.Depth
+	if w == 0 {
+		w = int(math.Ceil(math.E / split.EpsCM))
+	}
+	deltaCM := p.Delta
+	if p.Algorithm == window.AlgoRW {
+		deltaCM = p.Delta / 2
+	}
+	if d == 0 {
+		if !(deltaCM > 0 && deltaCM < 1) {
+			return nil, fmt.Errorf("core: Delta must be in (0,1), got %v", p.Delta)
+		}
+		d = int(math.Ceil(math.Log(1 / deltaCM)))
+	}
+	if w <= 0 || d <= 0 {
+		return nil, fmt.Errorf("core: dimensions must be positive, got %dx%d", d, w)
+	}
+	fam, err := hashing.NewFamily(p.Seed, d, w)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := window.Config{
+		Model:      p.Model,
+		Length:     p.WindowLength,
+		Epsilon:    split.EpsSW,
+		Delta:      p.Delta / 2, // only used by RW counters
+		UpperBound: p.UpperBound,
+		Seed:       p.Seed,
+	}
+	s := &Sketch{
+		params:   p,
+		split:    split,
+		fam:      fam,
+		counters: make([]window.Counter, d*w),
+		w:        w,
+		d:        d,
+		wcfg:     wcfg,
+		salt:     hashing.Mix64(atomic.AddUint64(&ecmSaltCounter, 1) * 0x94d049bb133111eb),
+	}
+	for i := range s.counters {
+		c, err := window.New(p.Algorithm, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.counters[i] = c
+	}
+	return s, nil
+}
+
+func resolveSplit(p *Params) (Split, error) {
+	if p.WindowLength == 0 {
+		return Split{}, errors.New("core: WindowLength must be positive")
+	}
+	if p.Split != nil {
+		if !p.Split.valid() {
+			return Split{}, fmt.Errorf("core: explicit split %+v invalid", *p.Split)
+		}
+		return *p.Split, nil
+	}
+	if !(p.Epsilon > 0 && p.Epsilon < 1) {
+		return Split{}, fmt.Errorf("core: Epsilon must be in (0,1), got %v", p.Epsilon)
+	}
+	var s Split
+	switch {
+	case p.Algorithm == window.AlgoRW:
+		s = SplitPointRW(p.Epsilon)
+	case p.Query == InnerProductQuery:
+		s = SplitInnerProduct(p.Epsilon)
+	default:
+		s = SplitPoint(p.Epsilon)
+	}
+	if !s.valid() {
+		return Split{}, fmt.Errorf("core: derived split %+v invalid for ε=%v", s, p.Epsilon)
+	}
+	return s, nil
+}
+
+// Params returns the sketch configuration.
+func (s *Sketch) Params() Params { return s.params }
+
+// EffectiveSplit returns the ε division in use.
+func (s *Sketch) EffectiveSplit() Split { return s.split }
+
+// Width reports the Count-Min row width.
+func (s *Sketch) Width() int { return s.w }
+
+// Depth reports the number of Count-Min rows.
+func (s *Sketch) Depth() int { return s.d }
+
+// Count reports ||a||₁: the total value inserted since stream start
+// (not windowed).
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Now reports the latest tick observed.
+func (s *Sketch) Now() Tick { return s.now }
+
+// SetIDSalt overrides the salt used for auto-generated randomized-wave event
+// identifiers; see window.RW.SetIDSalt.
+func (s *Sketch) SetIDSalt(salt uint64) { s.salt = salt }
+
+// Add registers one arrival of item key at tick t.
+func (s *Sketch) Add(key uint64, t Tick) { s.AddN(key, t, 1) }
+
+// AddString registers one arrival of a string-keyed item at tick t.
+func (s *Sketch) AddString(key string, t Tick) { s.AddN(hashing.KeyString(key), t, 1) }
+
+// AddN registers n simultaneous arrivals of item key at tick t. For
+// randomized-wave sketches each unit arrival receives a fresh unique event
+// identifier shared by the d counters it lands in.
+func (s *Sketch) AddN(key uint64, t Tick, n uint64) {
+	if t > s.now {
+		s.now = t
+	}
+	s.count += n
+	if s.params.Algorithm == window.AlgoRW {
+		for u := uint64(0); u < n; u++ {
+			s.seq++
+			id := hashing.Mix64(s.salt ^ s.seq)
+			for j := 0; j < s.d; j++ {
+				rw := s.counters[j*s.w+s.fam.Hash(j, key)].(*window.RW)
+				rw.AddID(t, id)
+			}
+		}
+		return
+	}
+	for j := 0; j < s.d; j++ {
+		s.counters[j*s.w+s.fam.Hash(j, key)].AddN(t, n)
+	}
+}
+
+// Advance moves the window of every counter forward to tick t.
+func (s *Sketch) Advance(t Tick) {
+	if t > s.now {
+		s.now = t
+	}
+	for _, c := range s.counters {
+		c.Advance(t)
+	}
+}
+
+// Estimate answers the point query (key, r): the estimated frequency of the
+// item within the last r ticks, as min_j E(h_j(key), j, r).
+func (s *Sketch) Estimate(key uint64, r Tick) float64 {
+	est := math.Inf(1)
+	for j := 0; j < s.d; j++ {
+		c := s.counters[j*s.w+s.fam.Hash(j, key)]
+		// Counters are only advanced on their own arrivals; align them with
+		// the sketch clock so expired content does not linger.
+		c.Advance(s.now)
+		if v := c.EstimateRange(r); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// EstimateString answers a point query for a string-keyed item.
+func (s *Sketch) EstimateString(key string, r Tick) float64 {
+	return s.Estimate(hashing.KeyString(key), r)
+}
+
+// EstimateInterval estimates the frequency of key within the tick interval
+// (from, to], an arbitrary sub-range of the window, as the difference of two
+// suffix estimates per counter. The window error doubles to 2·ε_sw compared
+// to suffix queries; the Count-Min collision term is unchanged.
+func (s *Sketch) EstimateInterval(key uint64, from, to Tick) float64 {
+	if to <= from {
+		return 0
+	}
+	est := math.Inf(1)
+	for j := 0; j < s.d; j++ {
+		c := s.counters[j*s.w+s.fam.Hash(j, key)]
+		c.Advance(s.now)
+		v := c.EstimateSince(from) - c.EstimateSince(to)
+		if v < 0 {
+			v = 0
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// EstimateWindow answers the point query over the whole window.
+func (s *Sketch) EstimateWindow(key uint64) float64 {
+	return s.Estimate(key, s.wcfg.Length)
+}
+
+// InnerProduct estimates a_r ⊙ b_r = Σ_x f_a(x,r)·f_b(x,r) as
+// min_j Σ_i E_a(i,j,r)·E_b(i,j,r) (Section 4.1). Both sketches must share
+// configuration.
+func (s *Sketch) InnerProduct(o *Sketch, r Tick) (float64, error) {
+	if !s.Compatible(o) {
+		return 0, errors.New("core: inner product requires identically configured sketches")
+	}
+	best := math.Inf(1)
+	for j := 0; j < s.d; j++ {
+		var sum float64
+		for i := 0; i < s.w; i++ {
+			a := s.counters[j*s.w+i]
+			b := o.counters[j*s.w+i]
+			a.Advance(s.now)
+			b.Advance(o.now)
+			ea := a.EstimateRange(r)
+			if ea == 0 {
+				continue
+			}
+			sum += ea * b.EstimateRange(r)
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best, nil
+}
+
+// SelfJoin estimates the second frequency moment F₂ of the stream within the
+// last r ticks.
+func (s *Sketch) SelfJoin(r Tick) float64 {
+	v, _ := s.InnerProduct(s, r)
+	return v
+}
+
+// Compatible reports whether two sketches share dimensions, window
+// configuration and hash functions, and hence may be merged or joined.
+func (s *Sketch) Compatible(o *Sketch) bool {
+	if o == nil || s.w != o.w || s.d != o.d || !s.fam.Compatible(o.fam) {
+		return false
+	}
+	return s.wcfg.Model == o.wcfg.Model &&
+		s.wcfg.Length == o.wcfg.Length &&
+		s.wcfg.Epsilon == o.wcfg.Epsilon &&
+		s.params.Algorithm == o.params.Algorithm
+}
+
+// ExtractVector evaluates every counter over the last r ticks and returns
+// the result as a dense real vector — the representation the geometric
+// monitoring method (Section 6.2) does linear algebra on.
+func (s *Sketch) ExtractVector(r Tick) *cm.Vector {
+	v := cm.NewVector(s.d, s.w)
+	for i, c := range s.counters {
+		c.Advance(s.now)
+		v.Cells[i] = c.EstimateRange(r)
+	}
+	return v
+}
+
+// EstimateTotal estimates ||a_r||₁, the total number of arrivals within the
+// last r ticks, by averaging the counter sums of each row and taking the
+// row minimum. The paper recommends this estimator (Section 6.1) over an
+// auxiliary sliding window because per-cell errors cancel within a row.
+func (s *Sketch) EstimateTotal(r Tick) float64 {
+	best := math.Inf(1)
+	for j := 0; j < s.d; j++ {
+		var sum float64
+		for i := 0; i < s.w; i++ {
+			c := s.counters[j*s.w+i]
+			c.Advance(s.now)
+			sum += c.EstimateRange(r)
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// MemoryBytes reports the heap footprint of the sketch.
+func (s *Sketch) MemoryBytes() int {
+	n := 128
+	for _, c := range s.counters {
+		n += c.MemoryBytes()
+	}
+	return n
+}
+
+// Reset empties every counter, keeping the configuration.
+func (s *Sketch) Reset() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+	s.now = 0
+	s.count = 0
+	s.seq = 0
+}
+
+// counterAt exposes a counter for white-box tests and serialization.
+func (s *Sketch) counterAt(j, i int) window.Counter { return s.counters[j*s.w+i] }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ecmsketch/internal/window"
+)
+
+const wireECM byte = 0xEC
+
+// Marshal encodes the sketch: configuration header followed by each
+// counter's own encoding, length-prefixed. The encoded size is what the
+// distributed experiments charge as network volume when a site ships its
+// local sketch to an aggregator.
+func (s *Sketch) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(wireECM)
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	putF := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	}
+	putF(s.params.Epsilon)
+	putF(s.params.Delta)
+	buf.WriteByte(byte(s.params.Query))
+	buf.WriteByte(byte(s.params.Algorithm))
+	buf.WriteByte(byte(s.params.Model))
+	putU(s.params.WindowLength)
+	putU(s.params.UpperBound)
+	putU(s.params.Seed)
+	putU(uint64(s.w))
+	putU(uint64(s.d))
+	putF(s.split.EpsCM)
+	putF(s.split.EpsSW)
+	putU(s.now)
+	putU(s.count)
+	putU(s.salt)
+	putU(s.seq)
+	for _, c := range s.counters {
+		var enc []byte
+		switch cc := c.(type) {
+		case *window.EH:
+			enc = cc.Marshal()
+		case *window.DW:
+			enc = cc.Marshal()
+		case *window.RW:
+			enc = cc.Marshal()
+		default:
+			// Exact counters are test-only and not serialized.
+			enc = nil
+		}
+		putU(uint64(len(enc)))
+		buf.Write(enc)
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal reconstructs a sketch from Marshal output. The decoded sketch
+// answers every query identically to the encoded one and remains mergeable
+// with its lineage.
+func Unmarshal(b []byte) (*Sketch, error) {
+	if len(b) == 0 || b[0] != wireECM {
+		return nil, errors.New("core: not an ECM-sketch encoding")
+	}
+	off := 1
+	getU := func() (uint64, error) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, errors.New("core: truncated encoding")
+		}
+		off += n
+		return v, nil
+	}
+	getF := func() (float64, error) {
+		if off+8 > len(b) {
+			return 0, errors.New("core: truncated encoding")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, nil
+	}
+	getB := func() (byte, error) {
+		if off >= len(b) {
+			return 0, errors.New("core: truncated encoding")
+		}
+		v := b[off]
+		off++
+		return v, nil
+	}
+
+	var p Params
+	var err error
+	if p.Epsilon, err = getF(); err != nil {
+		return nil, err
+	}
+	if p.Delta, err = getF(); err != nil {
+		return nil, err
+	}
+	q, err := getB()
+	if err != nil {
+		return nil, err
+	}
+	p.Query = QueryKind(q)
+	a, err := getB()
+	if err != nil {
+		return nil, err
+	}
+	p.Algorithm = window.Algorithm(a)
+	m, err := getB()
+	if err != nil {
+		return nil, err
+	}
+	p.Model = window.Model(m)
+	if p.WindowLength, err = getU(); err != nil {
+		return nil, err
+	}
+	if p.UpperBound, err = getU(); err != nil {
+		return nil, err
+	}
+	if p.Seed, err = getU(); err != nil {
+		return nil, err
+	}
+	wu, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	du, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if wu == 0 || du == 0 || wu > 1<<20 || du > 1<<8 || wu*du > 1<<22 {
+		return nil, fmt.Errorf("core: corrupt dimensions %dx%d", du, wu)
+	}
+	p.Width, p.Depth = int(wu), int(du)
+	var split Split
+	if split.EpsCM, err = getF(); err != nil {
+		return nil, err
+	}
+	if split.EpsSW, err = getF(); err != nil {
+		return nil, err
+	}
+	p.Split = &split
+	now, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	count, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	salt, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.counters {
+		ln, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if ln > uint64(len(b)-off) {
+			return nil, errors.New("core: truncated counter encoding")
+		}
+		enc := b[off : off+int(ln)]
+		off += int(ln)
+		switch p.Algorithm {
+		case window.AlgoEH:
+			c, err := window.UnmarshalEH(enc)
+			if err != nil {
+				return nil, fmt.Errorf("core: counter %d: %w", i, err)
+			}
+			s.counters[i] = c
+		case window.AlgoDW:
+			c, err := window.UnmarshalDW(enc)
+			if err != nil {
+				return nil, fmt.Errorf("core: counter %d: %w", i, err)
+			}
+			s.counters[i] = c
+		case window.AlgoRW:
+			c, err := window.UnmarshalRW(enc)
+			if err != nil {
+				return nil, fmt.Errorf("core: counter %d: %w", i, err)
+			}
+			s.counters[i] = c
+		default:
+			return nil, fmt.Errorf("core: cannot decode algorithm %v", p.Algorithm)
+		}
+	}
+	s.now = now
+	s.count = count
+	s.salt = salt
+	s.seq = seq
+	return s, nil
+}

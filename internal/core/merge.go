@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ecmsketch/internal/window"
+)
+
+// Merge performs the order-preserving aggregation CM⊕ = CM₁ ⊕ ... ⊕ CMₙ of
+// Section 5.3: counter (i,j) of the output is the ⊕-aggregation of counter
+// (i,j) of every input. All inputs must be identically configured (same
+// dimensions, hash functions, window configuration and synopsis algorithm).
+//
+// For exponential-histogram and deterministic-wave sketches the aggregation
+// is the deterministic replay of Section 5.1 and inflates the window error
+// to ε_sw + ε'_sw + ε_sw·ε'_sw per counter (the Count-Min error ε_cm is
+// unaffected, since the array dimensions are fixed). For randomized-wave
+// sketches the aggregation is lossless (Section 5.2). Count-based sketches
+// cannot be aggregated at all; Merge rejects them.
+func Merge(inputs ...*Sketch) (*Sketch, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("core: Merge requires at least one input")
+	}
+	first := inputs[0]
+	for i, in := range inputs[1:] {
+		if in == nil {
+			return nil, fmt.Errorf("core: Merge input %d is nil", i+1)
+		}
+		if !first.Compatible(in) {
+			return nil, fmt.Errorf("core: Merge input %d incompatible with input 0", i+1)
+		}
+	}
+	if first.params.Algorithm != window.AlgoRW && first.wcfg.Model != window.TimeBased {
+		return nil, errors.New("core: order-preserving aggregation requires time-based windows")
+	}
+	out, err := New(first.params)
+	if err != nil {
+		return nil, err
+	}
+	var now Tick
+	var count uint64
+	for _, in := range inputs {
+		if in.now > now {
+			now = in.now
+		}
+		count += in.count
+	}
+	cells := make([]window.Counter, len(first.counters))
+	switch first.params.Algorithm {
+	case window.AlgoEH:
+		for idx := range cells {
+			ins := make([]*window.EH, len(inputs))
+			for k, in := range inputs {
+				ins[k] = in.counters[idx].(*window.EH)
+			}
+			m, err := window.MergeEH(first.wcfg, ins...)
+			if err != nil {
+				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
+			}
+			cells[idx] = m
+		}
+	case window.AlgoDW:
+		for idx := range cells {
+			ins := make([]*window.DW, len(inputs))
+			for k, in := range inputs {
+				ins[k] = in.counters[idx].(*window.DW)
+			}
+			m, err := window.MergeDW(first.wcfg, ins...)
+			if err != nil {
+				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
+			}
+			cells[idx] = m
+		}
+	case window.AlgoRW:
+		for idx := range cells {
+			ins := make([]*window.RW, len(inputs))
+			for k, in := range inputs {
+				ins[k] = in.counters[idx].(*window.RW)
+			}
+			m, err := window.MergeRW(first.wcfg, ins...)
+			if err != nil {
+				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
+			}
+			cells[idx] = m
+		}
+	default:
+		return nil, fmt.Errorf("core: algorithm %v does not support aggregation", first.params.Algorithm)
+	}
+	out.counters = cells
+	out.now = now
+	out.count = count
+	out.Advance(now)
+	return out, nil
+}
+
+// MergedPointErrorBound bounds the point-query error factor of a sketch
+// produced by Merge from sketches with window error epsSW and Count-Min
+// error epsCM: the window error inflates to ε_sw+ε'_sw+ε_swε'_sw (here with
+// ε'_sw = ε_sw), and the total follows Section 5.3.
+func MergedPointErrorBound(s Split) float64 {
+	esw := window.MergedRelativeError(s.EpsSW, s.EpsSW)
+	return esw + s.EpsCM + esw*s.EpsCM
+}
+
+// HierarchicalPointErrorBound bounds the point-query error factor after h
+// levels of hierarchical aggregation (Section 5.1 multi-level analysis
+// applied to every counter).
+func HierarchicalPointErrorBound(s Split, h int) float64 {
+	esw := window.MultiLevelRelativeError(s.EpsSW, h)
+	return esw + s.EpsCM + esw*s.EpsCM
+}

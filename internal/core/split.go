@@ -1,0 +1,118 @@
+// Package core implements the ECM-sketch (Exponential Count-Min sketch), the
+// paper's primary contribution: a Count-Min sketch whose counters are
+// sliding-window synopses, summarizing the item frequencies of a
+// high-dimensional stream over time-based or count-based sliding windows
+// with probabilistic accuracy guarantees, and supporting order-preserving
+// aggregation of sketches built at distributed sites.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// QueryKind selects which query type the ε-split optimizes memory for.
+type QueryKind uint8
+
+const (
+	// PointQuery optimizes for point (frequency) queries: the total error of
+	// an estimate fˆ(x,r) is at most (ε_sw+ε_cm+ε_swε_cm)·||a_r||₁ with
+	// probability 1-δ (Theorem 1).
+	PointQuery QueryKind = iota
+	// InnerProductQuery optimizes for inner-product/self-join queries, whose
+	// error bound is (ε_sw²+2ε_sw+ε_cm(1+ε_sw)²)·||a_r||₁·||b_r||₁
+	// (Theorem 2).
+	InnerProductQuery
+)
+
+// String names the query kind.
+func (k QueryKind) String() string {
+	switch k {
+	case PointQuery:
+		return "point"
+	case InnerProductQuery:
+		return "inner-product"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", uint8(k))
+	}
+}
+
+// Split is a division of the total error budget ε between the Count-Min
+// array (EpsCM, which sets the array width) and the per-counter sliding
+// window synopses (EpsSW).
+type Split struct {
+	EpsCM float64
+	EpsSW float64
+}
+
+// SplitPoint returns the memory-optimal split for point queries on
+// deterministic-synopsis sketches (Section 4.1):
+//
+//	ε_sw = ε_cm = √(1+ε) − 1
+//
+// which satisfies ε_sw + ε_cm + ε_sw·ε_cm = ε while minimizing the
+// O(1/(ε_sw·ε_cm)) memory bound.
+func SplitPoint(eps float64) Split {
+	v := math.Sqrt(1+eps) - 1
+	return Split{EpsCM: v, EpsSW: v}
+}
+
+// SplitInnerProduct returns the memory-optimal split for inner-product
+// queries (Section 4.1):
+//
+//	ε_sw = −1 − (3+3ε)/(3^(4/3)·A) + A/3^(2/3),
+//	A    = (9+9ε+√3·√(28+57ε+30ε²+ε³))^(1/3)
+//	ε_cm = (ε − ε_sw² − 2ε_sw) / (1+ε_sw)²
+//
+// which satisfies ε_sw² + 2ε_sw + ε_cm(1+ε_sw)² = ε.
+func SplitInnerProduct(eps float64) Split {
+	a := math.Cbrt(9 + 9*eps + math.Sqrt(3)*math.Sqrt(28+57*eps+30*eps*eps+eps*eps*eps))
+	esw := -1 - (3+3*eps)/(math.Pow(3, 4.0/3)*a) + a/math.Pow(3, 2.0/3)
+	ecm := (eps - esw*esw - 2*esw) / ((1 + esw) * (1 + esw))
+	return Split{EpsCM: ecm, EpsSW: esw}
+}
+
+// SplitPointRW returns the memory-optimal split for point queries on
+// randomized-wave sketches, whose window synopses cost O(1/ε_sw²) instead of
+// O(1/ε_sw) (Section 4.2.2):
+//
+//	ε_sw = (√(ε²+10ε+9) + ε − 3)/4
+//	ε_cm = (3ε − √(ε²+10ε+9) + 3)/(ε + √(ε²+10ε+9) + 1)
+func SplitPointRW(eps float64) Split {
+	r := math.Sqrt(eps*eps + 10*eps + 9)
+	return Split{
+		EpsSW: (r + eps - 3) / 4,
+		EpsCM: (3*eps - r + 3) / (eps + r + 1),
+	}
+}
+
+// NaiveSplit halves the budget between the two sources of error without
+// regard to memory: ε_sw = ε_cm = ε/2 would overshoot the combined bound
+// slightly, so the naive split solves x + x + x² = ε. It exists as the
+// ablation baseline for the optimal splits above.
+func NaiveSplit(eps float64) Split {
+	// 2x + x² = ε  ⇒  x = √(1+ε) − 1 — which for point queries coincides
+	// with the optimal split; for inner products it does not.
+	x := math.Sqrt(1+eps) - 1
+	return Split{EpsCM: x, EpsSW: x}
+}
+
+// PointErrorBound evaluates the combined point-query error factor
+// ε_sw + ε_cm + ε_sw·ε_cm of a split (Theorem 1).
+func (s Split) PointErrorBound() float64 {
+	return s.EpsSW + s.EpsCM + s.EpsSW*s.EpsCM
+}
+
+// InnerProductErrorBound evaluates the combined inner-product error factor
+// ε_sw² + 2ε_sw + ε_cm(1+ε_sw)² of a split (Theorem 2).
+func (s Split) InnerProductErrorBound() float64 {
+	return s.EpsSW*s.EpsSW + 2*s.EpsSW + s.EpsCM*(1+s.EpsSW)*(1+s.EpsSW)
+}
+
+// valid reports whether both components are usable error parameters. The
+// lower bound mirrors window.MinEpsilon: splits below it would demand
+// absurd (and overflow-prone) allocations.
+func (s Split) valid() bool {
+	const min = 1e-4
+	return s.EpsCM >= min && s.EpsCM < 1 && s.EpsSW >= min && s.EpsSW < 1
+}

@@ -1,0 +1,217 @@
+// Package distrib simulates the paper's distributed deployments: n sites
+// each observe a local sub-stream and summarize it in an ECM-sketch; the
+// sketches are then aggregated bottom-up over a balanced binary tree (the
+// topology of Section 7.3), with every edge shipping a serialized sketch
+// whose size is charged as network volume.
+//
+// Sites run as goroutines consuming their own event channels, which is the
+// natural Go model for physically distributed stream observers; the
+// aggregation path serializes and re-parses every transferred sketch, so
+// the measured transfer volumes are what a networked deployment would pay.
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+	"ecmsketch/internal/workload"
+)
+
+// Tick re-exports the logical timestamp type.
+type Tick = window.Tick
+
+// Network accumulates communication-cost accounting across goroutines.
+type Network struct {
+	bytes    atomic.Int64
+	messages atomic.Int64
+}
+
+// Charge records one message of n payload bytes.
+func (n *Network) Charge(payload int) {
+	n.bytes.Add(int64(payload))
+	n.messages.Add(1)
+}
+
+// Bytes reports the total payload volume transferred.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// Messages reports the number of messages sent.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Cluster is a set of simulated sites sharing one sketch configuration.
+type Cluster struct {
+	params  core.Params
+	sites   []*core.Sketch
+	chans   []chan workload.Event
+	wg      sync.WaitGroup
+	net     Network
+	started bool
+}
+
+// NewCluster builds n sites with identically configured (and hence
+// mergeable) ECM-sketches. Randomized-wave sketches receive distinct
+// identifier salts so their auto-generated event identifiers stay globally
+// unique.
+func NewCluster(p core.Params, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("distrib: need at least one site, got %d", n)
+	}
+	c := &Cluster{params: p}
+	for i := 0; i < n; i++ {
+		s, err := core.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: site %d: %w", i, err)
+		}
+		s.SetIDSalt(0x5151_0000_0000_0001 * uint64(i+1))
+		c.sites = append(c.sites, s)
+	}
+	return c, nil
+}
+
+// Sites exposes the local sketches (after Wait, for inspection).
+func (c *Cluster) Sites() []*core.Sketch { return c.sites }
+
+// Network exposes the communication accounting.
+func (c *Cluster) Network() *Network { return &c.net }
+
+// Start launches one goroutine per site, each consuming its own event
+// channel into its local sketch.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.chans = make([]chan workload.Event, len(c.sites))
+	for i := range c.sites {
+		c.chans[i] = make(chan workload.Event, 256)
+		c.wg.Add(1)
+		go func(idx int) {
+			defer c.wg.Done()
+			s := c.sites[idx]
+			for ev := range c.chans[idx] {
+				s.Add(ev.Key, ev.Time)
+			}
+		}(i)
+	}
+}
+
+// Feed routes one event to its site (ev.Site modulo the cluster size).
+func (c *Cluster) Feed(ev workload.Event) {
+	c.chans[ev.Site%len(c.sites)] <- ev
+}
+
+// Wait closes the site channels and blocks until every site has drained its
+// stream, then aligns all site windows to the given tick.
+func (c *Cluster) Wait(now Tick) {
+	for _, ch := range c.chans {
+		close(ch)
+	}
+	c.wg.Wait()
+	c.started = false
+	for _, s := range c.sites {
+		s.Advance(now)
+	}
+}
+
+// IngestAll runs the full pipeline for a pre-generated stream: start the
+// sites, feed every event, and wait for completion. It returns the final
+// stream tick.
+func (c *Cluster) IngestAll(events []workload.Event) Tick {
+	c.Start()
+	var now Tick
+	for _, ev := range events {
+		if ev.Time > now {
+			now = ev.Time
+		}
+		c.Feed(ev)
+	}
+	c.Wait(now)
+	return now
+}
+
+// AggregateTree merges the site sketches bottom-up over a balanced binary
+// tree of height ⌈log₂ n⌉, as in the distributed experiments: all sites are
+// leaves; each internal node receives its children's serialized sketches
+// (charged to the network), decodes them, and merges them with the
+// order-preserving ⊕. The root sketch summarizing the union stream is
+// returned together with the tree height.
+func (c *Cluster) AggregateTree() (*core.Sketch, int, error) {
+	level := c.sites
+	height := 0
+	for len(level) > 1 {
+		next := make([]*core.Sketch, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				// Odd node out: promoted to the next level, but its summary
+				// still travels one hop upward.
+				c.net.Charge(len(level[i].Marshal()))
+				next = append(next, level[i])
+				continue
+			}
+			left, right, err := c.transferPair(level[i], level[i+1])
+			if err != nil {
+				return nil, 0, err
+			}
+			m, err := core.Merge(left, right)
+			if err != nil {
+				return nil, 0, fmt.Errorf("distrib: aggregation at height %d: %w", height, err)
+			}
+			next = append(next, m)
+		}
+		level = next
+		height++
+	}
+	if len(level) == 0 {
+		return nil, 0, errors.New("distrib: no sites to aggregate")
+	}
+	return level[0], height, nil
+}
+
+// transferPair serializes both children, charges the network, and re-parses
+// the payloads — the aggregating parent only ever sees wire bytes.
+func (c *Cluster) transferPair(a, b *core.Sketch) (*core.Sketch, *core.Sketch, error) {
+	ea, eb := a.Marshal(), b.Marshal()
+	c.net.Charge(len(ea))
+	c.net.Charge(len(eb))
+	da, err := core.Unmarshal(ea)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distrib: decoding left child: %w", err)
+	}
+	db, err := core.Unmarshal(eb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distrib: decoding right child: %w", err)
+	}
+	return da, db, nil
+}
+
+// CentralizedBaseline builds a single sketch over the same events, the
+// centralized reference the distributed error is compared against (Table 4).
+func CentralizedBaseline(p core.Params, events []workload.Event) (*core.Sketch, error) {
+	s, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	var now Tick
+	for _, ev := range events {
+		s.Add(ev.Key, ev.Time)
+		if ev.Time > now {
+			now = ev.Time
+		}
+	}
+	s.Advance(now)
+	return s, nil
+}
+
+// TreeHeight returns ⌈log₂ n⌉, the aggregation depth of a balanced binary
+// tree over n leaves.
+func TreeHeight(n int) int {
+	h := 0
+	for size := 1; size < n; size <<= 1 {
+		h++
+	}
+	return h
+}

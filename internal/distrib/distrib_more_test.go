@@ -1,0 +1,113 @@
+package distrib
+
+import (
+	"math"
+	"testing"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+	"ecmsketch/internal/workload"
+)
+
+func TestDWClusterAggregates(t *testing.T) {
+	// Deterministic-wave sketches also merge through the tree (Section 5.1
+	// "Deterministic Waves"); the paper excludes them from its distributed
+	// plots only because they offer no advantage over EH.
+	p := testParams()
+	p.Algorithm = window.AlgoDW
+	p.UpperBound = 20000
+	events := genEvents(t, 12000, 4)
+	cluster, err := NewCluster(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	root, height, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatalf("AggregateTree(DW): %v", err)
+	}
+	if height != 2 {
+		t.Errorf("height = %d", height)
+	}
+	oracle := workload.NewOracle(p.WindowLength)
+	for _, ev := range events {
+		oracle.AddEvent(ev)
+	}
+	l1 := float64(oracle.Total(p.WindowLength))
+	bound := core.HierarchicalPointErrorBound(root.EffectiveSplit(), height)
+	for k := uint64(0); k < 50; k++ {
+		got := root.Estimate(k, p.WindowLength)
+		want := float64(oracle.Freq(k, p.WindowLength))
+		if math.Abs(got-want) > bound*l1+1 {
+			t.Errorf("DW root Estimate(%d)=%v true=%v", k, got, want)
+		}
+	}
+}
+
+func TestClusterReuseAfterWait(t *testing.T) {
+	// A cluster can ingest several batches: Start/Feed/Wait cycles compose.
+	p := testParams()
+	cluster, err := NewCluster(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := genEvents(t, 2000, 2)
+	batch2 := genEvents(t, 2000, 2)
+	cluster.IngestAll(batch1)
+	cluster.IngestAll(batch2)
+	var total uint64
+	for _, s := range cluster.Sites() {
+		total += s.Count()
+	}
+	if total != 4000 {
+		t.Errorf("sites hold %d events, want 4000", total)
+	}
+}
+
+func TestCentralizedBaselineMatchesSingleSite(t *testing.T) {
+	p := testParams()
+	events := genEvents(t, 5000, 1)
+	central, err := CentralizedBaseline(p, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	site := cluster.Sites()[0]
+	for k := uint64(0); k < 100; k++ {
+		if a, b := central.Estimate(k, p.WindowLength), site.Estimate(k, p.WindowLength); a != b {
+			t.Fatalf("Estimate(%d): central=%v site=%v", k, a, b)
+		}
+	}
+}
+
+func TestRWClusterSaltsDistinct(t *testing.T) {
+	// Randomized-wave sites must not share identifier salts, or merged
+	// union counts would collapse duplicates that are distinct events.
+	p := testParams()
+	p.Algorithm = window.AlgoRW
+	p.Epsilon = 0.25
+	p.UpperBound = 10000
+	cluster, err := NewCluster(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every site sees the same key at the same ticks: a salt collision
+	// would make merged estimates ≈ one site's worth instead of three.
+	cluster.Start()
+	for i := 0; i < 900; i++ {
+		cluster.Feed(workload.Event{Key: 5, Time: Tick(i/3 + 1), Site: i % 3})
+	}
+	cluster.Wait(300)
+	root, _, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := root.Estimate(5, p.WindowLength)
+	if got < 600 {
+		t.Errorf("merged RW estimate %v, want ≈900 (salt collision collapses to ≈300)", got)
+	}
+}

@@ -1,0 +1,226 @@
+package distrib
+
+import (
+	"math"
+	"testing"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+	"ecmsketch/internal/workload"
+)
+
+func testParams() core.Params {
+	return core.Params{
+		Epsilon:      0.1,
+		Delta:        0.1,
+		WindowLength: 50000,
+		Seed:         99,
+	}
+}
+
+func genEvents(t *testing.T, n, sites int) []workload.Event {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.Config{
+		Events: n, Duration: 40000, KeyDomain: 2000, Skew: 1.0,
+		Sites: sites, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Drain()
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(testParams(), 0); err == nil {
+		t.Error("0 sites accepted")
+	}
+	bad := testParams()
+	bad.Epsilon = 0
+	if _, err := NewCluster(bad, 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestClusterIngestAndAggregate(t *testing.T) {
+	events := genEvents(t, 20000, 8)
+	cluster, err := NewCluster(testParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := cluster.IngestAll(events)
+	oracle := workload.NewOracle(50000)
+	for _, ev := range events {
+		oracle.AddEvent(ev)
+	}
+	root, height, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatalf("AggregateTree: %v", err)
+	}
+	if height != 3 {
+		t.Errorf("tree height = %d, want 3 for 8 sites", height)
+	}
+	if root.Now() != now {
+		t.Errorf("root Now = %d, want %d", root.Now(), now)
+	}
+	// Root estimates within the hierarchical bound of the union truth.
+	bound := core.HierarchicalPointErrorBound(root.EffectiveSplit(), height)
+	l1 := float64(oracle.Total(50000))
+	for k := uint64(0); k < 100; k++ {
+		got := root.Estimate(k, 50000)
+		want := float64(oracle.Freq(k, 50000))
+		if math.Abs(got-want) > bound*l1+1 {
+			t.Errorf("root Estimate(%d)=%v true=%v bound=%v", k, got, want, bound*l1)
+		}
+	}
+	// Total mass is preserved by order-preserving aggregation.
+	if root.Count() != uint64(len(events)) {
+		t.Errorf("root Count = %d, want %d", root.Count(), len(events))
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	events := genEvents(t, 5000, 4)
+	cluster, err := NewCluster(testParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	if cluster.Network().Bytes() != 0 {
+		t.Error("network charged before aggregation")
+	}
+	if _, _, err := cluster.AggregateTree(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves → 2 merges at level 0 (4 transfers) + 1 merge at level 1
+	// (2 transfers) = 6 messages.
+	if got := cluster.Network().Messages(); got != 6 {
+		t.Errorf("messages = %d, want 6", got)
+	}
+	if cluster.Network().Bytes() <= 0 {
+		t.Error("no bytes charged")
+	}
+}
+
+func TestOddSiteCount(t *testing.T) {
+	events := genEvents(t, 6000, 5)
+	cluster, err := NewCluster(testParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	root, height, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if height != 3 {
+		t.Errorf("height = %d, want 3 for 5 sites", height)
+	}
+	if root.Count() != uint64(len(events)) {
+		t.Errorf("root Count = %d, want %d", root.Count(), len(events))
+	}
+}
+
+func TestSingleSiteAggregation(t *testing.T) {
+	events := genEvents(t, 3000, 1)
+	cluster, err := NewCluster(testParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	root, height, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if height != 0 {
+		t.Errorf("height = %d, want 0", height)
+	}
+	if cluster.Network().Bytes() != 0 {
+		t.Error("single site charged network bytes")
+	}
+	if root.Count() != uint64(len(events)) {
+		t.Error("root is not the site sketch")
+	}
+}
+
+func TestDistributedVsCentralized(t *testing.T) {
+	// Table 4's structure: distributed aggregation loses little accuracy
+	// compared to a centralized sketch over the same stream.
+	events := genEvents(t, 30000, 16)
+	p := testParams()
+	cluster, err := NewCluster(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.IngestAll(events)
+	root, _, err := cluster.AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := CentralizedBaseline(p, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := workload.NewOracle(p.WindowLength)
+	for _, ev := range events {
+		oracle.AddEvent(ev)
+	}
+	l1 := float64(oracle.Total(p.WindowLength))
+	var errC, errD float64
+	n := 0
+	for k := uint64(0); k < 200; k++ {
+		want := float64(oracle.Freq(k, p.WindowLength))
+		errC += math.Abs(central.Estimate(k, p.WindowLength)-want) / l1
+		errD += math.Abs(root.Estimate(k, p.WindowLength)-want) / l1
+		n++
+	}
+	errC /= float64(n)
+	errD /= float64(n)
+	t.Logf("centralized=%.5f distributed=%.5f ratio=%.3f", errC, errD, errD/math.Max(errC, 1e-12))
+	// Distributed error can exceed centralized, but must stay far below the
+	// analytic worst case (paper: ratio ≈ 1.0–1.25 observed vs 3× bound).
+	if errD > 3*errC+0.01 {
+		t.Errorf("distributed error %.5f vastly exceeds centralized %.5f", errD, errC)
+	}
+}
+
+func TestRWClusterLosslessAndCostly(t *testing.T) {
+	// Fig. 5's structure: RW aggregation is lossless but ships an order of
+	// magnitude more bytes than EH.
+	p := testParams()
+	p.Epsilon = 0.2
+	p.UpperBound = 50000
+	events := genEvents(t, 10000, 4)
+
+	eh, err := NewCluster(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh.IngestAll(events)
+	if _, _, err := eh.AggregateTree(); err != nil {
+		t.Fatal(err)
+	}
+
+	prw := p
+	prw.Algorithm = window.AlgoRW
+	rw, err := NewCluster(prw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.IngestAll(events)
+	if _, _, err := rw.AggregateTree(); err != nil {
+		t.Fatal(err)
+	}
+	ehB, rwB := eh.Network().Bytes(), rw.Network().Bytes()
+	if rwB < 5*ehB {
+		t.Errorf("RW transferred %d bytes vs EH %d; expected ≥5× gap", rwB, ehB)
+	}
+}
+
+func TestTreeHeight(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 33: 6, 256: 8, 535: 10}
+	for n, want := range cases {
+		if got := TreeHeight(n); got != want {
+			t.Errorf("TreeHeight(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package dyadic layers a dyadic-range hierarchy over ECM-sketches to answer
+// the derived sliding-window queries of Section 6.1: finding frequent items
+// (heavy hitters) by group testing, range-count queries, and quantiles.
+//
+// The hierarchy keeps log₂|U| ECM-sketches: the i-th sketch summarizes the
+// stream projected onto dyadic ranges of length 2^i, i.e. an arrival x is
+// registered under key ⌊x/2^i⌋. Frequent-item detection then descends from
+// the coarsest ranges, pruning every subtree whose estimated count falls
+// below the threshold; range counts decompose any interval into O(log|U|)
+// dyadic pieces; quantiles follow a rank-guided root-to-leaf walk.
+package dyadic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+)
+
+// Tick re-exports the logical timestamp type.
+type Tick = window.Tick
+
+// Params configures a dyadic hierarchy.
+type Params struct {
+	// Sketch configures the per-level ECM-sketches. Its Delta is divided by
+	// 2·DomainBits across levels so the union bound of Theorem 5 holds.
+	Sketch core.Params
+	// DomainBits fixes the key universe U = [0, 2^DomainBits).
+	DomainBits int
+}
+
+// Hierarchy is a stack of ECM-sketches over dyadic aggregates of the key
+// domain. Level 0 summarizes individual items; level i summarizes ranges of
+// length 2^i.
+type Hierarchy struct {
+	levels []*core.Sketch
+	bits   int
+	params Params
+}
+
+// New constructs a dyadic hierarchy.
+func New(p Params) (*Hierarchy, error) {
+	if p.DomainBits <= 0 || p.DomainBits > 40 {
+		return nil, fmt.Errorf("dyadic: DomainBits must be in [1,40], got %d", p.DomainBits)
+	}
+	sp := p.Sketch
+	if sp.Delta > 0 {
+		sp.Delta = sp.Delta / float64(2*p.DomainBits)
+	}
+	h := &Hierarchy{bits: p.DomainBits, params: p}
+	for i := 0; i < p.DomainBits; i++ {
+		lp := sp
+		lp.Seed = sp.Seed + uint64(i)*0x9e3779b97f4a7c15
+		s, err := core.New(lp)
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+		h.levels = append(h.levels, s)
+	}
+	return h, nil
+}
+
+// DomainBits reports log₂ of the key universe size.
+func (h *Hierarchy) DomainBits() int { return h.bits }
+
+// Add registers one arrival of item x at tick t. x must lie in the domain.
+func (h *Hierarchy) Add(x uint64, t Tick) error {
+	if x >= uint64(1)<<uint(h.bits) {
+		return fmt.Errorf("dyadic: item %d outside domain of %d bits", x, h.bits)
+	}
+	for i, s := range h.levels {
+		s.Add(x>>uint(i), t)
+	}
+	return nil
+}
+
+// Advance moves every level's window forward to tick t.
+func (h *Hierarchy) Advance(t Tick) {
+	for _, s := range h.levels {
+		s.Advance(t)
+	}
+}
+
+// Now reports the latest tick observed.
+func (h *Hierarchy) Now() Tick { return h.levels[0].Now() }
+
+// EstimateItem estimates the frequency of item x within the last r ticks.
+func (h *Hierarchy) EstimateItem(x uint64, r Tick) float64 {
+	return h.levels[0].Estimate(x, r)
+}
+
+// EstimateTotal estimates ||a_r||₁ from the level-0 sketch by row-averaging
+// (the estimator Section 6.1 recommends: per-cell window errors cancel
+// within a row, so no auxiliary synopsis is needed).
+func (h *Hierarchy) EstimateTotal(r Tick) float64 {
+	return h.levels[0].EstimateTotal(r)
+}
+
+// Item is a frequent-item report.
+type Item struct {
+	Key      uint64
+	Estimate float64
+}
+
+// HeavyHitters returns every item whose estimated frequency within the last
+// r ticks is at least phi·||a_r||₁, for a relative threshold phi ∈ (0,1).
+// Per Theorem 5, every item with true frequency ≥ (φ+ε)·||a_r||₁ is
+// reported, and with probability 1-δ no item below φ·||a_r||₁ is reported.
+func (h *Hierarchy) HeavyHitters(phi float64, r Tick) ([]Item, error) {
+	if !(phi > 0 && phi < 1) {
+		return nil, fmt.Errorf("dyadic: phi must be in (0,1), got %v", phi)
+	}
+	total := h.EstimateTotal(r)
+	if total == 0 {
+		return nil, nil // empty window: nothing can be frequent
+	}
+	return h.HeavyHittersAbs(phi*total, r)
+}
+
+// HeavyHittersAbs returns every item whose estimated frequency within the
+// last r ticks is at least threshold (an absolute count), via group-testing
+// descent over the dyadic levels.
+func (h *Hierarchy) HeavyHittersAbs(threshold float64, r Tick) ([]Item, error) {
+	if threshold <= 0 {
+		return nil, errors.New("dyadic: threshold must be positive")
+	}
+	var out []Item
+	top := h.bits - 1
+	// Two ranges cover the domain at the coarsest stored level.
+	var walk func(level int, prefix uint64)
+	walk = func(level int, prefix uint64) {
+		est := h.levels[level].Estimate(prefix, r)
+		if est < threshold {
+			return // no item below this range can reach the threshold
+		}
+		if level == 0 {
+			out = append(out, Item{Key: prefix, Estimate: est})
+			return
+		}
+		walk(level-1, prefix<<1)
+		walk(level-1, prefix<<1|1)
+	}
+	walk(top, 0)
+	walk(top, 1)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out, nil
+}
+
+// RangeCount estimates the number of arrivals with keys in [lo, hi]
+// (inclusive) within the last r ticks by summing the canonical dyadic
+// decomposition of the interval — at most 2·log|U| sketch queries.
+func (h *Hierarchy) RangeCount(lo, hi uint64, r Tick) (float64, error) {
+	max := uint64(1)<<uint(h.bits) - 1
+	if lo > hi || hi > max {
+		return 0, fmt.Errorf("dyadic: invalid range [%d,%d] in %d-bit domain", lo, hi, h.bits)
+	}
+	var sum float64
+	for lo <= hi {
+		// The largest dyadic block starting at lo that fits inside [lo,hi].
+		level := 0
+		for level < h.bits-1 {
+			next := level + 1
+			if lo&(uint64(1)<<uint(next)-1) != 0 {
+				break // lo not aligned to the next block size
+			}
+			if lo+uint64(1)<<uint(next)-1 > hi {
+				break // next block overshoots hi
+			}
+			level = next
+		}
+		sum += h.levels[level].Estimate(lo>>uint(level), r)
+		blockEnd := lo + uint64(1)<<uint(level) - 1
+		if blockEnd == max {
+			break
+		}
+		lo = blockEnd + 1
+	}
+	return sum, nil
+}
+
+// Quantile returns the approximate q-quantile (q ∈ [0,1]) of the item
+// distribution within the last r ticks: the smallest key whose prefix range
+// [0, key] holds at least q·||a_r||₁ arrivals. The walk descends the dyadic
+// tree comparing the remaining rank against the left child's estimate.
+func (h *Hierarchy) Quantile(q float64, r Tick) (uint64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("dyadic: quantile must be in [0,1], got %v", q)
+	}
+	total := h.EstimateTotal(r)
+	if total == 0 {
+		return 0, errors.New("dyadic: empty window")
+	}
+	rank := q * total
+	var prefix uint64
+	// Choose the top-level half first.
+	left := h.levels[h.bits-1].Estimate(0, r)
+	if rank > left {
+		rank -= left
+		prefix = 1
+	}
+	for level := h.bits - 1; level > 0; level-- {
+		l := h.levels[level-1].Estimate(prefix<<1, r)
+		if rank <= l {
+			prefix = prefix << 1
+		} else {
+			rank -= l
+			prefix = prefix<<1 | 1
+		}
+	}
+	return prefix, nil
+}
+
+// Quantiles evaluates several quantiles in one pass.
+func (h *Hierarchy) Quantiles(qs []float64, r Tick) ([]uint64, error) {
+	out := make([]uint64, len(qs))
+	for i, q := range qs {
+		v, err := h.Quantile(q, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MemoryBytes reports the footprint across all levels.
+func (h *Hierarchy) MemoryBytes() int {
+	n := 0
+	for _, s := range h.levels {
+		n += s.MemoryBytes()
+	}
+	return n
+}
+
+// Merge aggregates hierarchies built at distributed sites level by level
+// (order-preserving, Section 5.3 applied per level). All inputs must share
+// configuration.
+func Merge(inputs ...*Hierarchy) (*Hierarchy, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("dyadic: Merge requires at least one input")
+	}
+	first := inputs[0]
+	for i, in := range inputs[1:] {
+		if in == nil || in.bits != first.bits {
+			return nil, fmt.Errorf("dyadic: Merge input %d incompatible", i+1)
+		}
+	}
+	out := &Hierarchy{bits: first.bits, params: first.params}
+	for lvl := 0; lvl < first.bits; lvl++ {
+		ins := make([]*core.Sketch, len(inputs))
+		for k, in := range inputs {
+			ins[k] = in.levels[lvl]
+		}
+		m, err := core.Merge(ins...)
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", lvl, err)
+		}
+		out.levels = append(out.levels, m)
+	}
+	return out, nil
+}

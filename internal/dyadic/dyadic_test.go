@@ -1,0 +1,313 @@
+package dyadic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+)
+
+func testParams(bits int, eps float64) Params {
+	return Params{
+		Sketch: core.Params{
+			Epsilon:      eps,
+			Delta:        0.1,
+			WindowLength: 2000,
+			Seed:         11,
+		},
+		DomainBits: bits,
+	}
+}
+
+func mustHierarchy(t *testing.T, p Params) *Hierarchy {
+	t.Helper()
+	h, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{DomainBits: 0}); err == nil {
+		t.Error("DomainBits 0 accepted")
+	}
+	if _, err := New(Params{DomainBits: 64}); err == nil {
+		t.Error("DomainBits 64 accepted")
+	}
+	p := testParams(8, 0.1)
+	p.Sketch.Epsilon = 0
+	if _, err := New(p); err == nil {
+		t.Error("invalid sketch params accepted")
+	}
+}
+
+func TestAddRejectsOutOfDomain(t *testing.T) {
+	h := mustHierarchy(t, testParams(4, 0.1))
+	if err := h.Add(16, 1); err == nil {
+		t.Error("item 16 accepted in a 4-bit domain")
+	}
+	if err := h.Add(15, 1); err != nil {
+		t.Errorf("item 15 rejected: %v", err)
+	}
+}
+
+// skewedStream feeds a stream where a few keys dominate, and returns the
+// exact windowed frequencies.
+func skewedStream(t *testing.T, h *Hierarchy, events int, seed int64) (map[uint64]uint64, Tick, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	freq := map[uint64]uint64{}
+	domain := uint64(1) << uint(h.bits)
+	var now Tick
+	var total uint64
+	for i := 0; i < events; i++ {
+		var k uint64
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // 40%: key 3
+			k = 3 % domain
+		case 4, 5: // 20%: key 100
+			k = 100 % domain
+		default: // 40%: uniform tail
+			k = rng.Uint64() % domain
+		}
+		now++
+		if err := h.Add(k, now); err != nil {
+			t.Fatal(err)
+		}
+		// The window never expires within this test (events ≤ window).
+		freq[k]++
+		total++
+	}
+	h.Advance(now)
+	return freq, now, total
+}
+
+func TestHeavyHittersFindDominantKeys(t *testing.T) {
+	h := mustHierarchy(t, testParams(10, 0.05))
+	freq, _, total := skewedStream(t, h, 1500, 5)
+	hits, err := h.HeavyHitters(0.1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]bool{}
+	for _, it := range hits {
+		found[it.Key] = true
+	}
+	// Keys at ~40% and ~20% of the stream must be reported.
+	for _, k := range []uint64{3, 100} {
+		if !found[k] {
+			t.Errorf("key %d (freq %d of %d) not reported as heavy hitter", k, freq[k], total)
+		}
+	}
+	// Nothing with a true frequency below (φ-ε)·total should appear.
+	for _, it := range hits {
+		if f := freq[it.Key]; float64(f) < (0.1-0.06)*float64(total) {
+			t.Errorf("spurious heavy hitter %d with true frequency %d of %d", it.Key, f, total)
+		}
+	}
+	// Results sorted by estimate, descending.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Estimate > hits[i-1].Estimate {
+			t.Error("heavy hitters not sorted by estimate")
+		}
+	}
+}
+
+func TestHeavyHittersValidation(t *testing.T) {
+	h := mustHierarchy(t, testParams(6, 0.1))
+	if _, err := h.HeavyHitters(0, 100); err == nil {
+		t.Error("phi 0 accepted")
+	}
+	if _, err := h.HeavyHitters(1, 100); err == nil {
+		t.Error("phi 1 accepted")
+	}
+	if _, err := h.HeavyHittersAbs(-1, 100); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestHeavyHittersRespectWindow(t *testing.T) {
+	// A key that was heavy long ago but silent recently must not be
+	// reported once the window slides past its reign.
+	p := testParams(8, 0.05)
+	p.Sketch.WindowLength = 100
+	h := mustHierarchy(t, p)
+	for i := Tick(1); i <= 80; i++ {
+		if err := h.Add(7, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := Tick(200); i <= 280; i++ {
+		if err := h.Add(9, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Advance(280)
+	hits, err := h.HeavyHitters(0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range hits {
+		if it.Key == 7 {
+			t.Error("expired key 7 reported as heavy hitter")
+		}
+	}
+	if len(hits) == 0 || hits[0].Key != 9 {
+		t.Errorf("current heavy key 9 not reported (got %v)", hits)
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	h := mustHierarchy(t, testParams(8, 0.05))
+	// Keys 0..255; add key k exactly k%4+1 times at distinct ticks.
+	var now Tick
+	truth := make([]uint64, 256)
+	for k := uint64(0); k < 256; k++ {
+		n := k%4 + 1
+		for j := uint64(0); j < n; j++ {
+			now++
+			if err := h.Add(k, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth[k] = n
+	}
+	h.Advance(now)
+	cases := [][2]uint64{{0, 255}, {0, 0}, {255, 255}, {10, 20}, {7, 200}, {128, 131}}
+	for _, c := range cases {
+		var want float64
+		for k := c[0]; k <= c[1]; k++ {
+			want += float64(truth[k])
+		}
+		got, err := h.RangeCount(c[0], c[1], 2000)
+		if err != nil {
+			t.Fatalf("RangeCount(%v): %v", c, err)
+		}
+		tol := 0.1*640 + 2 // ε per dyadic piece relative to ||a||₁=640
+		if math.Abs(got-want) > tol {
+			t.Errorf("RangeCount(%d,%d) = %v, want %v ± %v", c[0], c[1], got, want, tol)
+		}
+	}
+	if _, err := h.RangeCount(5, 3, 100); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := h.RangeCount(0, 256, 100); err == nil {
+		t.Error("out-of-domain range accepted")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	h := mustHierarchy(t, testParams(10, 0.05))
+	// Uniform keys 0..1023, one arrival each: the q-quantile is ≈ 1024·q.
+	var now Tick
+	for k := uint64(0); k < 1024; k++ {
+		now++
+		if err := h.Add(k, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Advance(now)
+	qs := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	got, err := h.Quantiles(qs, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want := q * 1024
+		if math.Abs(float64(got[i])-want) > 0.1*1024 {
+			t.Errorf("Quantile(%v) = %d, want ≈ %v", q, got[i], want)
+		}
+	}
+	if _, err := h.Quantile(-0.1, 100); err == nil {
+		t.Error("negative quantile accepted")
+	}
+	if _, err := h.Quantile(1.5, 100); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+}
+
+func TestQuantileEmptyWindow(t *testing.T) {
+	h := mustHierarchy(t, testParams(6, 0.1))
+	if _, err := h.Quantile(0.5, 100); err == nil {
+		t.Error("quantile over empty window succeeded")
+	}
+}
+
+func TestHierarchyMerge(t *testing.T) {
+	p := testParams(8, 0.05)
+	a := mustHierarchy(t, p)
+	b := mustHierarchy(t, p)
+	union := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(9))
+	var now Tick
+	for i := 0; i < 1200; i++ {
+		now++
+		k := uint64(rng.Intn(50))
+		if i%10 < 4 {
+			k = 5 // 40% heavy key
+		}
+		tgt := a
+		if rng.Intn(2) == 0 {
+			tgt = b
+		}
+		if err := tgt.Add(k, now); err != nil {
+			t.Fatal(err)
+		}
+		union[k]++
+	}
+	a.Advance(now)
+	b.Advance(now)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	hits, err := m.HeavyHitters(0.2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Key != 5 {
+		t.Errorf("merged hierarchy missed global heavy hitter 5: %v", hits)
+	}
+	// Merged estimate of the heavy key close to the union truth.
+	got := m.EstimateItem(5, 2000)
+	want := float64(union[5])
+	if math.Abs(got-want) > 0.25*want+2 {
+		t.Errorf("merged EstimateItem(5) = %v, union truth %v", got, want)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("Merge of nothing accepted")
+	}
+	a := mustHierarchy(t, testParams(8, 0.1))
+	b := mustHierarchy(t, testParams(6, 0.1))
+	if _, err := Merge(a, b); err == nil {
+		t.Error("Merge of different domains accepted")
+	}
+}
+
+func TestMemoryScalesWithLevels(t *testing.T) {
+	small := mustHierarchy(t, testParams(4, 0.1))
+	large := mustHierarchy(t, testParams(16, 0.1))
+	if small.MemoryBytes() >= large.MemoryBytes() {
+		t.Errorf("4-bit hierarchy (%dB) not smaller than 16-bit (%dB)",
+			small.MemoryBytes(), large.MemoryBytes())
+	}
+	if small.DomainBits() != 4 || large.DomainBits() != 16 {
+		t.Error("DomainBits mismatch")
+	}
+}
+
+func TestHierarchyCountBasedRejectsMerge(t *testing.T) {
+	p := testParams(6, 0.1)
+	p.Sketch.Model = window.CountBased
+	a := mustHierarchy(t, p)
+	b := mustHierarchy(t, p)
+	if _, err := Merge(a, b); err == nil {
+		t.Error("Merge of count-based hierarchies accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package dyadic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ecmsketch/internal/core"
+)
+
+const wireHierarchy byte = 0xD7
+
+// Marshal encodes the hierarchy: domain size followed by each level's
+// ECM-sketch encoding, length-prefixed. A serialized hierarchy lets
+// distributed sites ship their dyadic stacks to an aggregator that merges
+// them level by level (see Merge) without sharing memory.
+func (h *Hierarchy) Marshal() []byte {
+	var out []byte
+	out = append(out, wireHierarchy)
+	out = binary.AppendUvarint(out, uint64(h.bits))
+	for _, s := range h.levels {
+		enc := s.Marshal()
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a hierarchy from Marshal output. The decoded
+// hierarchy answers every query identically to the encoded one and remains
+// mergeable with its lineage.
+func Unmarshal(b []byte) (*Hierarchy, error) {
+	if len(b) == 0 || b[0] != wireHierarchy {
+		return nil, errors.New("dyadic: not a hierarchy encoding")
+	}
+	off := 1
+	bits, n := binary.Uvarint(b[off:])
+	if n <= 0 || bits == 0 || bits > 40 {
+		return nil, fmt.Errorf("dyadic: corrupt domain bits %d", bits)
+	}
+	off += n
+	h := &Hierarchy{bits: int(bits)}
+	for i := 0; i < int(bits); i++ {
+		ln, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return nil, errors.New("dyadic: truncated encoding")
+		}
+		off += n
+		if ln > uint64(len(b)-off) {
+			return nil, errors.New("dyadic: truncated level encoding")
+		}
+		s, err := core.Unmarshal(b[off : off+int(ln)])
+		if err != nil {
+			return nil, fmt.Errorf("dyadic: level %d: %w", i, err)
+		}
+		off += int(ln)
+		h.levels = append(h.levels, s)
+	}
+	return h, nil
+}

@@ -1,0 +1,110 @@
+package dyadic
+
+import (
+	"testing"
+)
+
+func TestHierarchyMarshalRoundTrip(t *testing.T) {
+	h := mustHierarchy(t, testParams(10, 0.05))
+	var now Tick
+	for i := 0; i < 800; i++ {
+		now++
+		key := uint64(i % 300)
+		if i%4 == 0 {
+			key = 42
+		}
+		if err := h.Add(key, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Advance(now)
+	dec, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if dec.DomainBits() != 10 {
+		t.Errorf("DomainBits = %d", dec.DomainBits())
+	}
+	for k := uint64(0); k < 300; k++ {
+		if a, b := h.EstimateItem(k, 2000), dec.EstimateItem(k, 2000); a != b {
+			t.Fatalf("EstimateItem(%d) changed: %v vs %v", k, a, b)
+		}
+	}
+	hh1, err := h.HeavyHitters(0.1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh2, err := dec.HeavyHitters(0.1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh1) != len(hh2) {
+		t.Fatalf("heavy hitters differ: %v vs %v", hh1, hh2)
+	}
+	for i := range hh1 {
+		if hh1[i] != hh2[i] {
+			t.Fatalf("heavy hitter %d differs: %v vs %v", i, hh1[i], hh2[i])
+		}
+	}
+}
+
+func TestHierarchyUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Unmarshal([]byte{0x00}); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	if _, err := Unmarshal([]byte{wireHierarchy, 99}); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	h := mustHierarchy(t, testParams(6, 0.1))
+	if err := h.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	enc := h.Marshal()
+	for _, cut := range []int{1, 2, len(enc) / 2, len(enc) - 1} {
+		if _, err := Unmarshal(enc[:cut]); err == nil {
+			t.Errorf("truncation to %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodedHierarchiesMerge(t *testing.T) {
+	// The distributed heavy-hitter pipeline: sites serialize their stacks,
+	// the aggregator decodes and merges.
+	p := testParams(8, 0.05)
+	a := mustHierarchy(t, p)
+	b := mustHierarchy(t, p)
+	var now Tick
+	for i := 0; i < 600; i++ {
+		now++
+		if err := a.Add(uint64(i%40), now); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(7, now); err != nil { // site b hammers key 7
+			t.Fatal(err)
+		}
+	}
+	a.Advance(now)
+	b.Advance(now)
+	da, err := Unmarshal(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := m.HeavyHitters(0.3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Key != 7 {
+		t.Errorf("merged decoded hierarchies missed key 7: %v", hits)
+	}
+}

@@ -1,0 +1,150 @@
+package dyadic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ecmsketch/internal/core"
+)
+
+// Property tests on the dyadic machinery over arbitrary small streams.
+
+func quickHierarchy(bits int) (*Hierarchy, error) {
+	return New(Params{
+		Sketch: core.Params{
+			Epsilon:      0.05,
+			Delta:        0.1,
+			WindowLength: 1 << 20, // nothing expires within these tests
+			Seed:         31,
+		},
+		DomainBits: bits,
+	})
+}
+
+func TestQuickRangeCountConsistency(t *testing.T) {
+	// Property: RangeCount(lo,hi) ≈ Σ per-item estimates, and the full-range
+	// count ≈ total arrivals.
+	prop := func(keys []uint8, loRaw, hiRaw uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		h, err := quickHierarchy(8)
+		if err != nil {
+			return false
+		}
+		truth := make([]float64, 256)
+		var now Tick
+		for _, k := range keys {
+			now++
+			if err := h.Add(uint64(k), now); err != nil {
+				return false
+			}
+			truth[k]++
+		}
+		lo, hi := uint64(loRaw), uint64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got, err := h.RangeCount(lo, hi, 1<<20)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for k := lo; k <= hi; k++ {
+			want += truth[k]
+		}
+		n := float64(len(keys))
+		// Each dyadic piece carries ε relative to ‖a‖₁; ≤16 pieces in an
+		// 8-bit domain.
+		return got >= want-1 && got-want <= 0.05*n*16+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	// Property: quantiles are monotone in q.
+	prop := func(keys []uint8) bool {
+		if len(keys) < 4 {
+			return true
+		}
+		h, err := quickHierarchy(8)
+		if err != nil {
+			return false
+		}
+		var now Tick
+		for _, k := range keys {
+			now++
+			if err := h.Add(uint64(k), now); err != nil {
+				return false
+			}
+		}
+		qs, err := h.Quantiles([]float64{0.1, 0.3, 0.5, 0.7, 0.9}, 1<<20)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHeavyHittersContainTrueHeavies(t *testing.T) {
+	// Property (Theorem 5 side A): items above (φ+ε)·n are always reported.
+	prop := func(keys []uint8, hot uint8, extra uint8) bool {
+		h, err := quickHierarchy(8)
+		if err != nil {
+			return false
+		}
+		truth := make([]float64, 256)
+		var now Tick
+		add := func(k uint8) bool {
+			now++
+			if err := h.Add(uint64(k), now); err != nil {
+				return false
+			}
+			truth[k]++
+			return true
+		}
+		for _, k := range keys {
+			if !add(k) {
+				return false
+			}
+		}
+		// Force one genuinely heavy item: at least half the stream.
+		for i := 0; i <= len(keys)+int(extra%16); i++ {
+			if !add(hot) {
+				return false
+			}
+		}
+		var n float64
+		for _, c := range truth {
+			n += c
+		}
+		const phi = 0.3
+		hits, err := h.HeavyHitters(phi, 1<<20)
+		if err != nil {
+			return false
+		}
+		reported := map[uint64]bool{}
+		for _, it := range hits {
+			reported[it.Key] = true
+		}
+		for k := 0; k < 256; k++ {
+			if truth[k] >= (phi+0.05)*n && !reported[uint64(k)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 7) on the synthetic stand-ins for the wc'98 and snmp
+// traces. Each experiment is a pure function from a Dataset and parameters
+// to structured result rows, shared by the ecmbench command and the
+// bench_test.go benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"ecmsketch/internal/window"
+	"ecmsketch/internal/workload"
+)
+
+// Tick re-exports the logical timestamp type.
+type Tick = window.Tick
+
+// Dataset is a fully materialized evaluation stream with its exact oracle.
+type Dataset struct {
+	Name   string
+	Events []workload.Event
+	// Window is the monitored sliding-window length (the paper uses 10⁶
+	// seconds ≈ 11.5 days of the 92-day wc'98 trace).
+	Window Tick
+	// Duration is the tick span of the stream.
+	Duration Tick
+	// Sites is the native site count of the trace (33 wc'98 servers, 535
+	// snmp APs).
+	Sites int
+	// Oracle holds the exact sliding-window statistics.
+	Oracle *workload.Oracle
+	// UpperBound is u(N,S) for wave-based sketches.
+	UpperBound uint64
+}
+
+// Scale multiplies the default event counts; 1 is the standard laptop-scale
+// run used by ecmbench, smaller fractions are used by unit benchmarks.
+type Scale struct {
+	Events int
+}
+
+// DefaultScale is the event count used by full ecmbench runs.
+const DefaultScale = 400000
+
+// LoadWC98 materializes the wc'98-like dataset. The stream spans 2·10⁶ ticks
+// with a 10⁶-tick sliding window, mirroring the paper's ratio of window to
+// trace length.
+func LoadWC98(events int) (Dataset, error) {
+	return load("wc98", events, func(n int, dur Tick) (*workload.Generator, error) {
+		return workload.WorldCup98Like(n, dur, 9802)
+	}, 33)
+}
+
+// LoadSNMP materializes the snmp-like dataset.
+func LoadSNMP(events int) (Dataset, error) {
+	return load("snmp", events, func(n int, dur Tick) (*workload.Generator, error) {
+		return workload.SNMPLike(n, dur, 535)
+	}, 535)
+}
+
+func load(name string, events int, mk func(int, Tick) (*workload.Generator, error), sites int) (Dataset, error) {
+	if events <= 0 {
+		events = DefaultScale
+	}
+	duration := Tick(2_000_000)
+	g, err := mk(events, duration)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("experiments: loading %s: %w", name, err)
+	}
+	evs := g.Drain()
+	win := duration / 2
+	oracle := workload.NewOracle(win)
+	for _, ev := range evs {
+		oracle.AddEvent(ev)
+	}
+	return Dataset{
+		Name:       name,
+		Events:     evs,
+		Window:     win,
+		Duration:   duration,
+		Sites:      sites,
+		Oracle:     oracle,
+		UpperBound: uint64(events), // conservative, as the paper recommends
+	}, nil
+}
+
+// QueryRanges returns the paper's exponentially growing query ranges
+// [t−10^i, t], capped at the window length.
+func (d Dataset) QueryRanges() []Tick {
+	var out []Tick
+	for r := Tick(10); r < d.Window; r *= 10 {
+		out = append(out, r)
+	}
+	return append(out, d.Window)
+}

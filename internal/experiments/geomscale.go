@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/geom"
+	"ecmsketch/internal/window"
+)
+
+// GeomScaleRow is one point of the geometric-monitoring scaling study: the
+// communication spent by the protocol at a given site count, with and
+// without the balancing optimization.
+type GeomScaleRow struct {
+	Dataset   string
+	Sites     int
+	Balancing bool
+	Syncs     int
+	Balances  int
+	BytesSent int
+	Naive     int
+	Savings   float64
+}
+
+// RunGeometricScaling monitors the dataset's self-join across growing site
+// counts, quantifying how the geometric method's communication scales and
+// what balancing buys as the deployment grows (the regime Sharfman et al.
+// designed it for: one site's burst cancels against its peers).
+func RunGeometricScaling(ds Dataset, siteCounts []int, balancing []bool, maxEvents int) ([]GeomScaleRow, error) {
+	if maxEvents <= 0 || maxEvents > len(ds.Events) {
+		maxEvents = len(ds.Events)
+	}
+	var rows []GeomScaleRow
+	for _, n := range siteCounts {
+		for _, bal := range balancing {
+			// Threshold at the per-site average scale, just above the
+			// stream's operating point so violations occur but crossings
+			// are rare.
+			oracleSJ := ds.Oracle.SelfJoin(ds.Window)
+			threshold := 1.5 * oracleSJ / float64(n*n)
+			cfg := geom.Config{
+				Sketch: core.Params{
+					Epsilon:      0.2,
+					Delta:        0.2,
+					Query:        core.InnerProductQuery,
+					WindowLength: ds.Window,
+					UpperBound:   ds.UpperBound,
+					Seed:         55,
+				},
+				Function:   geom.SelfJoinFn{},
+				Threshold:  threshold,
+				CheckEvery: 16,
+				Balancing:  bal,
+			}
+			m, err := geom.NewMonitor(cfg, n)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < maxEvents; i++ {
+				ev := ds.Events[i]
+				if _, err := m.Update(ev.Site%n, ev.Key, ev.Time); err != nil {
+					return nil, err
+				}
+			}
+			st := m.Stats()
+			naive := m.NaiveSyncBytes()
+			row := GeomScaleRow{
+				Dataset:   ds.Name,
+				Sites:     n,
+				Balancing: bal,
+				Syncs:     st.Syncs,
+				Balances:  st.BalanceSuccesses,
+				BytesSent: st.BytesSent,
+				Naive:     naive,
+			}
+			if st.BytesSent > 0 {
+				row.Savings = float64(naive) / float64(st.BytesSent)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintGeomScaling renders the scaling rows.
+func PrintGeomScaling(w io.Writer, rows []GeomScaleRow) {
+	fmt.Fprintf(w, "%-6s %6s %10s %6s %9s %12s %12s %9s\n",
+		"data", "sites", "balancing", "syncs", "balances", "sent(B)", "naive(B)", "savings")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %6d %10v %6d %9d %12d %12d %8.1fx\n",
+			r.Dataset, r.Sites, r.Balancing, r.Syncs, r.Balances, r.BytesSent, r.Naive, r.Savings)
+	}
+}
+
+// PlanRow compares hierarchical aggregation with and without per-level ε
+// planning (Section 5.1 multi-level analysis): planned sketches start
+// tighter so the root meets the user's target after h merge levels.
+type PlanRow struct {
+	Dataset  string
+	Strategy string // "planned" or "naive"
+	LevelEps float64
+	RootErr  float64
+	Bound    float64
+	Memory   int
+}
+
+// RunPlanAblation aggregates the dataset over its native tree twice: once
+// with sites configured at the target ε (naive — the root may exceed the
+// target in the worst case) and once with sites configured at
+// PlanLevelEpsilon(target, h) (planned — the root provably meets it).
+func RunPlanAblation(ds Dataset, target float64, maxKeys int) ([]PlanRow, error) {
+	h := treeHeightFor(ds.Sites)
+	var rows []PlanRow
+	for _, spec := range []struct {
+		name string
+		eps  float64
+	}{
+		{"naive", target},
+		{"planned", window.PlanLevelEpsilon(target, h)},
+	} {
+		row, err := runDistributedOnce(ds, window.AlgoEH, spec.eps, 0.1, ds.Sites, core.PointQuery, maxKeys)
+		if err != nil {
+			return nil, err
+		}
+		split := core.SplitPoint(spec.eps)
+		rows = append(rows, PlanRow{
+			Dataset:  ds.Name,
+			Strategy: spec.name,
+			LevelEps: spec.eps,
+			RootErr:  row.AvgErr,
+			Bound:    core.HierarchicalPointErrorBound(split, h),
+			Memory:   int(row.Transfer), // transfer tracks sketch size at this ε
+		})
+	}
+	return rows, nil
+}
+
+func treeHeightFor(n int) int {
+	h := 0
+	for size := 1; size < n; size <<= 1 {
+		h++
+	}
+	return h
+}
+
+// PrintPlanAblation renders the planning ablation rows.
+func PrintPlanAblation(w io.Writer, rows []PlanRow) {
+	fmt.Fprintf(w, "%-6s %-8s %10s %10s %10s %12s\n",
+		"data", "strategy", "level-eps", "root-err", "bound", "transfer(B)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-8s %10.4f %10.5f %10.5f %12d\n",
+			r.Dataset, r.Strategy, r.LevelEps, r.RootErr, r.Bound, r.Memory)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGeometricScaling(t *testing.T) {
+	ds := SubsetEvents(smallWC(t), 10000)
+	rows, err := RunGeometricScaling(ds, []int{2, 4}, []bool{false, true}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byKey := map[string]GeomScaleRow{}
+	for _, r := range rows {
+		if r.Syncs == 0 {
+			t.Errorf("%+v: no syncs at all", r)
+		}
+		if r.Savings < 1 {
+			t.Errorf("%+v: geometric method worse than naive", r)
+		}
+		key := "plain"
+		if r.Balancing {
+			key = "bal"
+		}
+		byKey[key+itoa(r.Sites)] = r
+	}
+	// Balancing must not increase global syncs.
+	for _, n := range []string{"2", "4"} {
+		if byKey["bal"+n].Syncs > byKey["plain"+n].Syncs {
+			t.Errorf("sites=%s: balancing increased syncs %d > %d",
+				n, byKey["bal"+n].Syncs, byKey["plain"+n].Syncs)
+		}
+	}
+	var sb strings.Builder
+	PrintGeomScaling(&sb, rows)
+	if !strings.Contains(sb.String(), "balancing") {
+		t.Error("printer output malformed")
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+func TestRunPlanAblation(t *testing.T) {
+	ds := SubsetEvents(smallWC(t), 15000)
+	rows, err := RunPlanAblation(ds, 0.15, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var naive, planned PlanRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "naive":
+			naive = r
+		case "planned":
+			planned = r
+		}
+	}
+	// Planning tightens the per-level ε below the target.
+	if planned.LevelEps >= naive.LevelEps {
+		t.Errorf("planned level ε %v not below target %v", planned.LevelEps, naive.LevelEps)
+	}
+	// The planned bound must meet the target; the naive bound exceeds it.
+	if planned.Bound > 0.15+1e-9 {
+		t.Errorf("planned bound %v exceeds target", planned.Bound)
+	}
+	if naive.Bound <= 0.15 {
+		t.Errorf("naive bound %v unexpectedly within target", naive.Bound)
+	}
+	// Observed root errors respect the planned bound.
+	if planned.RootErr > 0.15 {
+		t.Errorf("planned root error %v exceeds target", planned.RootErr)
+	}
+	// Tighter sketches cost more transfer.
+	if planned.Memory <= naive.Memory {
+		t.Errorf("planned transfer %d not above naive %d", planned.Memory, naive.Memory)
+	}
+	var sb strings.Builder
+	PrintPlanAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "planned") {
+		t.Error("printer output malformed")
+	}
+}
+
+func TestTreeHeightFor(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 1, 33: 6, 535: 10} {
+		if got := treeHeightFor(n); got != want {
+			t.Errorf("treeHeightFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

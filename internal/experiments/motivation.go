@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"ecmsketch/internal/cm"
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/window"
+)
+
+// MotivationRow quantifies the paper's premise (Section 1): a conventional
+// full-history Count-Min sketch cannot answer sliding-window queries — stale
+// arrivals never expire, so its estimates carry the entire expired mass of
+// each item — while the ECM-sketch tracks the window.
+type MotivationRow struct {
+	Summary string  // "full-history CM" or "ECM-EH"
+	Memory  int     // bytes
+	AvgErr  float64 // mean relative error vs windowed truth, over all items
+	MaxErr  float64
+	// StaleLeak is the diagnostic: over the items with the most expired
+	// mass, the fraction of that expired mass still visible in the
+	// estimate: (estimate − windowed truth) / expired. A full-history
+	// summary leaks ≈1.0; a windowed summary leaks ≈0.
+	StaleLeak float64
+}
+
+// RunMotivation ingests the dataset into both summaries and evaluates
+// whole-window point queries against the exact windowed oracle.
+func RunMotivation(ds Dataset, eps, delta float64, maxKeys int) ([]MotivationRow, error) {
+	plain, err := cm.New(cm.Params{Epsilon: eps, Delta: delta, Seed: 1234})
+	if err != nil {
+		return nil, err
+	}
+	ecm, err := newSketch(ds, window.AlgoEH, eps, delta, core.PointQuery)
+	if err != nil {
+		return nil, err
+	}
+	fullFreq := map[uint64]float64{}
+	var now Tick
+	for _, ev := range ds.Events {
+		plain.Add(ev.Key, 1)
+		ecm.Add(ev.Key, ev.Time)
+		fullFreq[ev.Key]++
+		now = ev.Time
+	}
+	ecm.Advance(now)
+
+	keys := ds.Oracle.Keys()
+	step := 1
+	if maxKeys > 0 && len(keys) > maxKeys {
+		step = len(keys) / maxKeys
+	}
+	l1 := float64(ds.Oracle.Total(ds.Window))
+
+	// Items ranked by expired mass (full-history count minus windowed
+	// count): where the two summaries must differ the most.
+	type staleKey struct {
+		key     uint64
+		expired float64
+	}
+	var stale []staleKey
+	for k, full := range fullFreq {
+		exp := full - float64(ds.Oracle.Freq(k, ds.Window))
+		if exp > 0 {
+			stale = append(stale, staleKey{k, exp})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].expired > stale[j].expired })
+	if len(stale) > 10 {
+		stale = stale[:10]
+	}
+
+	eval := func(est func(uint64) float64) MotivationRow {
+		var row MotivationRow
+		var sumErr float64
+		n := 0
+		for i := 0; i < len(keys); i += step {
+			k := keys[i]
+			want := float64(ds.Oracle.Freq(k, ds.Window))
+			e := math.Abs(est(k)-want) / l1
+			sumErr += e
+			if e > row.MaxErr {
+				row.MaxErr = e
+			}
+			n++
+		}
+		row.AvgErr = sumErr / float64(n)
+		// Aggregate leak over the top stale items: total excess estimate
+		// mass divided by total expired mass, so heavy items dominate and
+		// per-item collision noise cancels out.
+		var excess, expired float64
+		for _, sk := range stale {
+			want := float64(ds.Oracle.Freq(sk.key, ds.Window))
+			excess += est(sk.key) - want
+			expired += sk.expired
+		}
+		if expired > 0 {
+			row.StaleLeak = excess / expired
+		}
+		return row
+	}
+
+	cmRow := eval(func(k uint64) float64 { return float64(plain.Estimate(k)) })
+	cmRow.Summary = "full-history CM"
+	cmRow.Memory = plain.MemoryBytes()
+	ecmRow := eval(func(k uint64) float64 { return ecm.Estimate(k, ds.Window) })
+	ecmRow.Summary = "ECM-EH"
+	ecmRow.Memory = ecm.MemoryBytes()
+	return []MotivationRow{cmRow, ecmRow}, nil
+}

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runMonitored drives an identical stream through a monitor and returns its
+// final stats. Opposite-drift traffic: sites take turns being hot, so their
+// drifts naturally cancel — the regime balancing is designed for.
+func runMonitored(t *testing.T, balancing bool, seed int64) Stats {
+	t.Helper()
+	// The monitored function applies to the AVERAGE of the site vectors, so
+	// the threshold lives at the per-site scale: the stream's operating
+	// point is ≈2–4e3 here.
+	cfg := Config{
+		Sketch:     testSketchParams(),
+		Function:   SelfJoinFn{},
+		Threshold:  2000,
+		CheckEvery: 4,
+		Balancing:  balancing,
+	}
+	m, err := NewMonitor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var now Tick
+	for i := 0; i < 6000; i++ {
+		now++
+		// Alternating site-local bursts with a shared background.
+		site := (i / 50) % 4
+		key := uint64(rng.Intn(60))
+		if rng.Intn(3) == 0 {
+			key = uint64(100 + site) // per-site hot key
+		}
+		if _, err := m.Update(site, key, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Stats()
+}
+
+func TestBalancingReducesSyncs(t *testing.T) {
+	plain := runMonitored(t, false, 11)
+	balanced := runMonitored(t, true, 11)
+	if balanced.BalanceAttempts == 0 {
+		t.Fatal("balancing never attempted; stream did not trigger violations")
+	}
+	if balanced.BalanceSuccesses == 0 {
+		t.Error("balancing never succeeded")
+	}
+	// The optimization's purpose: most violations resolve without a global
+	// sync. (Bytes can tie at tiny site counts — a balance round among 4
+	// sites costs about as much as a sync of 4 sites; the savings scale
+	// with the site count.)
+	if balanced.Syncs*2 > plain.Syncs {
+		t.Errorf("balancing did not reduce syncs meaningfully: %d vs %d", balanced.Syncs, plain.Syncs)
+	}
+	t.Logf("plain: syncs=%d bytes=%d | balanced: syncs=%d bytes=%d attempts=%d successes=%d",
+		plain.Syncs, plain.BytesSent, balanced.Syncs, balanced.BytesSent,
+		balanced.BalanceAttempts, balanced.BalanceSuccesses)
+}
+
+func TestBalancingPreservesCorrectness(t *testing.T) {
+	// The protocol invariant must survive balancing: the recorded threshold
+	// side always matches the true global value.
+	cfg := Config{
+		Sketch:    testSketchParams(),
+		Function:  SelfJoinFn{},
+		Threshold: 1500,
+		Balancing: true,
+	}
+	m, err := NewMonitor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	var now Tick
+	for i := 0; i < 1500; i++ {
+		now++
+		key := uint64(rng.Intn(150))
+		if i > 700 && rng.Intn(3) == 0 {
+			key = 9
+		}
+		if _, err := m.Update(rng.Intn(3), key, now); err != nil {
+			t.Fatal(err)
+		}
+		gv := m.GlobalValue(now)
+		if (gv > cfg.Threshold) != m.Stats().ThresholdAbove {
+			t.Fatalf("step %d: global f=%v but monitor believes above=%v (balancing broke soundness)",
+				i, gv, m.Stats().ThresholdAbove)
+		}
+	}
+	if m.Stats().BalanceAttempts == 0 {
+		t.Log("note: no balance attempts in this run")
+	}
+}
+
+func TestBalancingDisabledByDefault(t *testing.T) {
+	st := runMonitored(t, false, 3)
+	if st.BalanceAttempts != 0 || st.BalanceSuccesses != 0 {
+		t.Errorf("balancing ran while disabled: %+v", st)
+	}
+}
+
+func TestBalanceSingleSiteFallsThrough(t *testing.T) {
+	cfg := Config{
+		Sketch:    testSketchParams(),
+		Function:  SelfJoinFn{},
+		Threshold: 100,
+		Balancing: true,
+	}
+	m, err := NewMonitor(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now Tick
+	for i := 0; i < 200; i++ {
+		now++
+		if _, err := m.Update(0, 1, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.BalanceSuccesses != 0 {
+		t.Error("single-site deployment cannot balance")
+	}
+	if !st.ThresholdAbove {
+		t.Error("crossing missed")
+	}
+}

@@ -1,0 +1,134 @@
+// Package geom implements the geometric method of Sharfman et al. for
+// continuous monitoring of threshold crossings of non-linear functions over
+// the average of distributed local statistics vectors — here, vectors
+// extracted from ECM-sketches, which is how Section 6.2 extends the method
+// to sliding-window streams.
+//
+// Each site tracks a drift vector u_i = e + Δv_i, where e is the global
+// estimate vector agreed at the last synchronization and Δv_i the site's
+// local change since then. The global statistics vector (the average of the
+// local vectors) is guaranteed to lie in the convex hull of the drift
+// vectors, and that hull is covered by the union of the spheres B(κ_i, α_i)
+// with κ_i = (e+u_i)/2 and α_i = ‖e−u_i‖/2. As long as the monitored
+// function stays on one side of the threshold over every sphere, no global
+// threshold crossing can have occurred and no communication is needed.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"ecmsketch/internal/cm"
+	"ecmsketch/internal/hashing"
+)
+
+// Function is a monitored function over extracted sketch vectors, together
+// with the closed-form extrema over a ball that the geometric method needs.
+type Function interface {
+	// Value evaluates the function at a vector.
+	Value(v *cm.Vector) float64
+	// BoundsOnBall returns lower and upper bounds of the function over the
+	// closed ball of the given radius centered at center. Bounds need not be
+	// tight, but must be sound: lo ≤ f(x) ≤ hi for every x in the ball.
+	BoundsOnBall(center *cm.Vector, radius float64) (lo, hi float64)
+	// Name identifies the function in logs and reports.
+	Name() string
+}
+
+// SelfJoinFn monitors the self-join (second frequency moment F₂) estimate of
+// the global sketch: f(v) = min_j Σ_i v[j,i]², the row-minimum of squared
+// row norms.
+//
+// Its extrema over a ball admit the closed form the paper alludes to: within
+// radius α of the center, each row's norm varies by at most α, so the row's
+// squared norm lies in [max(0,‖κ_j‖−α)², (‖κ_j‖+α)²]. The row-minimum of the
+// per-row lower bounds lower-bounds f, and the row-minimum of the upper
+// bounds upper-bounds it (min_x min_j g_j(x) = min_j min_x g_j(x), and
+// max_x min_j g_j(x) ≤ min_j max_x g_j(x)).
+type SelfJoinFn struct{}
+
+// Value evaluates the self-join estimate.
+func (SelfJoinFn) Value(v *cm.Vector) float64 { return v.SelfJoin() }
+
+// BoundsOnBall returns the self-join extrema over a ball.
+func (SelfJoinFn) BoundsOnBall(center *cm.Vector, radius float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(1)
+	for j := 0; j < center.D; j++ {
+		var norm2 float64
+		for i := 0; i < center.W; i++ {
+			c := center.Cells[j*center.W+i]
+			norm2 += c * c
+		}
+		norm := math.Sqrt(norm2)
+		rlo := norm - radius
+		if rlo < 0 {
+			rlo = 0
+		}
+		rhi := norm + radius
+		if v := rlo * rlo; v < lo {
+			lo = v
+		}
+		if v := rhi * rhi; v < hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Name identifies the function.
+func (SelfJoinFn) Name() string { return "self-join" }
+
+// PointFn monitors the frequency estimate of one item: f(v) = min_j
+// v[j, h_j(key)]. Within a ball of radius α each coordinate varies by at
+// most α, so the estimate varies within [f(κ) − α, f(κ) + α]. No clamping is
+// applied: drift vectors are differences and may carry negative cells.
+type PointFn struct {
+	fam *hashing.Family
+	key uint64
+}
+
+// NewPointFn builds a point-query monitor for the item key over sketches
+// whose Count-Min rows hash with fam.
+func NewPointFn(fam *hashing.Family, key uint64) *PointFn {
+	return &PointFn{fam: fam, key: key}
+}
+
+// Value evaluates the point estimate at a vector.
+func (p *PointFn) Value(v *cm.Vector) float64 {
+	est := math.Inf(1)
+	for j := 0; j < v.D; j++ {
+		if c := v.Cells[j*v.W+p.fam.Hash(j, p.key)]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// BoundsOnBall returns the point-estimate extrema over a ball.
+func (p *PointFn) BoundsOnBall(center *cm.Vector, radius float64) (lo, hi float64) {
+	v := p.Value(center)
+	return v - radius, v + radius
+}
+
+// Name identifies the function.
+func (p *PointFn) Name() string { return fmt.Sprintf("point(%d)", p.key) }
+
+// L2Fn monitors the Euclidean norm of the global vector; useful as a simple
+// sanity function in tests since its ball extrema are exact.
+type L2Fn struct{}
+
+// Value evaluates the norm.
+func (L2Fn) Value(v *cm.Vector) float64 { return v.Norm() }
+
+// BoundsOnBall returns the exact norm extrema over a ball.
+func (L2Fn) BoundsOnBall(center *cm.Vector, radius float64) (lo, hi float64) {
+	n := center.Norm()
+	lo = n - radius
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, n + radius
+}
+
+// Name identifies the function.
+func (L2Fn) Name() string { return "l2-norm" }

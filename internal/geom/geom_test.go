@@ -1,0 +1,303 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecmsketch/internal/cm"
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/hashing"
+)
+
+func testSketchParams() core.Params {
+	return core.Params{
+		Epsilon:      0.2,
+		Delta:        0.2,
+		WindowLength: 1000,
+		Seed:         21,
+	}
+}
+
+func TestSelfJoinFnBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fn := SelfJoinFn{}
+	for trial := 0; trial < 200; trial++ {
+		center := cm.NewVector(3, 8)
+		for i := range center.Cells {
+			center.Cells[i] = rng.Float64() * 10
+		}
+		radius := rng.Float64() * 5
+		lo, hi := fn.BoundsOnBall(center, radius)
+		// Sample points in the ball; all values must respect the bounds.
+		for probe := 0; probe < 30; probe++ {
+			p := center.Clone()
+			var norm2 float64
+			dir := make([]float64, len(p.Cells))
+			for i := range dir {
+				dir[i] = rng.NormFloat64()
+				norm2 += dir[i] * dir[i]
+			}
+			scale := rng.Float64() * radius / math.Sqrt(norm2)
+			for i := range p.Cells {
+				p.Cells[i] += dir[i] * scale
+			}
+			v := fn.Value(p)
+			if v < lo-1e-6 || v > hi+1e-6 {
+				t.Fatalf("self-join %v outside bounds [%v,%v] (radius %v)", v, lo, hi, radius)
+			}
+		}
+		if v := fn.Value(center); v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("center value %v outside its own bounds [%v,%v]", v, lo, hi)
+		}
+	}
+}
+
+func TestPointFnBoundsSound(t *testing.T) {
+	fam, err := hashing.NewFamily(5, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := NewPointFn(fam, 42)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		center := cm.NewVector(3, 16)
+		for i := range center.Cells {
+			center.Cells[i] = rng.Float64() * 20
+		}
+		radius := rng.Float64() * 3
+		lo, hi := fn.BoundsOnBall(center, radius)
+		for probe := 0; probe < 20; probe++ {
+			p := center.Clone()
+			for i := range p.Cells {
+				p.Cells[i] += (rng.Float64()*2 - 1) * radius / math.Sqrt(float64(len(p.Cells)))
+			}
+			v := fn.Value(p)
+			if v < lo-1e-6 || v > hi+1e-6 {
+				t.Fatalf("point estimate %v outside [%v,%v]", v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestL2FnBoundsExact(t *testing.T) {
+	v := cm.NewVector(1, 3)
+	copy(v.Cells, []float64{3, 4, 0})
+	lo, hi := L2Fn{}.BoundsOnBall(v, 2)
+	if lo != 3 || hi != 7 {
+		t.Errorf("L2 bounds = [%v,%v], want [3,7]", lo, hi)
+	}
+	lo, _ = L2Fn{}.BoundsOnBall(v, 10)
+	if lo != 0 {
+		t.Errorf("L2 lower bound = %v, want clamped 0", lo)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(Config{Function: SelfJoinFn{}, Sketch: testSketchParams()}, 0); err == nil {
+		t.Error("0 sites accepted")
+	}
+	if _, err := NewMonitor(Config{Sketch: testSketchParams()}, 2); err == nil {
+		t.Error("nil function accepted")
+	}
+	bad := testSketchParams()
+	bad.Epsilon = 0
+	if _, err := NewMonitor(Config{Function: SelfJoinFn{}, Sketch: bad}, 2); err == nil {
+		t.Error("invalid sketch params accepted")
+	}
+}
+
+func TestMonitorDetectsCrossing(t *testing.T) {
+	cfg := Config{
+		Sketch:    testSketchParams(),
+		Function:  SelfJoinFn{},
+		Threshold: 2000,
+	}
+	m, err := NewMonitor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a uniform trickle (low F₂), then hammer a single key so the
+	// global self-join explodes past the threshold.
+	var now Tick
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		now++
+		if _, err := m.Update(rng.Intn(4), uint64(rng.Intn(200)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().ThresholdAbove {
+		t.Fatalf("monitor already above threshold after uniform phase: f=%v", m.Stats().FunctionValue)
+	}
+	for i := 0; i < 600; i++ {
+		now++
+		if _, err := m.Update(rng.Intn(4), 7, now); err != nil { // one hot key
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if !st.ThresholdAbove {
+		t.Errorf("monitor missed the threshold crossing: f=%v, threshold=%v", st.FunctionValue, cfg.Threshold)
+	}
+	if st.Crossings == 0 {
+		t.Error("no crossing recorded")
+	}
+	if st.Syncs == 0 || st.BytesSent == 0 {
+		t.Error("no synchronization accounting recorded")
+	}
+}
+
+func TestMonitorSavesCommunication(t *testing.T) {
+	cfg := Config{
+		Sketch:     testSketchParams(),
+		Function:   SelfJoinFn{},
+		Threshold:  1e12, // far away: stable stream should rarely sync
+		CheckEvery: 1,
+	}
+	m, err := NewMonitor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var now Tick
+	for i := 0; i < 2000; i++ {
+		now++
+		if _, err := m.Update(rng.Intn(4), uint64(rng.Intn(100)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Syncs > 3 {
+		t.Errorf("stable stream far from threshold caused %d syncs, want ≤3", st.Syncs)
+	}
+	if naive := m.NaiveSyncBytes(); st.BytesSent >= naive/10 {
+		t.Errorf("geometric method sent %d bytes, naive %d; want ≥10× savings", st.BytesSent, naive)
+	}
+}
+
+func TestMonitorNoFalseNegatives(t *testing.T) {
+	// Soundness of the protocol: whenever all sites pass their sphere test,
+	// the true global function value is on the recorded side of the
+	// threshold. We verify by evaluating the global value out of band at
+	// every step.
+	cfg := Config{
+		Sketch:    testSketchParams(),
+		Function:  SelfJoinFn{},
+		Threshold: 1500,
+	}
+	m, err := NewMonitor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var now Tick
+	for i := 0; i < 1500; i++ {
+		now++
+		key := uint64(rng.Intn(150))
+		if i > 700 && rng.Intn(3) == 0 {
+			key = 9 // growing hot key drives F₂ upward through the threshold
+		}
+		if _, err := m.Update(rng.Intn(3), key, now); err != nil {
+			t.Fatal(err)
+		}
+		gv := m.GlobalValue(now)
+		side := gv > cfg.Threshold
+		if side != m.Stats().ThresholdAbove {
+			// A transient mismatch is only legitimate in the same Update
+			// step that triggers a sync; since Update syncs eagerly, the
+			// recorded side must always match the global value.
+			t.Fatalf("step %d: global f=%v (above=%v) but monitor believes above=%v",
+				i, gv, side, m.Stats().ThresholdAbove)
+		}
+	}
+}
+
+func TestMonitorPointFunction(t *testing.T) {
+	sp := testSketchParams()
+	probe, err := core.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := hashing.NewFamily(sp.Seed, probe.Depth(), probe.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Sketch:    sp,
+		Function:  NewPointFn(fam, 42),
+		Threshold: 50, // global average frequency of item 42
+	}
+	m, err := NewMonitor(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now Tick
+	for i := 0; i < 90; i++ { // 45 per site < threshold on the average
+		now++
+		if _, err := m.Update(i%2, 42, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().ThresholdAbove {
+		t.Errorf("average frequency 45 reported above threshold 50: f=%v", m.Stats().FunctionValue)
+	}
+	for i := 0; i < 60; i++ {
+		now++
+		if _, err := m.Update(i%2, 42, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Stats().ThresholdAbove {
+		t.Errorf("average frequency 75 not reported above threshold 50: f=%v", m.Stats().FunctionValue)
+	}
+}
+
+func TestMonitorAdvanceExpiresAndResyncs(t *testing.T) {
+	// After the hot period leaves the window, Advance must detect the
+	// downward crossing.
+	sp := testSketchParams()
+	sp.WindowLength = 200
+	cfg := Config{Sketch: sp, Function: SelfJoinFn{}, Threshold: 900}
+	m, err := NewMonitor(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now Tick
+	for i := 0; i < 200; i++ {
+		now++
+		if _, err := m.Update(i%2, 1, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Stats().ThresholdAbove {
+		t.Fatalf("hot key did not push F₂ above threshold: f=%v", m.Stats().FunctionValue)
+	}
+	m.Advance(now + 500) // slide far past the hot period
+	if m.Stats().ThresholdAbove {
+		t.Errorf("expired window still above threshold: f=%v", m.Stats().FunctionValue)
+	}
+}
+
+func TestMonitorCheckEveryThrottles(t *testing.T) {
+	mk := func(every int) Stats {
+		cfg := Config{Sketch: testSketchParams(), Function: SelfJoinFn{}, Threshold: 1e12, CheckEvery: every}
+		m, err := NewMonitor(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var now Tick
+		for i := 0; i < 500; i++ {
+			now++
+			if _, err := m.Update(i%2, uint64(i%50), now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Stats()
+	}
+	s1, s10 := mk(1), mk(10)
+	if s10.LocalChecks >= s1.LocalChecks {
+		t.Errorf("CheckEvery=10 performed %d checks, CheckEvery=1 %d; throttle ineffective",
+			s10.LocalChecks, s1.LocalChecks)
+	}
+}

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"math"
+
+	"ecmsketch/internal/cm"
+)
+
+// InnerProductFn monitors the inner product (join size) estimate between TWO
+// streams observed at every site: each site extracts the vectors of both of
+// its local sketches, and the monitored vector is their concatenation
+// [va ‖ vb]. The function is f(v) = min_j Σ_i va[j,i]·vb[j,i], the Section
+// 4.1 estimator evaluated on the averaged vectors.
+//
+// The paper lists closed-form sphere extrema beyond self-joins as ongoing
+// work ("we are still working on this problem"); this implementation ships
+// the bilinear bound: within radius α of κ = [κa ‖ κb], displacements
+// (da, db) satisfy ‖da‖²+‖db‖² ≤ α², so per row
+//
+//	|⟨xa,xb⟩ − ⟨κa,κb⟩| ≤ √(‖κa‖²+‖κb‖²)·α + α²/2,
+//
+// by Cauchy-Schwarz on the cross terms and AM-GM on ‖da‖‖db‖ ≤ α²/2. The
+// row-minimum of per-row bounds bounds the minimum estimator as in
+// SelfJoinFn.
+type InnerProductFn struct{}
+
+// Value evaluates the inner-product estimate on a concatenated vector. The
+// vector must have an even cell count: the first half is stream a, the
+// second stream b, with identical (D, W/2) layouts.
+func (InnerProductFn) Value(v *cm.Vector) float64 {
+	half := len(v.Cells) / 2
+	w := v.W / 2
+	best := math.Inf(1)
+	for j := 0; j < v.D; j++ {
+		var sum float64
+		for i := 0; i < w; i++ {
+			sum += v.Cells[j*w+i] * v.Cells[half+j*w+i]
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// BoundsOnBall returns sound inner-product extrema over a ball around the
+// concatenated center.
+func (InnerProductFn) BoundsOnBall(center *cm.Vector, radius float64) (lo, hi float64) {
+	half := len(center.Cells) / 2
+	w := center.W / 2
+	lo, hi = math.Inf(1), math.Inf(1)
+	for j := 0; j < center.D; j++ {
+		var dot, na2, nb2 float64
+		for i := 0; i < w; i++ {
+			a := center.Cells[j*w+i]
+			b := center.Cells[half+j*w+i]
+			dot += a * b
+			na2 += a * a
+			nb2 += b * b
+		}
+		slack := math.Sqrt(na2+nb2)*radius + radius*radius/2
+		if v := dot - slack; v < lo {
+			lo = v
+		}
+		if v := dot + slack; v < hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Name identifies the function.
+func (InnerProductFn) Name() string { return "inner-product" }
+
+// ConcatVectors builds the monitored [va ‖ vb] layout from two extracted
+// sketch vectors of identical shape.
+func ConcatVectors(va, vb *cm.Vector) *cm.Vector {
+	out := cm.NewVector(va.D, va.W*2)
+	copy(out.Cells[:len(va.Cells)], va.Cells)
+	copy(out.Cells[len(va.Cells):], vb.Cells)
+	return out
+}

@@ -1,0 +1,72 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecmsketch/internal/cm"
+)
+
+func TestInnerProductFnValue(t *testing.T) {
+	// Two 1x3 "sketches": a = [1,2,3], b = [4,5,6] → ⟨a,b⟩ = 32.
+	va := cm.NewVector(1, 3)
+	copy(va.Cells, []float64{1, 2, 3})
+	vb := cm.NewVector(1, 3)
+	copy(vb.Cells, []float64{4, 5, 6})
+	v := ConcatVectors(va, vb)
+	if got := (InnerProductFn{}).Value(v); got != 32 {
+		t.Errorf("Value = %v, want 32", got)
+	}
+}
+
+func TestInnerProductFnRowMin(t *testing.T) {
+	// Two rows: row 0 dot = 10, row 1 dot = 2 → min 2.
+	va := cm.NewVector(2, 2)
+	copy(va.Cells, []float64{1, 3, 1, 1})
+	vb := cm.NewVector(2, 2)
+	copy(vb.Cells, []float64{1, 3, 1, 1})
+	v := ConcatVectors(va, vb)
+	if got := (InnerProductFn{}).Value(v); got != 2 {
+		t.Errorf("Value = %v, want 2", got)
+	}
+}
+
+func TestInnerProductFnBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fn := InnerProductFn{}
+	for trial := 0; trial < 200; trial++ {
+		center := cm.NewVector(2, 12) // 2 rows × (6 cells per stream × 2)
+		for i := range center.Cells {
+			center.Cells[i] = rng.Float64()*8 - 1
+		}
+		radius := rng.Float64() * 4
+		lo, hi := fn.BoundsOnBall(center, radius)
+		if v := fn.Value(center); v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("center value %v outside its own bounds [%v,%v]", v, lo, hi)
+		}
+		for probe := 0; probe < 40; probe++ {
+			p := center.Clone()
+			dir := make([]float64, len(p.Cells))
+			var norm2 float64
+			for i := range dir {
+				dir[i] = rng.NormFloat64()
+				norm2 += dir[i] * dir[i]
+			}
+			scale := rng.Float64() * radius / math.Sqrt(norm2)
+			for i := range p.Cells {
+				p.Cells[i] += dir[i] * scale
+			}
+			v := fn.Value(p)
+			if v < lo-1e-6 || v > hi+1e-6 {
+				t.Fatalf("probe value %v outside bounds [%v,%v] (radius %v)", v, lo, hi, radius)
+			}
+		}
+	}
+}
+
+func TestInnerProductFnName(t *testing.T) {
+	if (InnerProductFn{}).Name() != "inner-product" {
+		t.Error("Name mismatch")
+	}
+}

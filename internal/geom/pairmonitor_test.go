@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairMonitorValidation(t *testing.T) {
+	if _, err := NewPairMonitor(Config{Sketch: testSketchParams()}, 0); err == nil {
+		t.Error("0 sites accepted")
+	}
+	bad := testSketchParams()
+	bad.Epsilon = 0
+	if _, err := NewPairMonitor(Config{Sketch: bad}, 2); err == nil {
+		t.Error("invalid sketch params accepted")
+	}
+	m, err := NewPairMonitor(Config{Sketch: testSketchParams(), Threshold: 1e9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(5, StreamA, 1, 1); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if _, err := m.Update(0, Stream(9), 1, 1); err == nil {
+		t.Error("bogus stream accepted")
+	}
+}
+
+func TestPairMonitorDetectsJoinGrowth(t *testing.T) {
+	// Streams a and b start disjoint (inner product ≈ collision noise,
+	// bounded by ε·‖a‖·‖b‖), then start sharing keys: the true join size
+	// explodes past the threshold.
+	cfg := Config{
+		Sketch:     testSketchParams(),
+		Threshold:  20000,
+		CheckEvery: 4,
+	}
+	m, err := NewPairMonitor(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now Tick
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 800; i++ { // disjoint phase: a gets keys <100, b keys ≥1000
+		now++
+		site := i % 2
+		if _, err := m.Update(site, StreamA, uint64(rng.Intn(100)), now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Update(site, StreamB, uint64(1000+rng.Intn(100)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().ThresholdAbove {
+		t.Fatalf("disjoint streams already above threshold: f=%v", m.Stats().FunctionValue)
+	}
+	for i := 0; i < 800; i++ { // overlap phase: both hammer key 7
+		now++
+		site := i % 2
+		if _, err := m.Update(site, StreamA, 7, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Update(site, StreamB, 7, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if !st.ThresholdAbove {
+		t.Errorf("join growth missed: f=%v threshold=%v", st.FunctionValue, cfg.Threshold)
+	}
+	if st.Crossings == 0 {
+		t.Error("no crossing recorded")
+	}
+}
+
+func TestPairMonitorSoundness(t *testing.T) {
+	// As for the single-stream monitor: whenever all sites stay silent, the
+	// recorded threshold side matches the true global value.
+	cfg := Config{Sketch: testSketchParams(), Threshold: 150}
+	m, err := NewPairMonitor(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	var now Tick
+	for i := 0; i < 600; i++ {
+		now++
+		site := rng.Intn(2)
+		keyA := uint64(rng.Intn(50))
+		keyB := uint64(rng.Intn(50)) // overlapping domains: join grows
+		if _, err := m.Update(site, StreamA, keyA, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Update(site, StreamB, keyB, now); err != nil {
+			t.Fatal(err)
+		}
+		gv := m.GlobalValue(now)
+		if (gv > cfg.Threshold) != m.Stats().ThresholdAbove {
+			t.Fatalf("step %d: global f=%v but monitor believes above=%v",
+				i, gv, m.Stats().ThresholdAbove)
+		}
+	}
+}
+
+func TestPairMonitorSavesCommunication(t *testing.T) {
+	cfg := Config{
+		Sketch:     testSketchParams(),
+		Threshold:  1e12,
+		CheckEvery: 2,
+	}
+	m, err := NewPairMonitor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var now Tick
+	for i := 0; i < 1500; i++ {
+		now++
+		if _, err := m.Update(rng.Intn(3), Stream(i%2), uint64(rng.Intn(200)), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Syncs > 3 {
+		t.Errorf("far-threshold stream caused %d syncs", st.Syncs)
+	}
+}

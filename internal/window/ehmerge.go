@@ -1,0 +1,149 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// replayEvent is one simulated insertion used when aggregating histograms:
+// n arrivals at tick t.
+type replayEvent struct {
+	t Tick
+	n uint64
+}
+
+// MergeEH performs the order-preserving aggregation EH⊕ = EH1 ⊕ ... ⊕ EHn of
+// Section 5.1 (Theorem 4). Each input bucket of size s is replayed into the
+// output histogram as ⌈s/2⌉ arrivals at the bucket's start tick and the
+// remaining arrivals at its end tick, in global tick order. If the inputs
+// were built with error ε and the output is configured with error ε′, the
+// merged histogram answers any suffix query with relative error at most
+// ε + ε′ + εε′.
+//
+// Only time-based histograms can be aggregated: count-based ones do not
+// retain the order of the zero bits of the combined stream (Figure 2 of the
+// paper), so MergeEH rejects them.
+func MergeEH(out Config, inputs ...*EH) (*EH, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("window: MergeEH requires at least one input")
+	}
+	if out.Model != TimeBased {
+		return nil, errors.New("window: order-preserving aggregation requires time-based windows")
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("window: MergeEH input %d is nil", i)
+		}
+		if in.cfg.Model != TimeBased {
+			return nil, fmt.Errorf("window: MergeEH input %d is %v; count-based exponential histograms cannot be aggregated", i, in.cfg.Model)
+		}
+	}
+	events := gatherReplayEvents(inputs, splitHalfHalf)
+	return replayIntoEH(out, events, maxNow(inputs))
+}
+
+// MergeEHEndpointOnly is the ablation variant of MergeEH that replays each
+// bucket's full size at its end tick instead of splitting it half/half across
+// the bucket boundaries. It has no bounded-error guarantee — Theorem 4's
+// proof relies on the half/half split — and exists to quantify what the
+// split buys (see BenchmarkAblationMergeReplay).
+func MergeEHEndpointOnly(out Config, inputs ...*EH) (*EH, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("window: MergeEHEndpointOnly requires at least one input")
+	}
+	if out.Model != TimeBased {
+		return nil, errors.New("window: order-preserving aggregation requires time-based windows")
+	}
+	events := gatherReplayEvents(inputs, splitEndpoint)
+	return replayIntoEH(out, events, maxNow(inputs))
+}
+
+// splitFunc distributes a bucket's size across its two boundary ticks.
+type splitFunc func(b Bucket) (atStart, atEnd uint64)
+
+func splitHalfHalf(b Bucket) (uint64, uint64) {
+	half := b.Size / 2
+	return b.Size - half, half
+}
+
+func splitEndpoint(b Bucket) (uint64, uint64) { return 0, b.Size }
+
+func gatherReplayEvents(inputs []*EH, split splitFunc) []replayEvent {
+	total := 0
+	for _, in := range inputs {
+		total += in.numBuckets()
+	}
+	events := make([]replayEvent, 0, 2*total)
+	for _, in := range inputs {
+		for _, b := range in.Buckets() {
+			s, e := split(b)
+			if b.Start == b.End {
+				if b.Size > 0 {
+					events = append(events, replayEvent{t: b.Start, n: b.Size})
+				}
+				continue
+			}
+			if s > 0 {
+				events = append(events, replayEvent{t: b.Start, n: s})
+			}
+			if e > 0 {
+				events = append(events, replayEvent{t: b.End, n: e})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	return events
+}
+
+func replayIntoEH(out Config, events []replayEvent, now Tick) (*EH, error) {
+	merged, err := NewEH(out)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		merged.AddN(ev.t, ev.n)
+	}
+	merged.Advance(now)
+	return merged, nil
+}
+
+func maxNow(inputs []*EH) Tick {
+	var now Tick
+	for _, in := range inputs {
+		if in.now > now {
+			now = in.now
+		}
+	}
+	return now
+}
+
+// MergedRelativeError returns the worst-case relative error of aggregating
+// histograms of error eps into a histogram of error epsPrime (Theorem 4):
+// eps + eps' + eps·eps'.
+func MergedRelativeError(eps, epsPrime float64) float64 {
+	return eps + epsPrime + eps*epsPrime
+}
+
+// PlanLevelEpsilon returns the per-level error parameter that individual
+// exponential histograms must be initialized with so that after h levels of
+// hierarchical aggregation the final histogram has relative error at most
+// target (Section 5.1, multi-level aggregation):
+//
+//	ε_level = (√(1+2h+h²+4h·target) − 1 − h) / (2h)
+//
+// For h = 0 (no aggregation) the target itself is returned.
+func PlanLevelEpsilon(target float64, h int) float64 {
+	if h <= 0 {
+		return target
+	}
+	hf := float64(h)
+	return (math.Sqrt(1+2*hf+hf*hf+4*hf*target) - 1 - hf) / (2 * hf)
+}
+
+// MultiLevelRelativeError bounds the relative error after h aggregation
+// levels of histograms configured with error eps: h·ε(1+ε) + ε (Section 5.1).
+func MultiLevelRelativeError(eps float64, h int) float64 {
+	return float64(h)*eps*(1+eps) + eps
+}

@@ -1,0 +1,120 @@
+package window
+
+import (
+	"testing"
+)
+
+// Fuzz targets: decoders must never panic on arbitrary bytes — they either
+// reconstruct a queryable synopsis or return an error. `go test` exercises
+// the seed corpus; `go test -fuzz=FuzzUnmarshalEH ./internal/window` digs
+// deeper.
+
+func fuzzSeeds(f *testing.F, enc []byte) {
+	f.Add(enc)
+	f.Add([]byte{})
+	f.Add([]byte{0xE1})
+	f.Add([]byte{0xE2, 0x00})
+	f.Add([]byte{0xE3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	if len(enc) > 4 {
+		mut := append([]byte(nil), enc...)
+		mut[len(mut)/2] ^= 0xFF
+		f.Add(mut)
+		f.Add(enc[:len(enc)/2])
+	}
+}
+
+func FuzzUnmarshalEH(f *testing.F) {
+	h, err := NewEH(Config{Length: 1000, Epsilon: 0.1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := Tick(1); i <= 500; i++ {
+		h.Add(i)
+	}
+	fuzzSeeds(f, h.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := UnmarshalEH(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must answer queries without panicking and
+		// respect basic sanity.
+		if got := dec.EstimateWindow(); got < 0 {
+			t.Fatalf("negative estimate %v", got)
+		}
+		dec.Add(dec.Now() + 1)
+		_ = dec.EstimateSince(0)
+	})
+}
+
+func FuzzUnmarshalDW(f *testing.F) {
+	w, err := NewDW(Config{Length: 1000, Epsilon: 0.1, UpperBound: 2000})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := Tick(1); i <= 500; i++ {
+		w.Add(i)
+	}
+	fuzzSeeds(f, w.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := UnmarshalDW(data)
+		if err != nil {
+			return
+		}
+		if got := dec.EstimateWindow(); got < 0 {
+			t.Fatalf("negative estimate %v", got)
+		}
+		dec.Add(dec.Now() + 1)
+	})
+}
+
+func FuzzUnmarshalRW(f *testing.F) {
+	w, err := NewRW(Config{Length: 1000, Epsilon: 0.25, Delta: 0.2, UpperBound: 2000, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := Tick(1); i <= 300; i++ {
+		w.Add(i)
+	}
+	fuzzSeeds(f, w.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := UnmarshalRW(data)
+		if err != nil {
+			return
+		}
+		if got := dec.EstimateWindow(); got < 0 {
+			t.Fatalf("negative estimate %v", got)
+		}
+		dec.Add(dec.Now() + 1)
+	})
+}
+
+// FuzzEHStream drives the histogram with arbitrary gap/count sequences and
+// checks the accuracy invariant against the exact counter — the core
+// correctness property under adversarial arrival patterns.
+func FuzzEHStream(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 5}, uint16(50))
+	f.Add([]byte{0, 0, 0, 0}, uint16(0))
+	f.Add([]byte{255, 1, 255, 1}, uint16(1000))
+	f.Fuzz(func(t *testing.T, gaps []byte, since uint16) {
+		const eps = 0.2
+		cfg := Config{Length: 400, Epsilon: eps}
+		h, _ := NewEH(cfg)
+		x, _ := NewExact(cfg)
+		var now Tick
+		for _, g := range gaps {
+			now += Tick(g % 9)
+			n := uint64(g%3 + 1)
+			h.AddN(now, n)
+			x.AddN(now, n)
+		}
+		got := h.EstimateSince(Tick(since))
+		want := float64(x.CountSince(Tick(since)))
+		if diff := got - want; diff > eps*want+0.5 || diff < -eps*want-0.5 {
+			t.Fatalf("estimate %v vs exact %v exceeds ε=%v", got, want, eps)
+		}
+		if err := h.checkInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fillCounter drives a counter with a reproducible random stream.
+func fillCounter(c Counter, events int, seed int64) Tick {
+	rng := rand.New(rand.NewSource(seed))
+	var now Tick
+	for i := 0; i < events; i++ {
+		now += Tick(rng.Intn(3))
+		c.Add(now)
+	}
+	return now
+}
+
+func queriesAgree(t *testing.T, name string, a, b Counter, now Tick) {
+	t.Helper()
+	for _, since := range []Tick{0, now / 4, now / 2, now - 1, now} {
+		ga, gb := a.EstimateSince(since), b.EstimateSince(since)
+		if ga != gb {
+			t.Errorf("%s: EstimateSince(%d) decoded=%v original=%v", name, since, gb, ga)
+		}
+	}
+	if a.Now() != b.Now() {
+		t.Errorf("%s: Now decoded=%d original=%d", name, b.Now(), a.Now())
+	}
+}
+
+func TestEHMarshalRoundTrip(t *testing.T) {
+	h := mustEH(t, Config{Length: 2000, Epsilon: 0.1, Seed: 9})
+	now := fillCounter(h, 5000, 13)
+	enc := h.Marshal()
+	dec, err := UnmarshalEH(enc)
+	if err != nil {
+		t.Fatalf("UnmarshalEH: %v", err)
+	}
+	queriesAgree(t, "EH", h, dec, now)
+	if dec.Total() != h.Total() {
+		t.Errorf("Total decoded=%d original=%d", dec.Total(), h.Total())
+	}
+}
+
+func TestEHMarshalEmpty(t *testing.T) {
+	h := mustEH(t, Config{Length: 100, Epsilon: 0.1})
+	dec, err := UnmarshalEH(h.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalEH(empty): %v", err)
+	}
+	if dec.EstimateWindow() != 0 {
+		t.Errorf("decoded empty EstimateWindow = %v", dec.EstimateWindow())
+	}
+}
+
+func TestDWMarshalRoundTrip(t *testing.T) {
+	w := mustDW(t, Config{Length: 2000, Epsilon: 0.1, UpperBound: 8000})
+	now := fillCounter(w, 5000, 19)
+	dec, err := UnmarshalDW(w.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalDW: %v", err)
+	}
+	queriesAgree(t, "DW", w, dec, now)
+}
+
+func TestRWMarshalRoundTrip(t *testing.T) {
+	w := mustRW(t, Config{Length: 2000, Epsilon: 0.2, Delta: 0.1, UpperBound: 8000, Seed: 4})
+	now := fillCounter(w, 5000, 29)
+	dec, err := UnmarshalRW(w.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalRW: %v", err)
+	}
+	queriesAgree(t, "RW", w, dec, now)
+	// A decoded wave must remain mergeable with the original lineage.
+	if !w.Mergeable(dec) {
+		t.Error("decoded RW not mergeable with original")
+	}
+}
+
+func TestUnmarshalRejectsWrongTag(t *testing.T) {
+	h := mustEH(t, Config{Length: 100, Epsilon: 0.1})
+	enc := h.Marshal()
+	if _, err := UnmarshalDW(enc); err == nil {
+		t.Error("UnmarshalDW accepted an EH encoding")
+	}
+	if _, err := UnmarshalRW(enc); err == nil {
+		t.Error("UnmarshalRW accepted an EH encoding")
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	h := mustEH(t, Config{Length: 2000, Epsilon: 0.1})
+	fillCounter(h, 1000, 7)
+	enc := h.Marshal()
+	for _, cut := range []int{0, 1, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := UnmarshalEH(enc[:cut]); err == nil {
+			t.Errorf("UnmarshalEH accepted truncation to %d bytes", cut)
+		}
+	}
+}
+
+func TestEHEncodingCompact(t *testing.T) {
+	// Dense arrivals delta-encode to a few bytes per bucket; the encoding of
+	// a 1e4-arrival histogram should be well under a kilobyte.
+	h := mustEH(t, Config{Length: 1 << 20, Epsilon: 0.1})
+	for i := Tick(1); i <= 10000; i++ {
+		h.Add(i)
+	}
+	if n := len(h.Marshal()); n > 2048 {
+		t.Errorf("EH encoding is %d bytes for %d buckets, want ≤ 2048", n, h.NumBuckets())
+	}
+}
+
+func TestRWEncodingMuchLargerThanEH(t *testing.T) {
+	// The Fig. 5/6 premise: at equal ε, RW transfer volume dwarfs EH's.
+	cfg := Config{Length: 1 << 16, Epsilon: 0.1, Delta: 0.1, UpperBound: 1 << 16, Seed: 8}
+	h := mustEH(t, cfg)
+	w := mustRW(t, cfg)
+	for i := Tick(1); i <= 1<<15; i++ {
+		h.Add(i)
+		w.AddID(i, uint64(i))
+	}
+	he, we := len(h.Marshal()), len(w.Marshal())
+	if we < 5*he {
+		t.Errorf("RW encoding %dB vs EH %dB; expected ≥5× gap", we, he)
+	}
+}
+
+func TestMarshalRoundTripPreservesMerge(t *testing.T) {
+	// Serialization must compose with aggregation: decode-then-merge equals
+	// merge of the originals.
+	cfg := Config{Length: 2000, Epsilon: 0.1}
+	a := mustEH(t, cfg)
+	b := mustEH(t, cfg)
+	fillCounter(a, 3000, 5)
+	fillCounter(b, 3000, 6)
+	da, err := UnmarshalEH(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := UnmarshalEH(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := MergeEH(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeEH(cfg, da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Tick{2000, 1000, 400} {
+		if g1, g2 := m1.EstimateRange(r), m2.EstimateRange(r); g1 != g2 {
+			t.Errorf("merge-of-decoded EstimateRange(%d)=%v, merge-of-original=%v", r, g2, g1)
+		}
+	}
+}

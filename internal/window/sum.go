@@ -1,0 +1,167 @@
+package window
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SumEH maintains the SUM of non-negative integer values over a sliding
+// window with relative error ε — the "sums" extension of the exponential
+// histogram (Datar et al., Section 5). Where the basic counter treats an
+// arrival of value v as v unit insertions (O(v) work), SumEH decomposes
+// values bitwise across log₂(maxValue) parallel exponential histograms:
+// bit i of each value feeds histogram i, and the windowed sum is
+// Σ_i 2^i · EH_i(range). Each per-bit estimate carries relative error ε, so
+// the combined sum does too, at O(log maxValue) work per arrival regardless
+// of the value.
+//
+// ECM-sketches use the basic counter (stream increments are almost always
+// 1); SumEH serves workloads where arrivals carry weights — bytes per
+// packet, sale amounts — and is mergeable exactly like its per-bit
+// histograms.
+type SumEH struct {
+	cfg      Config
+	maxValue uint64
+	bitEH    []*EH
+	now      Tick
+}
+
+// NewSumEH constructs a windowed summer for values in [0, maxValue].
+func NewSumEH(cfg Config, maxValue uint64) (*SumEH, error) {
+	if err := cfg.Validate(AlgoEH); err != nil {
+		return nil, err
+	}
+	if maxValue == 0 {
+		return nil, fmt.Errorf("window: SumEH maxValue must be positive")
+	}
+	nbits := bits.Len64(maxValue)
+	s := &SumEH{cfg: cfg, maxValue: maxValue, bitEH: make([]*EH, nbits)}
+	for i := range s.bitEH {
+		h, err := NewEH(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.bitEH[i] = h
+	}
+	return s, nil
+}
+
+// Config returns the configuration the summer was built with.
+func (s *SumEH) Config() Config { return s.cfg }
+
+// MaxValue returns the per-arrival value bound.
+func (s *SumEH) MaxValue() uint64 { return s.maxValue }
+
+// Add registers an arrival of value v at tick t.
+func (s *SumEH) Add(t Tick, v uint64) error {
+	if v > s.maxValue {
+		return fmt.Errorf("window: value %d exceeds SumEH bound %d", v, s.maxValue)
+	}
+	if t > s.now {
+		s.now = t
+	}
+	for i := 0; v != 0; i++ {
+		if v&1 == 1 {
+			s.bitEH[i].Add(t)
+		} else {
+			s.bitEH[i].Advance(t)
+		}
+		v >>= 1
+	}
+	return nil
+}
+
+// Advance moves the window forward without an arrival.
+func (s *SumEH) Advance(t Tick) {
+	if t > s.now {
+		s.now = t
+	}
+	for _, h := range s.bitEH {
+		h.Advance(t)
+	}
+}
+
+// Now reports the latest tick observed.
+func (s *SumEH) Now() Tick { return s.now }
+
+// SumSince estimates the sum of values with tick > since.
+func (s *SumEH) SumSince(since Tick) float64 {
+	var sum float64
+	for i, h := range s.bitEH {
+		h.Advance(s.now)
+		sum += float64(uint64(1)<<uint(i)) * h.EstimateSince(since)
+	}
+	return sum
+}
+
+// SumRange estimates the sum of values within the last r ticks.
+func (s *SumEH) SumRange(r Tick) float64 {
+	r = clampRange(r, s.cfg.Length)
+	return s.SumSince(rangeToSince(s.now, r))
+}
+
+// SumWindow estimates the sum over the whole window.
+func (s *SumEH) SumWindow() float64 { return s.SumRange(s.cfg.Length) }
+
+// MemoryBytes reports the footprint across the per-bit histograms.
+func (s *SumEH) MemoryBytes() int {
+	n := 48
+	for _, h := range s.bitEH {
+		n += h.MemoryBytes()
+	}
+	return n
+}
+
+// Reset empties the summer.
+func (s *SumEH) Reset() {
+	for _, h := range s.bitEH {
+		h.Reset()
+	}
+	s.now = 0
+}
+
+// MergeSumEH aggregates per-site summers (time-based windows only) by
+// merging each bit plane with the Theorem 4 replay; the result carries the
+// composed error ε + ε' + εε' per bit plane and hence overall.
+func MergeSumEH(out Config, maxValue uint64, inputs ...*SumEH) (*SumEH, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("window: MergeSumEH requires at least one input")
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("window: MergeSumEH input %d is nil", i)
+		}
+		if in.maxValue > maxValue {
+			return nil, fmt.Errorf("window: MergeSumEH input %d bound %d exceeds output bound %d", i, in.maxValue, maxValue)
+		}
+	}
+	merged, err := NewSumEH(out, maxValue)
+	if err != nil {
+		return nil, err
+	}
+	var now Tick
+	for _, in := range inputs {
+		if in.now > now {
+			now = in.now
+		}
+	}
+	for i := range merged.bitEH {
+		var planes []*EH
+		for _, in := range inputs {
+			if i < len(in.bitEH) {
+				planes = append(planes, in.bitEH[i])
+			}
+		}
+		if len(planes) == 0 {
+			continue
+		}
+		m, err := MergeEH(out, planes...)
+		if err != nil {
+			return nil, fmt.Errorf("window: MergeSumEH bit %d: %w", i, err)
+		}
+		merged.bitEH[i] = m
+	}
+	merged.now = now
+	merged.Advance(now)
+	return merged, nil
+}

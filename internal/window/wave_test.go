@@ -1,0 +1,184 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDW(t *testing.T, cfg Config) *DW {
+	t.Helper()
+	w, err := NewDW(cfg)
+	if err != nil {
+		t.Fatalf("NewDW: %v", err)
+	}
+	return w
+}
+
+func TestDWEmpty(t *testing.T) {
+	w := mustDW(t, Config{Length: 100, Epsilon: 0.1})
+	if got := w.EstimateWindow(); got != 0 {
+		t.Errorf("empty EstimateWindow = %v, want 0", got)
+	}
+}
+
+func TestDWExactWhenSmall(t *testing.T) {
+	w := mustDW(t, Config{Length: 1000, Epsilon: 0.2})
+	for i := Tick(1); i <= 5; i++ {
+		w.Add(i * 10)
+	}
+	for since := Tick(0); since <= 60; since += 5 {
+		want := 0.0
+		for i := Tick(1); i <= 5; i++ {
+			if i*10 > since {
+				want++
+			}
+		}
+		if got := w.EstimateSince(since); got != want {
+			t.Errorf("EstimateSince(%d) = %v, want %v", since, got, want)
+		}
+	}
+}
+
+func TestDWExpiry(t *testing.T) {
+	w := mustDW(t, Config{Length: 10, Epsilon: 0.1})
+	w.Add(1)
+	w.Add(2)
+	w.Advance(12)
+	if got := w.EstimateWindow(); got != 0 {
+		t.Errorf("EstimateWindow after expiry = %v, want 0", got)
+	}
+}
+
+func TestDWRelativeErrorBound(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.25} {
+		rng := rand.New(rand.NewSource(11))
+		cfg := Config{Length: 5000, Epsilon: eps, UpperBound: 20000}
+		w := mustDW(t, cfg)
+		x := mustExact(t, cfg)
+		var now Tick
+		for i := 0; i < 20000; i++ {
+			now += Tick(rng.Intn(3))
+			w.Add(now)
+			x.Add(now)
+			if i%97 == 0 {
+				checkSuffixQueries(t, "DW", w, x, eps, now, rng)
+			}
+		}
+	}
+}
+
+func TestDWLevelSizing(t *testing.T) {
+	cases := []struct {
+		u   uint64
+		eps float64
+	}{
+		{100, 0.1},
+		{1000, 0.1},
+		{1 << 20, 0.05},
+		{10, 0.5},
+	}
+	for _, tc := range cases {
+		cfg := Config{Length: 1 << 30, Epsilon: tc.eps, UpperBound: tc.u}
+		w := mustDW(t, cfg)
+		c := w.c
+		top := w.Levels() - 1
+		if cov := uint64(c) << uint(top); cov < tc.u {
+			t.Errorf("u=%d eps=%v: top level covers %d < u", tc.u, tc.eps, cov)
+		}
+	}
+}
+
+func TestDWMemoryFixed(t *testing.T) {
+	w := mustDW(t, Config{Length: 1 << 20, Epsilon: 0.1, UpperBound: 1 << 20})
+	before := w.MemoryBytes()
+	for i := Tick(1); i <= 1<<15; i++ {
+		w.Add(i)
+	}
+	if after := w.MemoryBytes(); after != before {
+		t.Errorf("wave memory changed from %d to %d; waves pre-allocate", before, after)
+	}
+}
+
+func TestDWReset(t *testing.T) {
+	w := mustDW(t, Config{Length: 100, Epsilon: 0.1})
+	for i := Tick(1); i < 80; i++ {
+		w.Add(i)
+	}
+	w.Reset()
+	if w.EstimateWindow() != 0 || w.Now() != 0 {
+		t.Errorf("Reset left state: window=%v now=%d", w.EstimateWindow(), w.Now())
+	}
+	w.Add(3)
+	if got := w.EstimateWindow(); got != 1 {
+		t.Errorf("EstimateWindow after reset = %v, want 1", got)
+	}
+}
+
+func TestDWQuickSuffixAccuracy(t *testing.T) {
+	const eps = 0.15
+	prop := func(gaps []uint8, queryAt uint16) bool {
+		cfg := Config{Length: 300, Epsilon: eps, UpperBound: 2000}
+		w, _ := NewDW(cfg)
+		x, _ := NewExact(cfg)
+		var now Tick
+		for _, g := range gaps {
+			now += Tick(g % 5)
+			w.Add(now)
+			x.Add(now)
+		}
+		since := Tick(queryAt)
+		got := w.EstimateSince(since)
+		want := float64(x.CountSince(since))
+		return abs64(got-want) <= eps*want+0.5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWMergeAccuracy(t *testing.T) {
+	// Two site streams aggregated into one wave; the merged estimate must be
+	// within the Theorem-4-style bound of the exact union count.
+	const eps = 0.1
+	rng := rand.New(rand.NewSource(5))
+	cfg := Config{Length: 2000, Epsilon: eps, UpperBound: 8000}
+	w1 := mustDW(t, cfg)
+	w2 := mustDW(t, cfg)
+	x := mustExact(t, cfg)
+	var now Tick
+	for i := 0; i < 8000; i++ {
+		now += Tick(rng.Intn(2))
+		if rng.Intn(2) == 0 {
+			w1.Add(now)
+		} else {
+			w2.Add(now)
+		}
+		x.Add(now)
+	}
+	w1.Advance(now)
+	w2.Advance(now)
+	merged, err := MergeDW(cfg, w1, w2)
+	if err != nil {
+		t.Fatalf("MergeDW: %v", err)
+	}
+	bound := MergedRelativeError(eps, eps)
+	for _, r := range []Tick{2000, 1000, 500} {
+		got := merged.EstimateRange(r)
+		want := float64(x.CountRange(r))
+		if want == 0 {
+			continue
+		}
+		if abs64(got-want) > bound*want+1 {
+			t.Errorf("merged EstimateRange(%d) = %v, exact = %v, bound = %v", r, got, want, bound*want)
+		}
+	}
+}
+
+func TestDWMergeRejectsCountBased(t *testing.T) {
+	cfg := Config{Model: CountBased, Length: 100, Epsilon: 0.1}
+	w := mustDW(t, cfg)
+	if _, err := MergeDW(cfg, w); err == nil {
+		t.Fatal("MergeDW accepted count-based waves; the paper proves this is impossible")
+	}
+}

@@ -1,0 +1,153 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDWConst(t *testing.T, cfg Config) *DWConst {
+	t.Helper()
+	w, err := NewDWConst(cfg)
+	if err != nil {
+		t.Fatalf("NewDWConst: %v", err)
+	}
+	return w
+}
+
+func TestDWConstEmptyAndSmall(t *testing.T) {
+	w := mustDWConst(t, Config{Length: 1000, Epsilon: 0.2})
+	if got := w.EstimateWindow(); got != 0 {
+		t.Errorf("empty EstimateWindow = %v", got)
+	}
+	for i := Tick(1); i <= 5; i++ {
+		w.Add(i * 10)
+	}
+	for since := Tick(0); since <= 60; since += 5 {
+		want := 0.0
+		for i := Tick(1); i <= 5; i++ {
+			if i*10 > since {
+				want++
+			}
+		}
+		if got := w.EstimateSince(since); got != want {
+			t.Errorf("EstimateSince(%d) = %v, want %v", since, got, want)
+		}
+	}
+}
+
+func TestDWConstRelativeErrorBound(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.25} {
+		rng := rand.New(rand.NewSource(23))
+		cfg := Config{Length: 5000, Epsilon: eps, UpperBound: 20000}
+		w := mustDWConst(t, cfg)
+		x := mustExact(t, cfg)
+		var now Tick
+		for i := 0; i < 20000; i++ {
+			now += Tick(rng.Intn(3))
+			w.Add(now)
+			x.Add(now)
+			if i%97 == 0 {
+				checkSuffixQueries(t, "DWConst", w, x, eps, now, rng)
+			}
+		}
+	}
+}
+
+func TestDWConstQuick(t *testing.T) {
+	const eps = 0.15
+	prop := func(gaps []uint8, queryAt uint16) bool {
+		cfg := Config{Length: 300, Epsilon: eps, UpperBound: 2000}
+		w, _ := NewDWConst(cfg)
+		x, _ := NewExact(cfg)
+		var now Tick
+		for _, g := range gaps {
+			now += Tick(g % 5)
+			w.Add(now)
+			x.Add(now)
+		}
+		since := Tick(queryAt)
+		got := w.EstimateSince(since)
+		want := float64(x.CountSince(since))
+		return abs64(got-want) <= eps*want+0.5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWConstExpiry(t *testing.T) {
+	w := mustDWConst(t, Config{Length: 10, Epsilon: 0.1})
+	w.Add(1)
+	w.Add(2)
+	w.Advance(100)
+	if got := w.EstimateWindow(); got != 0 {
+		t.Errorf("EstimateWindow after expiry = %v", got)
+	}
+	w.Reset()
+	if w.Now() != 0 || w.EstimateWindow() != 0 {
+		t.Error("Reset left state")
+	}
+}
+
+func TestDWConstStrictlyOneInsertionPerAdd(t *testing.T) {
+	// The defining property: total stored entries never exceed arrivals
+	// (multi-placement DW stores ~2 per arrival on average).
+	w := mustDWConst(t, Config{Length: 1 << 20, Epsilon: 0.1, UpperBound: 1 << 20})
+	const n = 5000
+	for i := Tick(1); i <= n; i++ {
+		w.Add(i)
+	}
+	stored := 0
+	for j := range w.levels {
+		stored += w.levels[j].len()
+	}
+	if stored > n {
+		t.Errorf("stored %d entries for %d arrivals; single placement violated", stored, n)
+	}
+	// And compared against DW: strictly fewer stored entries on the same
+	// stream once capacities saturate.
+	d := mustDW(t, Config{Length: 1 << 20, Epsilon: 0.1, UpperBound: 1 << 20})
+	for i := Tick(1); i <= n; i++ {
+		d.Add(i)
+	}
+	dwStored := 0
+	for j := range d.levels {
+		dwStored += d.levels[j].len()
+	}
+	t.Logf("DWConst stores %d entries, DW stores %d", stored, dwStored)
+}
+
+func TestDWConstAgreesWithDW(t *testing.T) {
+	cfg := Config{Length: 2000, Epsilon: 0.1, UpperBound: 10000}
+	a := mustDWConst(t, cfg)
+	b := mustDW(t, cfg)
+	rng := rand.New(rand.NewSource(12))
+	var now Tick
+	for i := 0; i < 10000; i++ {
+		now += Tick(rng.Intn(2))
+		a.Add(now)
+		b.Add(now)
+	}
+	for _, r := range []Tick{2000, 1000, 400, 50} {
+		ga, gb := a.EstimateRange(r), b.EstimateRange(r)
+		base := gb
+		if ga > base {
+			base = ga
+		}
+		if base > 20 && abs64(ga-gb) > 0.25*base {
+			t.Errorf("range %d: DWConst=%v DW=%v diverge", r, ga, gb)
+		}
+	}
+}
+
+func BenchmarkDWConstAdd(b *testing.B) {
+	w, err := NewDWConst(Config{Length: 1 << 20, Epsilon: 0.1, UpperBound: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Add(Tick(i + 1))
+	}
+}

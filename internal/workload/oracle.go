@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"sort"
+
+	"ecmsketch/internal/window"
+)
+
+// Oracle maintains exact sliding-window statistics of a stream: per-key
+// frequencies, the total arrival count, and the self-join size. It is the
+// ground truth the experiments measure observed errors against, mirroring
+// how the paper's evaluation computes true answers from the raw trace.
+//
+// Memory grows with the number of distinct keys inside the window, which is
+// acceptable at experiment scale but is exactly the cost sketches avoid.
+type Oracle struct {
+	length Tick
+	perKey map[uint64]*window.Exact
+	total  *window.Exact
+	now    Tick
+}
+
+// NewOracle builds an oracle over a window of the given length.
+func NewOracle(length Tick) *Oracle {
+	tot, err := window.NewExact(window.Config{Length: length})
+	if err != nil {
+		panic("workload: NewOracle: " + err.Error()) // length==0 only
+	}
+	return &Oracle{length: length, perKey: make(map[uint64]*window.Exact), total: tot}
+}
+
+// Add registers one arrival.
+func (o *Oracle) Add(key uint64, t Tick) {
+	x, ok := o.perKey[key]
+	if !ok {
+		x, _ = window.NewExact(window.Config{Length: o.length})
+		o.perKey[key] = x
+	}
+	x.Add(t)
+	o.total.Add(t)
+	if t > o.now {
+		o.now = t
+	}
+}
+
+// AddEvent registers a generated event.
+func (o *Oracle) AddEvent(ev Event) { o.Add(ev.Key, ev.Time) }
+
+// Advance moves the window forward without an arrival.
+func (o *Oracle) Advance(t Tick) {
+	if t > o.now {
+		o.now = t
+	}
+}
+
+// Now reports the latest tick observed.
+func (o *Oracle) Now() Tick { return o.now }
+
+// Freq returns the exact frequency of key within the last r ticks.
+func (o *Oracle) Freq(key uint64, r Tick) uint64 {
+	x, ok := o.perKey[key]
+	if !ok {
+		return 0
+	}
+	x.Advance(o.now)
+	return x.CountRange(r)
+}
+
+// Total returns the exact number of arrivals within the last r ticks.
+func (o *Oracle) Total(r Tick) uint64 {
+	o.total.Advance(o.now)
+	return o.total.CountRange(r)
+}
+
+// SelfJoin returns the exact second frequency moment within the last r
+// ticks.
+func (o *Oracle) SelfJoin(r Tick) float64 {
+	var s float64
+	for _, x := range o.perKey {
+		x.Advance(o.now)
+		f := float64(x.CountRange(r))
+		s += f * f
+	}
+	return s
+}
+
+// InnerProduct returns the exact inner product of two oracles' streams
+// within the last r ticks.
+func (o *Oracle) InnerProduct(other *Oracle, r Tick) float64 {
+	var s float64
+	for k, x := range o.perKey {
+		x.Advance(o.now)
+		fa := float64(x.CountRange(r))
+		if fa == 0 {
+			continue
+		}
+		s += fa * float64(other.Freq(k, r))
+	}
+	return s
+}
+
+// HeavyHitters returns every key whose exact frequency within the last r
+// ticks is at least phi·Total(r), sorted by frequency descending.
+func (o *Oracle) HeavyHitters(phi float64, r Tick) []Event {
+	thresh := phi * float64(o.Total(r))
+	var out []Event
+	for k, x := range o.perKey {
+		x.Advance(o.now)
+		if f := x.CountRange(r); float64(f) >= thresh && f > 0 {
+			out = append(out, Event{Key: k, Time: Tick(f)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Keys returns every key currently known to the oracle (including keys whose
+// window count may have dropped to zero). Intended for evaluation loops.
+func (o *Oracle) Keys() []uint64 {
+	out := make([]uint64, 0, len(o.perKey))
+	for k := range o.perKey {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DistinctKeys reports the number of keys with at least one arrival within
+// the last r ticks.
+func (o *Oracle) DistinctKeys(r Tick) int {
+	n := 0
+	for _, x := range o.perKey {
+		x.Advance(o.now)
+		if x.CountRange(r) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Phase describes one regime of a phased stream: a number of events drawn
+// from a key distribution, optionally concentrated on a hot key — the
+// building block for flash-crowd, attack and failover scenarios that the
+// steady-state generators cannot express.
+type Phase struct {
+	// Events emitted during this phase.
+	Events int
+	// HotKey receives HotShare of the phase's traffic when HotShare > 0.
+	HotKey uint64
+	// HotShare ∈ [0,1] is the fraction of events sent to HotKey.
+	HotShare float64
+	// Gap is the silent period (in ticks) inserted BEFORE the phase starts,
+	// modelling quiet stretches that slide content out of the window.
+	Gap Tick
+}
+
+// PhasedConfig drives NewPhasedGenerator.
+type PhasedConfig struct {
+	// KeyDomain and Skew shape the background traffic of every phase.
+	KeyDomain int
+	Skew      float64
+	// TickStep is the mean tick advance per event.
+	TickStep Tick
+	// Sites spreads events round-robin.
+	Sites int
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Phases run in order.
+	Phases []Phase
+}
+
+// PhasedGenerator emits a multi-phase stream (normal → attack → recovery
+// and similar shapes) with non-decreasing ticks.
+type PhasedGenerator struct {
+	cfg      PhasedConfig
+	rng      *rand.Rand
+	keys     *Zipf
+	phase    int
+	inPhase  int
+	now      Tick
+	site     int
+	gapTaken bool
+}
+
+// NewPhasedGenerator validates the configuration and builds the generator.
+func NewPhasedGenerator(cfg PhasedConfig) (*PhasedGenerator, error) {
+	if cfg.KeyDomain <= 0 {
+		return nil, fmt.Errorf("workload: KeyDomain must be positive, got %d", cfg.KeyDomain)
+	}
+	if cfg.Skew <= 0 {
+		return nil, fmt.Errorf("workload: Skew must be positive, got %v", cfg.Skew)
+	}
+	if cfg.TickStep == 0 {
+		cfg.TickStep = 1
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 1
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("workload: at least one phase required")
+	}
+	for i, p := range cfg.Phases {
+		if p.Events <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has no events", i)
+		}
+		if p.HotShare < 0 || p.HotShare > 1 {
+			return nil, fmt.Errorf("workload: phase %d HotShare %v outside [0,1]", i, p.HotShare)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys, err := NewZipf(rng, cfg.Skew, cfg.KeyDomain)
+	if err != nil {
+		return nil, err
+	}
+	return &PhasedGenerator{cfg: cfg, rng: rng, keys: keys}, nil
+}
+
+// Next emits the next event; ok is false when all phases are exhausted.
+func (g *PhasedGenerator) Next() (ev Event, ok bool) {
+	for g.phase < len(g.cfg.Phases) && g.inPhase >= g.cfg.Phases[g.phase].Events {
+		g.phase++
+		g.inPhase = 0
+		g.gapTaken = false
+	}
+	if g.phase >= len(g.cfg.Phases) {
+		return Event{}, false
+	}
+	p := g.cfg.Phases[g.phase]
+	if !g.gapTaken {
+		g.now += p.Gap
+		g.gapTaken = true
+	}
+	g.inPhase++
+	g.now += Tick(g.rng.Intn(int(2*g.cfg.TickStep + 1)))
+	if g.now == 0 {
+		g.now = 1
+	}
+	key := g.keys.Sample()
+	if p.HotShare > 0 && g.rng.Float64() < p.HotShare {
+		key = p.HotKey
+	}
+	g.site = (g.site + 1) % g.cfg.Sites
+	return Event{Key: key, Time: g.now, Site: g.site}, true
+}
+
+// Drain produces the whole remaining stream at once.
+func (g *PhasedGenerator) Drain() []Event {
+	var out []Event
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+// PhaseBoundaries returns the tick at which each phase ended, useful for
+// placing interval queries in tests. Must be called after Drain.
+func PhaseBoundaries(events []Event, cfg PhasedConfig) []Tick {
+	var out []Tick
+	idx := 0
+	for _, p := range cfg.Phases {
+		idx += p.Events
+		if idx-1 < len(events) {
+			out = append(out, events[idx-1].Time)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package workload
+
+import "testing"
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	bad := []PhasedConfig{
+		{Skew: 1, Phases: []Phase{{Events: 10}}},                               // no domain
+		{KeyDomain: 10, Phases: []Phase{{Events: 10}}},                         // no skew
+		{KeyDomain: 10, Skew: 1},                                               // no phases
+		{KeyDomain: 10, Skew: 1, Phases: []Phase{{Events: 0}}},                 // empty phase
+		{KeyDomain: 10, Skew: 1, Phases: []Phase{{Events: 5, HotShare: 1.5}}},  // bad share
+		{KeyDomain: 10, Skew: 1, Phases: []Phase{{Events: 5, HotShare: -0.1}}}, // bad share
+	}
+	for i, cfg := range bad {
+		if _, err := NewPhasedGenerator(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPhasedGeneratorShape(t *testing.T) {
+	cfg := PhasedConfig{
+		KeyDomain: 1000,
+		Skew:      1.0,
+		TickStep:  2,
+		Sites:     3,
+		Seed:      5,
+		Phases: []Phase{
+			{Events: 1000},
+			{Events: 1000, HotKey: 999, HotShare: 0.5},
+			{Events: 500, Gap: 100000},
+		},
+	}
+	g, err := NewPhasedGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.Drain()
+	if len(events) != 2500 {
+		t.Fatalf("got %d events, want 2500", len(events))
+	}
+	if !SortedByTime(events) {
+		t.Fatal("phased stream not time-ordered")
+	}
+	// Hot key dominates only the middle phase.
+	hot := func(from, to int) int {
+		n := 0
+		for _, ev := range events[from:to] {
+			if ev.Key == 999 {
+				n++
+			}
+		}
+		return n
+	}
+	if h := hot(0, 1000); h > 50 {
+		t.Errorf("phase 1 has %d hot-key events, want few", h)
+	}
+	if h := hot(1000, 2000); h < 400 || h > 600 {
+		t.Errorf("phase 2 has %d hot-key events, want ≈500", h)
+	}
+	// The gap separates phase 3 from phase 2 by ≥ 100000 ticks.
+	if gap := events[2000].Time - events[1999].Time; gap < 100000 {
+		t.Errorf("phase gap = %d ticks, want ≥ 100000", gap)
+	}
+	// Sites round-robin across all configured sites.
+	seen := map[int]bool{}
+	for _, ev := range events {
+		seen[ev.Site] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("sites used: %d, want 3", len(seen))
+	}
+	bounds := PhaseBoundaries(events, cfg)
+	if len(bounds) != 3 || bounds[0] >= bounds[1] || bounds[1] >= bounds[2] {
+		t.Errorf("phase boundaries %v malformed", bounds)
+	}
+}
+
+func TestPhasedGeneratorReproducible(t *testing.T) {
+	cfg := PhasedConfig{
+		KeyDomain: 100, Skew: 1.1, Seed: 9,
+		Phases: []Phase{{Events: 300, HotKey: 5, HotShare: 0.2}},
+	}
+	mk := func() []Event {
+		g, err := NewPhasedGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Drain()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+// TestPhasedStreamThroughSketch is an integration check: the attack phase
+// makes the hot key a heavy hitter, the gap phase expires it.
+func TestPhasedStreamThroughSketch(t *testing.T) {
+	cfg := PhasedConfig{
+		KeyDomain: 512, Skew: 0.9, TickStep: 1, Seed: 3,
+		Phases: []Phase{
+			{Events: 2000},
+			{Events: 2000, HotKey: 7, HotShare: 0.4},
+			{Events: 2000, Gap: 50000},
+		},
+	}
+	g, err := NewPhasedGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.Drain()
+	oracle := NewOracle(10000)
+	for _, ev := range events[:4000] {
+		oracle.AddEvent(ev)
+	}
+	if hh := oracle.HeavyHitters(0.2, 10000); len(hh) == 0 || hh[0].Key != 7 {
+		t.Errorf("attack phase: heavy hitters = %v, want key 7 on top", hh)
+	}
+	for _, ev := range events[4000:] {
+		oracle.AddEvent(ev)
+	}
+	// After the gap, the attack is outside the window.
+	if f := oracle.Freq(7, 10000); f > 50 {
+		t.Errorf("hot key still has %d windowed arrivals after the gap", f)
+	}
+}

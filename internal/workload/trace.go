@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ecmsketch/internal/hashing"
+)
+
+// ReadTrace parses a CSV event stream of the form emitted by cmd/ecmgen:
+//
+//	key,tick[,site]
+//
+// one event per line; blank lines and lines starting with '#' are skipped.
+// Keys are arbitrary strings, digested to the sketches' uint64 key space
+// (numeric keys are digested the same way, so "42" and the integer 42 do
+// NOT collide by construction — use the same representation when querying).
+// Ticks must parse as unsigned integers; sites default to 0.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseTraceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+func parseTraceLine(line string) (Event, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Event{}, fmt.Errorf("want key,tick[,site], got %q", line)
+	}
+	key := strings.TrimSpace(parts[0])
+	if key == "" {
+		return Event{}, fmt.Errorf("empty key in %q", line)
+	}
+	tick, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad tick in %q: %v", line, err)
+	}
+	ev := Event{Key: hashing.KeyString(key), Time: tick}
+	if len(parts) == 3 {
+		site, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil || site < 0 {
+			return Event{}, fmt.Errorf("bad site in %q", line)
+		}
+		ev.Site = site
+	}
+	return ev, nil
+}
+
+// WriteTrace renders events in the same CSV format (key rendered as the raw
+// digest in decimal — round-trips through ReadTrace are NOT identity on the
+// key, since ReadTrace digests; WriteTrace exists for checkpointing
+// generated streams).
+func WriteTrace(w io.Writer, events []Event, withSite bool) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, ev := range events {
+		var err error
+		if withSite {
+			_, err = fmt.Fprintf(bw, "%d,%d,%d\n", ev.Key, ev.Time, ev.Site)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d,%d\n", ev.Key, ev.Time)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SortedByTime reports whether the trace's ticks are non-decreasing — the
+// ingestion requirement of the sketches. Callers with disordered traces
+// should route them through ecmsketch.Reorderer.
+func SortedByTime(events []Event) bool {
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 1.0, 0); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewZipf(rng, 0, 10); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if _, err := NewZipf(rng, -1, 10); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestZipfSkewBelowOne(t *testing.T) {
+	// The whole reason for a custom sampler: s = 0.85 must work.
+	rng := rand.New(rand.NewSource(2))
+	z, err := NewZipf(rng, 0.85, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	// Rank 0 must dominate and the ratio to rank 9 should be ≈ 10^0.85 ≈ 7.
+	if counts[0] <= counts[9] {
+		t.Errorf("rank 0 (%d) not more frequent than rank 9 (%d)", counts[0], counts[9])
+	}
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 3 || ratio > 15 {
+		t.Errorf("rank0/rank9 ratio = %.1f, want ≈ 7", ratio)
+	}
+}
+
+func TestZipfInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z, err := NewZipf(rng, 1.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if s := z.Sample(); s >= 50 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Events: 10, Duration: 100, KeyDomain: 10, Skew: 1},          // no sites
+		{Events: 10, Duration: 100, KeyDomain: 10, Sites: 1},         // no skew
+		{Events: 10, Duration: 100, Skew: 1, Sites: 1},               // no domain
+		{Events: 10, KeyDomain: 10, Skew: 1, Sites: 1},               // no duration
+		{Events: 0, Duration: 100, KeyDomain: 10, Skew: 1, Sites: 1}, // no events
+	}
+	for _, c := range bad {
+		if _, err := NewGenerator(c); err == nil {
+			t.Errorf("NewGenerator(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	mk := func() []Event {
+		g, err := WorldCup98Like(1000, 10000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Drain()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) || len(a) != 1000 {
+		t.Fatalf("stream lengths %d vs %d, want 1000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorTimesMonotone(t *testing.T) {
+	g, err := SNMPLike(5000, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Tick
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Time < prev {
+			t.Fatalf("time regressed: %d after %d", ev.Time, prev)
+		}
+		if ev.Time == 0 {
+			t.Fatal("zero timestamp produced")
+		}
+		prev = ev.Time
+	}
+	if prev > 50000+1 {
+		t.Errorf("final time %d exceeds duration", prev)
+	}
+}
+
+func TestGeneratorSiteProperties(t *testing.T) {
+	g, err := WorldCup98Like(20000, 100000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 33)
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if ev.Site < 0 || ev.Site >= 33 {
+			t.Fatalf("site %d out of range", ev.Site)
+		}
+		counts[ev.Site]++
+	}
+	nonEmpty := 0
+	max, min := 0, 1<<60
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if nonEmpty < 30 {
+		t.Errorf("only %d/33 sites received events", nonEmpty)
+	}
+	// SiteSkew produces a meaningful imbalance.
+	if max < 2*min {
+		t.Errorf("site load max=%d min=%d; expected skewed split", max, min)
+	}
+}
+
+func TestGeneratorKeySkew(t *testing.T) {
+	g, err := NewGenerator(Config{
+		Events: 50000, Duration: 100000, KeyDomain: 1 << 12,
+		Skew: 1.1, Sites: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[ev.Key]++
+	}
+	// Top key should take a disproportionate share under skew 1.1.
+	if counts[0] < 50000/100 {
+		t.Errorf("top key has %d of 50000 events; skew too weak", counts[0])
+	}
+}
+
+func TestGeneratorDiurnalChangesSpacing(t *testing.T) {
+	flat, err := NewGenerator(Config{Events: 10000, Duration: 100000, KeyDomain: 100, Skew: 1, Sites: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wavy, err := NewGenerator(Config{Events: 10000, Duration: 100000, KeyDomain: 100, Skew: 1, Sites: 1, Seed: 4, Diurnal: true, DiurnalPeriod: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapVariance := func(g *Generator) float64 {
+		var gaps []float64
+		var prev Tick
+		for {
+			ev, ok := g.Next()
+			if !ok {
+				break
+			}
+			gaps = append(gaps, float64(ev.Time-prev))
+			prev = ev.Time
+		}
+		var mean, v float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			v += (g - mean) * (g - mean)
+		}
+		return v / float64(len(gaps))
+	}
+	if vf, vw := gapVariance(flat), gapVariance(wavy); vw <= vf {
+		t.Errorf("diurnal gap variance %v not larger than flat %v", vw, vf)
+	}
+}
+
+func TestOracleBasics(t *testing.T) {
+	o := NewOracle(100)
+	o.Add(1, 10)
+	o.Add(1, 20)
+	o.Add(2, 30)
+	if got := o.Freq(1, 100); got != 2 {
+		t.Errorf("Freq(1) = %d, want 2", got)
+	}
+	if got := o.Total(100); got != 3 {
+		t.Errorf("Total = %d, want 3", got)
+	}
+	if got := o.SelfJoin(100); got != 5 { // 2² + 1²
+		t.Errorf("SelfJoin = %v, want 5", got)
+	}
+	if got := o.Freq(99, 100); got != 0 {
+		t.Errorf("Freq(unknown) = %d, want 0", got)
+	}
+	o.Advance(200)
+	if got := o.Total(100); got != 0 {
+		t.Errorf("Total after expiry = %d, want 0", got)
+	}
+}
+
+func TestOracleInnerProduct(t *testing.T) {
+	a, b := NewOracle(100), NewOracle(100)
+	a.Add(1, 10)
+	a.Add(1, 11)
+	a.Add(2, 12)
+	b.Add(1, 10)
+	b.Add(3, 11)
+	b.Advance(12)
+	if got := a.InnerProduct(b, 100); got != 2 { // f_a(1)·f_b(1) = 2·1
+		t.Errorf("InnerProduct = %v, want 2", got)
+	}
+}
+
+func TestOracleHeavyHitters(t *testing.T) {
+	o := NewOracle(1000)
+	var now Tick
+	for i := 0; i < 60; i++ {
+		now++
+		o.Add(7, now)
+	}
+	for i := 0; i < 40; i++ {
+		now++
+		o.Add(uint64(100+i), now)
+	}
+	hh := o.HeavyHitters(0.5, 1000)
+	if len(hh) != 1 || hh[0].Key != 7 {
+		t.Errorf("HeavyHitters(0.5) = %v, want only key 7", hh)
+	}
+	if o.DistinctKeys(1000) != 41 {
+		t.Errorf("DistinctKeys = %d, want 41", o.DistinctKeys(1000))
+	}
+	if len(o.Keys()) != 41 {
+		t.Errorf("Keys() has %d entries, want 41", len(o.Keys()))
+	}
+}
+
+func TestOracleWindowSemantics(t *testing.T) {
+	o := NewOracle(50)
+	o.Add(1, 10)
+	o.Add(1, 40)
+	o.Add(1, 70)
+	// Window (20, 70]: arrivals at 40 and 70.
+	if got := o.Freq(1, 50); got != 2 {
+		t.Errorf("Freq in window = %d, want 2", got)
+	}
+	// Sub-range (60, 70]: just the arrival at 70.
+	if got := o.Freq(1, 10); got != 1 {
+		t.Errorf("Freq in sub-range = %d, want 1", got)
+	}
+	if math.Abs(o.SelfJoin(50)-4) > 1e-9 {
+		t.Errorf("SelfJoin = %v, want 4", o.SelfJoin(50))
+	}
+}

@@ -1,0 +1,133 @@
+package ecmsketch_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ecmsketch"
+)
+
+// Micro-benchmarks for the library components outside the paper's
+// tables/figures: ingestion paths, serialization, and the derived trackers.
+
+func BenchmarkSketchAdd(b *testing.B) {
+	sk, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk.Add(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+}
+
+func BenchmarkSketchEstimate(b *testing.B) {
+	sk, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<17; i++ {
+		sk.Add(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sk.Estimate(uint64(i%4096), 1<<16)
+	}
+}
+
+func BenchmarkSketchMarshal(b *testing.B) {
+	sk, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<17; i++ {
+		sk.Add(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+	enc := sk.Marshal()
+	b.ReportMetric(float64(len(enc)), "encoded-bytes")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if enc = sk.Marshal(); len(enc) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkSketchUnmarshal(b *testing.B) {
+	sk, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<17; i++ {
+		sk.Add(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+	enc := sk.Marshal()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ecmsketch.Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowedSumAdd(b *testing.B) {
+	ws, err := ecmsketch.NewWindowedSum(ecmsketch.SumConfig{
+		WindowLength: 1 << 20, Epsilon: 0.05, MaxValue: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ws.Add(ecmsketch.Tick(i+1), uint64(i%1500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReordererOffer(b *testing.B) {
+	sink := func(uint64, ecmsketch.Tick, uint64) {}
+	r, err := ecmsketch.NewReorderer(64, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Alternate between in-order and slightly regressed ticks.
+		t := ecmsketch.Tick(i + 1)
+		if i%3 == 0 && t > 10 {
+			t -= 10
+		}
+		r.Offer(uint64(i%256), t, 1)
+	}
+	r.Flush()
+}
+
+func BenchmarkTopKOffer(b *testing.B) {
+	tk, err := ecmsketch.NewTopK(10, ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Offer(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+}
+
+func BenchmarkSafeSketchAddParallel(b *testing.B) {
+	ss, err := ecmsketch.NewSafe(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tick atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			ss.Add(i%1024, tick.Add(1))
+		}
+	})
+}

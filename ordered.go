@@ -1,0 +1,121 @@
+package ecmsketch
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Reorderer absorbs bounded out-of-order arrivals before they reach a
+// sketch. ECM-sketches require non-decreasing ticks (slightly regressed
+// ticks are clamped forward, which biases estimates); real collection
+// pipelines — NetFlow exporters, multi-threaded collectors — deliver events
+// with bounded disorder instead. The Reorderer buffers events in a min-heap
+// and releases an event only once the newest tick seen proves that nothing
+// older than it can still arrive, so events within the slack re-emerge in
+// tick order.
+//
+// The paper's Section 2 surveys synopses that tolerate out-of-order arrivals
+// natively at a higher space cost (randomized waves and variants); a bounded
+// reorder buffer in front of the deterministic ECM-sketch is the practical
+// alternative this library ships.
+type Reorderer struct {
+	sink    func(key uint64, t Tick, n uint64)
+	slack   Tick
+	heap    eventHeap
+	max     Tick
+	late    uint64
+	emitted uint64
+	seq     uint64
+}
+
+type pendingEvent struct {
+	key uint64
+	t   Tick
+	n   uint64
+	seq uint64 // arrival order, to keep same-tick events stable
+}
+
+type eventHeap struct {
+	items []pendingEvent
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	if h.items[i].t != h.items[j].t {
+		return h.items[i].t < h.items[j].t
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(pendingEvent)) }
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// NewReorderer wraps a sink (usually Sketch.AddN) with a reorder buffer of
+// the given slack. Events arriving more than slack ticks behind the newest
+// seen tick are late beyond repair and are forwarded immediately (to be
+// clamped by the sketch); Stats counts them.
+func NewReorderer(slack Tick, sink func(key uint64, t Tick, n uint64)) (*Reorderer, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("ecmsketch: Reorderer needs a sink")
+	}
+	return &Reorderer{sink: sink, slack: slack}, nil
+}
+
+// Offer submits one possibly out-of-order arrival.
+func (r *Reorderer) Offer(key uint64, t Tick, n uint64) {
+	r.seq++
+	if t+r.slack < r.max {
+		// Too old to ever be reordered correctly: hand through.
+		r.late++
+		r.emitted++
+		r.sink(key, t, n)
+		return
+	}
+	if t > r.max {
+		r.max = t
+	}
+	heap.Push(&r.heap, pendingEvent{key: key, t: t, n: n, seq: r.seq})
+	r.release()
+}
+
+// release drains every buffered event whose position is provably final:
+// at least slack older than the newest tick seen.
+func (r *Reorderer) release() {
+	for r.heap.Len() > 0 {
+		top := r.heap.items[0]
+		if top.t+r.slack > r.max {
+			return
+		}
+		heap.Pop(&r.heap)
+		r.emitted++
+		r.sink(top.key, top.t, top.n)
+	}
+}
+
+// Flush drains everything regardless of slack; call at stream end or on a
+// watermark.
+func (r *Reorderer) Flush() {
+	for r.heap.Len() > 0 {
+		it := heap.Pop(&r.heap).(pendingEvent)
+		r.emitted++
+		r.sink(it.key, it.t, it.n)
+	}
+}
+
+// ReorderStats reports buffer occupancy and late counts.
+type ReorderStats struct {
+	Buffered int    // events currently held
+	Late     uint64 // events beyond the slack, forwarded unordered
+	Emitted  uint64 // events delivered to the sink
+}
+
+// Stats reports the current accounting.
+func (r *Reorderer) Stats() ReorderStats {
+	return ReorderStats{Buffered: r.heap.Len(), Late: r.late, Emitted: r.emitted}
+}

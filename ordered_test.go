@@ -1,0 +1,185 @@
+package ecmsketch_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"ecmsketch"
+)
+
+// jitterOrder returns ticks 1..n in an arrival order where each event is
+// displaced by strictly less than `disorder` ticks: event t is emitted at
+// jittered position t + U[0,disorder).
+func jitterOrder(n int, disorder float64, seed int64) []ecmsketch.Tick {
+	rng := rand.New(rand.NewSource(seed))
+	type slot struct {
+		t   ecmsketch.Tick
+		pos float64
+	}
+	slots := make([]slot, n)
+	for i := range slots {
+		slots[i] = slot{t: ecmsketch.Tick(i + 1), pos: float64(i) + rng.Float64()*disorder}
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].pos < slots[b].pos })
+	out := make([]ecmsketch.Tick, n)
+	for i, s := range slots {
+		out[i] = s.t
+	}
+	return out
+}
+
+func TestReordererDeliversInOrder(t *testing.T) {
+	var got []ecmsketch.Tick
+	r, err := ecmsketch.NewReorderer(10, func(_ uint64, tk ecmsketch.Tick, _ uint64) {
+		got = append(got, tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disorder bounded strictly below the slack: event with tick t is
+	// offered at jittered position t + U[0,8).
+	for _, tk := range jitterOrder(500, 8, 5) {
+		r.Offer(1, tk, 1)
+	}
+	r.Flush()
+	if len(got) != 500 {
+		t.Fatalf("delivered %d events, want 500", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out-of-order delivery at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if st := r.Stats(); st.Late != 0 || st.Emitted != 500 || st.Buffered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReordererLateEvents(t *testing.T) {
+	var ticks []ecmsketch.Tick
+	r, err := ecmsketch.NewReorderer(5, func(_ uint64, tk ecmsketch.Tick, _ uint64) {
+		ticks = append(ticks, tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Offer(1, 100, 1)
+	r.Offer(1, 50, 1) // 50+5 < 100: late beyond slack, passed through
+	if st := r.Stats(); st.Late != 1 {
+		t.Errorf("late = %d, want 1", st.Late)
+	}
+	r.Flush()
+	if len(ticks) != 2 {
+		t.Fatalf("delivered %d", len(ticks))
+	}
+}
+
+func TestReordererNilSink(t *testing.T) {
+	if _, err := ecmsketch.NewReorderer(5, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestReordererStableSameTick(t *testing.T) {
+	type rec struct {
+		key uint64
+		n   uint64
+	}
+	var got []rec
+	r, _ := ecmsketch.NewReorderer(3, func(k uint64, _ ecmsketch.Tick, n uint64) {
+		got = append(got, rec{k, n})
+	})
+	r.Offer(1, 10, 1)
+	r.Offer(2, 10, 2)
+	r.Offer(3, 10, 3)
+	r.Flush()
+	for i, want := range []rec{{1, 1}, {2, 2}, {3, 3}} {
+		if got[i] != want {
+			t.Fatalf("same-tick order not stable: got %v", got)
+		}
+	}
+}
+
+func TestReordererFrontOfSketch(t *testing.T) {
+	// End-to-end: disordered stream through the reorderer into a sketch
+	// matches a sorted stream into a second sketch exactly.
+	p := ecmsketch.Params{Epsilon: 0.1, Delta: 0.1, WindowLength: 1000, Seed: 8}
+	viaReorder, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := ecmsketch.NewReorderer(16, viaReorder.AddN)
+	for _, tk := range jitterOrder(600, 10, 2) {
+		r.Offer(uint64(tk%7), tk, 1)
+	}
+	r.Flush()
+	for i := 1; i <= 600; i++ {
+		sorted.Add(uint64(i%7), ecmsketch.Tick(i))
+	}
+	for k := uint64(0); k < 7; k++ {
+		if a, b := viaReorder.Estimate(k, 1000), sorted.Estimate(k, 1000); a != b {
+			t.Errorf("key %d: reordered=%v sorted=%v", k, a, b)
+		}
+	}
+}
+
+func TestSafeSketchConcurrent(t *testing.T) {
+	ss, err := ecmsketch.NewSafe(ecmsketch.Params{Epsilon: 0.1, Delta: 0.1, WindowLength: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 500; i++ {
+				ss.Add(uint64(g), ecmsketch.Tick(i))
+				if i%50 == 0 {
+					ss.Estimate(uint64(g), 100000)
+					ss.SelfJoin(1000)
+					ss.EstimateTotal(1000)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ss.Count(); got != 4000 {
+		t.Errorf("Count = %d, want 4000", got)
+	}
+	snap, err := ss.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(0); g < 8; g++ {
+		if e := snap.Estimate(g, 100000); e < 400 {
+			t.Errorf("snapshot estimate for %d = %v, want ≈500", g, e)
+		}
+	}
+	if ss.MemoryBytes() <= 0 || ss.Now() == 0 {
+		t.Error("degenerate SafeSketch state")
+	}
+}
+
+func TestSafeSketchWrapAndStrings(t *testing.T) {
+	inner, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.1, Delta: 0.1, WindowLength: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := ecmsketch.WrapSafe(inner)
+	ss.AddString("a", 1)
+	ss.AddN(ecmsketch.KeyString("a"), 2, 4)
+	ss.Advance(3)
+	if got := ss.EstimateString("a", 100); got < 5 {
+		t.Errorf("EstimateString = %v, want ≥5", got)
+	}
+	if len(ss.Marshal()) == 0 {
+		t.Error("empty marshal")
+	}
+}

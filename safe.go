@@ -1,0 +1,118 @@
+package ecmsketch
+
+import "sync"
+
+// SafeSketch is a mutex-guarded wrapper making one ECM-sketch usable from
+// multiple goroutines — e.g. an HTTP collector with concurrent handlers.
+// Single-goroutine pipelines should use Sketch directly; the lock costs
+// roughly a cache-line bounce per operation.
+//
+// All query methods take the same lock as updates because sliding-window
+// counters expire lazily: reads advance the window clock.
+type SafeSketch struct {
+	mu sync.Mutex
+	s  *Sketch
+}
+
+// NewSafe constructs a concurrency-safe ECM-sketch.
+func NewSafe(p Params) (*SafeSketch, error) {
+	s, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeSketch{s: s}, nil
+}
+
+// WrapSafe guards an existing sketch. The caller must stop using the inner
+// sketch directly.
+func WrapSafe(s *Sketch) *SafeSketch { return &SafeSketch{s: s} }
+
+// Add registers one arrival of key at tick t.
+func (ss *SafeSketch) Add(key uint64, t Tick) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.s.Add(key, t)
+}
+
+// AddN registers n arrivals of key at tick t.
+func (ss *SafeSketch) AddN(key uint64, t Tick, n uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.s.AddN(key, t, n)
+}
+
+// AddString registers one arrival of a string-keyed item.
+func (ss *SafeSketch) AddString(key string, t Tick) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.s.AddString(key, t)
+}
+
+// Advance moves the window clock forward.
+func (ss *SafeSketch) Advance(t Tick) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.s.Advance(t)
+}
+
+// Estimate answers a point query over the last r ticks.
+func (ss *SafeSketch) Estimate(key uint64, r Tick) float64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.Estimate(key, r)
+}
+
+// EstimateString answers a point query for a string key.
+func (ss *SafeSketch) EstimateString(key string, r Tick) float64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.EstimateString(key, r)
+}
+
+// SelfJoin estimates F₂ over the last r ticks.
+func (ss *SafeSketch) SelfJoin(r Tick) float64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.SelfJoin(r)
+}
+
+// EstimateTotal estimates ‖a_r‖₁ over the last r ticks.
+func (ss *SafeSketch) EstimateTotal(r Tick) float64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.EstimateTotal(r)
+}
+
+// Marshal serializes the sketch.
+func (ss *SafeSketch) Marshal() []byte {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.Marshal()
+}
+
+// Snapshot returns an independent copy of the sketch (serialize + decode),
+// safe to query or merge without holding the lock.
+func (ss *SafeSketch) Snapshot() (*Sketch, error) {
+	return Unmarshal(ss.Marshal())
+}
+
+// MemoryBytes reports the sketch footprint.
+func (ss *SafeSketch) MemoryBytes() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.MemoryBytes()
+}
+
+// Count reports total arrivals since stream start.
+func (ss *SafeSketch) Count() uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.Count()
+}
+
+// Now reports the latest tick observed.
+func (ss *SafeSketch) Now() Tick {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.Now()
+}

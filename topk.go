@@ -1,0 +1,122 @@
+package ecmsketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopK continuously tracks the k most frequent items of a sliding window.
+// It pairs an ECM-sketch with a bounded candidate set: every offered item is
+// admitted as a candidate if its current estimate competes with the k-th
+// best, and candidates are re-scored against the (decaying) window on every
+// report. This is the practical "find the hot items without scanning the
+// universe" companion to the dyadic Hierarchy — cheaper (no log|U| sketch
+// stack) but only able to report items it has seen compete, whereas the
+// Hierarchy enumerates heavy hitters of the whole domain.
+type TopK struct {
+	k      int
+	sketch *Sketch
+	// candidates holds up to overprovision·k keys worth re-scoring.
+	candidates map[uint64]struct{}
+	maxCand    int
+	sinceTrim  int
+}
+
+// topKOverprovision bounds the candidate set at this multiple of k; window
+// decay can promote previously-mid items, so the set keeps a margin beyond
+// the current top k.
+const topKOverprovision = 8
+
+// NewTopK builds a tracker for the k most frequent items over p's window.
+func NewTopK(k int, p Params) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ecmsketch: k must be positive, got %d", k)
+	}
+	s, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{
+		k:          k,
+		sketch:     s,
+		candidates: make(map[uint64]struct{}, topKOverprovision*k),
+		maxCand:    topKOverprovision * k,
+	}, nil
+}
+
+// Sketch exposes the underlying sketch (e.g. for point queries or merging
+// its serialized form elsewhere).
+func (tk *TopK) Sketch() *Sketch { return tk.sketch }
+
+// Offer registers one arrival and keeps the key as a ranking candidate.
+func (tk *TopK) Offer(key uint64, t Tick) {
+	tk.sketch.Add(key, t)
+	tk.candidates[key] = struct{}{}
+	tk.sinceTrim++
+	if len(tk.candidates) > tk.maxCand && tk.sinceTrim >= tk.maxCand/2 {
+		tk.trim()
+		tk.sinceTrim = 0
+	}
+}
+
+// OfferString registers a string-keyed arrival.
+func (tk *TopK) OfferString(key string, t Tick) { tk.Offer(KeyString(key), t) }
+
+// trim drops the weakest candidates, keeping the best maxCand/2 by current
+// whole-window estimate.
+func (tk *TopK) trim() {
+	scored := tk.scoreAll(tk.sketch.Params().WindowLength)
+	keep := tk.maxCand / 2
+	if keep > len(scored) {
+		keep = len(scored)
+	}
+	next := make(map[uint64]struct{}, tk.maxCand)
+	for _, it := range scored[:keep] {
+		next[it.Key] = struct{}{}
+	}
+	tk.candidates = next
+}
+
+// scoreAll estimates every candidate over the last r ticks, sorted by
+// estimate descending (ties by key for determinism).
+func (tk *TopK) scoreAll(r Tick) []HeavyItem {
+	out := make([]HeavyItem, 0, len(tk.candidates))
+	for key := range tk.candidates {
+		out = append(out, HeavyItem{Key: key, Estimate: tk.sketch.Estimate(key, r)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Top reports the current k hottest candidates within the last r ticks.
+// Items whose window content expired score zero and drop out naturally.
+func (tk *TopK) Top(r Tick) []HeavyItem {
+	scored := tk.scoreAll(r)
+	n := tk.k
+	if n > len(scored) {
+		n = len(scored)
+	}
+	// Omit candidates with empty window content.
+	out := make([]HeavyItem, 0, n)
+	for _, it := range scored[:n] {
+		if it.Estimate > 0 {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Advance moves the window forward without an arrival.
+func (tk *TopK) Advance(t Tick) { tk.sketch.Advance(t) }
+
+// Candidates reports the current candidate-set size (for tests and
+// capacity planning).
+func (tk *TopK) Candidates() int { return len(tk.candidates) }
+
+// MemoryBytes reports sketch plus candidate-set footprint.
+func (tk *TopK) MemoryBytes() int { return tk.sketch.MemoryBytes() + 16*len(tk.candidates) }

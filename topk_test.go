@@ -1,0 +1,159 @@
+package ecmsketch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecmsketch"
+)
+
+func topKParams() ecmsketch.Params {
+	return ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, Seed: 3}
+}
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := ecmsketch.NewTopK(0, topKParams()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := topKParams()
+	bad.Epsilon = 0
+	if _, err := ecmsketch.NewTopK(3, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTopKBasicRanking(t *testing.T) {
+	tk, err := ecmsketch.NewTopK(3, topKParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ecmsketch.Tick
+	counts := map[uint64]int{1: 500, 2: 300, 3: 200, 4: 50, 5: 10}
+	for key, n := range counts {
+		for i := 0; i < n; i++ {
+			now++
+			tk.Offer(key, now)
+		}
+	}
+	top := tk.Top(10000)
+	if len(top) != 3 {
+		t.Fatalf("Top returned %d items, want 3", len(top))
+	}
+	want := []uint64{1, 2, 3}
+	for i, it := range top {
+		if it.Key != want[i] {
+			t.Errorf("rank %d: key %d, want %d (top=%v)", i, it.Key, want[i], top)
+		}
+	}
+	if top[0].Estimate < 450 {
+		t.Errorf("top estimate %v, want ≈500", top[0].Estimate)
+	}
+}
+
+func TestTopKWindowDecay(t *testing.T) {
+	p := topKParams()
+	p.WindowLength = 100
+	tk, err := ecmsketch.NewTopK(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 7 is hot early, key 8 hot late; after the window slides past the
+	// early burst only key 8 remains.
+	for i := ecmsketch.Tick(1); i <= 80; i++ {
+		tk.Offer(7, i)
+	}
+	for i := ecmsketch.Tick(300); i <= 380; i++ {
+		tk.Offer(8, i)
+	}
+	top := tk.Top(100)
+	if len(top) != 1 || top[0].Key != 8 {
+		t.Errorf("Top after decay = %v, want only key 8", top)
+	}
+}
+
+func TestTopKCandidateBounded(t *testing.T) {
+	tk, err := ecmsketch.NewTopK(5, topKParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var now ecmsketch.Tick
+	for i := 0; i < 20000; i++ {
+		now++
+		key := uint64(rng.Intn(100000)) // far more distinct keys than capacity
+		if rng.Intn(5) == 0 {
+			key = uint64(rng.Intn(5)) // a few recurring hot keys
+		}
+		tk.Offer(key, now)
+	}
+	if c := tk.Candidates(); c > 8*5*2 {
+		t.Errorf("candidate set grew to %d, want bounded near %d", c, 8*5)
+	}
+	top := tk.Top(10000)
+	if len(top) == 0 {
+		t.Fatal("no top items")
+	}
+	// The recurring hot keys must dominate despite churn.
+	hot := map[uint64]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	for i, it := range top {
+		if i < 3 && !hot[it.Key] {
+			t.Errorf("rank %d is churn key %d (top=%v)", i, it.Key, top)
+		}
+	}
+}
+
+func TestTopKZipfAgainstOracle(t *testing.T) {
+	tk, err := ecmsketch.NewTopK(10, topKParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ecmsketch.NewOracle(10000)
+	rng := rand.New(rand.NewSource(8))
+	zipf := rand.NewZipf(rng, 1.3, 1, 5000)
+	var now ecmsketch.Tick
+	for i := 0; i < 30000; i++ {
+		now++
+		k := zipf.Uint64()
+		tk.Offer(k, now)
+		oracle.Add(k, now)
+	}
+	top := tk.Top(10000)
+	truth := oracle.HeavyHitters(0.01, 10000)
+	truthSet := map[uint64]bool{}
+	for i, ev := range truth {
+		if i >= 5 {
+			break
+		}
+		truthSet[ev.Key] = true
+	}
+	found := 0
+	for _, it := range top {
+		if truthSet[it.Key] {
+			found++
+		}
+	}
+	if found < len(truthSet)-1 {
+		t.Errorf("top-10 found only %d of the true top-%d (top=%v)", found, len(truthSet), top)
+	}
+}
+
+func TestTopKStrings(t *testing.T) {
+	tk, err := ecmsketch.NewTopK(1, topKParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := ecmsketch.Tick(1); i <= 20; i++ {
+		tk.OfferString("/hot", i)
+	}
+	tk.OfferString("/cold", 21)
+	top := tk.Top(10000)
+	if len(top) != 1 || top[0].Key != ecmsketch.KeyString("/hot") {
+		t.Errorf("Top = %v", top)
+	}
+	if tk.MemoryBytes() <= 0 {
+		t.Error("no memory reported")
+	}
+	if tk.Sketch().Count() != 21 {
+		t.Errorf("Count = %d", tk.Sketch().Count())
+	}
+}

@@ -1,0 +1,43 @@
+package ecmsketch
+
+import "ecmsketch/internal/window"
+
+// WindowedSum maintains the sum of non-negative integer values over a
+// sliding window with relative error ε — e.g. bytes transferred in the last
+// hour, revenue over the last 10 000 sales. It is the weighted-value
+// counterpart of the counters inside an ECM-sketch (the "sums" extension of
+// the exponential histogram), decomposing values bitwise across parallel
+// histograms at O(log maxValue) cost per arrival.
+type WindowedSum = window.SumEH
+
+// SumConfig configures a WindowedSum.
+type SumConfig struct {
+	// Model selects time-based or count-based windows.
+	Model WindowModel
+	// WindowLength is N, in ticks.
+	WindowLength Tick
+	// Epsilon is the maximum relative error of sum estimates.
+	Epsilon float64
+	// MaxValue bounds individual arrival values.
+	MaxValue uint64
+}
+
+// NewWindowedSum constructs a windowed summer.
+func NewWindowedSum(cfg SumConfig) (*WindowedSum, error) {
+	return window.NewSumEH(window.Config{
+		Model:   cfg.Model,
+		Length:  cfg.WindowLength,
+		Epsilon: cfg.Epsilon,
+	}, cfg.MaxValue)
+}
+
+// MergeWindowedSums aggregates per-site summers over time-based windows
+// (Theorem 4 applied per bit plane); maxValue bounds the merged stream's
+// per-arrival values.
+func MergeWindowedSums(cfg SumConfig, inputs ...*WindowedSum) (*WindowedSum, error) {
+	return window.MergeSumEH(window.Config{
+		Model:   cfg.Model,
+		Length:  cfg.WindowLength,
+		Epsilon: cfg.Epsilon,
+	}, cfg.MaxValue, inputs...)
+}

@@ -1,0 +1,99 @@
+package ecmsketch_test
+
+import (
+	"math"
+	"testing"
+
+	"ecmsketch"
+)
+
+func TestWindowedSumBasics(t *testing.T) {
+	ws, err := ecmsketch.NewWindowedSum(ecmsketch.SumConfig{
+		WindowLength: 1000,
+		Epsilon:      0.05,
+		MaxValue:     10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := ecmsketch.Tick(1); i <= 200; i++ {
+		v := uint64(i % 100)
+		if err := ws.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+		want += float64(v)
+	}
+	got := ws.SumWindow()
+	if math.Abs(got-want) > 0.05*want+1 {
+		t.Errorf("SumWindow = %v, want ≈%v", got, want)
+	}
+	if err := ws.Add(201, 10001); err == nil {
+		t.Error("value above MaxValue accepted")
+	}
+}
+
+func TestWindowedSumValidation(t *testing.T) {
+	if _, err := ecmsketch.NewWindowedSum(ecmsketch.SumConfig{Epsilon: 0.1, MaxValue: 10}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := ecmsketch.NewWindowedSum(ecmsketch.SumConfig{WindowLength: 10, Epsilon: 0.1}); err == nil {
+		t.Error("zero MaxValue accepted")
+	}
+}
+
+func TestMergeWindowedSums(t *testing.T) {
+	cfg := ecmsketch.SumConfig{WindowLength: 500, Epsilon: 0.1, MaxValue: 1000}
+	a, err := ecmsketch.NewWindowedSum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ecmsketch.NewWindowedSum(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := ecmsketch.Tick(1); i <= 300; i++ {
+		if err := a.Add(i, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(i, 20); err != nil {
+			t.Fatal(err)
+		}
+		want += 30
+	}
+	m, err := ecmsketch.MergeWindowedSums(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.SumWindow()
+	if math.Abs(got-want) > 0.25*want+1 {
+		t.Errorf("merged SumWindow = %v, want ≈%v", got, want)
+	}
+}
+
+func TestECMIntervalQueries(t *testing.T) {
+	sk, err := ecmsketch.New(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 arrives in (0,100], key 2 in (100,200].
+	for i := ecmsketch.Tick(1); i <= 100; i++ {
+		sk.Add(1, i)
+	}
+	for i := ecmsketch.Tick(101); i <= 200; i++ {
+		sk.Add(2, i)
+	}
+	if got := sk.EstimateInterval(1, 0, 100); math.Abs(got-100) > 20 {
+		t.Errorf("EstimateInterval(1, 0..100) = %v, want ≈100", got)
+	}
+	if got := sk.EstimateInterval(1, 100, 200); got > 20 {
+		t.Errorf("EstimateInterval(1, 100..200) = %v, want ≈0", got)
+	}
+	if got := sk.EstimateInterval(2, 100, 200); math.Abs(got-100) > 20 {
+		t.Errorf("EstimateInterval(2, 100..200) = %v, want ≈100", got)
+	}
+	if got := sk.EstimateInterval(2, 200, 100); got != 0 {
+		t.Errorf("inverted interval = %v", got)
+	}
+}
