@@ -1,0 +1,99 @@
+package ecmsketch
+
+import "ecmsketch/internal/core"
+
+// Event is one stream arrival in batched form: a key observed at a tick,
+// with an optional multiplicity (N == 0 counts as 1). Batches are the unit
+// of ingest amortization: one AddBatch call takes each internal lock once
+// for the whole slice instead of once per arrival, and is the natural unit
+// for future asynchronous pipelines.
+type Event = core.Event
+
+// Ingestor is the write side of every sketch front end in this library:
+// the plain Sketch, the mutex-guarded SafeSketch, the lock-striped Sharded
+// engine, and the remote ecmclient.Client all satisfy it, so ingest
+// pipelines can be written once against the interface and pointed at any
+// of them.
+//
+// Ticks must be non-decreasing per Ingestor; slightly regressed ticks are
+// clamped forward (biasing estimates) rather than rejected.
+type Ingestor interface {
+	// Add registers one arrival of key at tick t.
+	Add(key uint64, t Tick)
+	// AddN registers n arrivals of key at tick t.
+	AddN(key uint64, t Tick, n uint64)
+	// AddString registers one arrival of a string-keyed item (digested via
+	// KeyString).
+	AddString(key string, t Tick)
+	// AddBatch registers a slice of arrivals in one call, applied in slice
+	// order.
+	AddBatch(events []Event)
+	// Advance moves the window clock forward without an arrival.
+	Advance(t Tick)
+}
+
+// Querier is the read side: sliding-window point, self-join, inner-product
+// and total-count queries over any suffix of the window (the last r ticks).
+// All local implementations answer within the paper's (ε, δ) guarantees;
+// the remote client forwards the server's answers unchanged.
+type Querier interface {
+	// Estimate answers a point query for key over the last r ticks.
+	Estimate(key uint64, r Tick) float64
+	// EstimateString answers a point query for a string key.
+	EstimateString(key string, r Tick) float64
+	// InnerProduct estimates the inner product against another sketch's
+	// stream over the last r ticks. The other sketch must be compatible
+	// (same dimensions, seed and window configuration).
+	InnerProduct(other *Sketch, r Tick) (float64, error)
+	// SelfJoin estimates the second frequency moment F₂ over the last r
+	// ticks.
+	SelfJoin(r Tick) float64
+	// EstimateTotal estimates ‖a_r‖₁, the total arrival count over the last
+	// r ticks.
+	EstimateTotal(r Tick) float64
+	// Now reports the latest tick observed.
+	Now() Tick
+}
+
+// Snapshotter produces merge-ready summaries: the wire encoding consumed by
+// Unmarshal/Merge, and a decoded independent copy. A Sharded engine and a
+// remote Client synthesize their snapshot by merging (resp. fetching) on
+// demand, so Snapshot can be more expensive than on a plain Sketch.
+type Snapshotter interface {
+	// Marshal serializes the (merged) sketch state.
+	Marshal() []byte
+	// Snapshot returns an independent *Sketch copy of the current state.
+	Snapshot() (*Sketch, error)
+}
+
+// Engine is the full contract of an ECM-sketch backend — ingest, query and
+// snapshot. Local sketches, the sharded engine and the remote HTTP client
+// are interchangeable behind it.
+type Engine interface {
+	Ingestor
+	Querier
+	Snapshotter
+}
+
+// IngestQuerier is the intersection trackers like TopK need from their
+// backing sketch: writes plus point queries, without snapshot capability.
+type IngestQuerier interface {
+	Ingestor
+	Querier
+}
+
+// Compile-time interface conformance for every local front end.
+// (ecmclient.Client asserts its own conformance in its package.)
+var (
+	_ Ingestor = (*Sketch)(nil)
+	_ Ingestor = (*SafeSketch)(nil)
+	_ Ingestor = (*Sharded)(nil)
+
+	_ Querier = (*Sketch)(nil)
+	_ Querier = (*SafeSketch)(nil)
+	_ Querier = (*Sharded)(nil)
+
+	_ Engine = (*Sketch)(nil)
+	_ Engine = (*SafeSketch)(nil)
+	_ Engine = (*Sharded)(nil)
+)

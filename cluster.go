@@ -15,8 +15,10 @@ type Cluster = distrib.Cluster
 // Network is the communication-cost accounting of a Cluster.
 type Network = distrib.Network
 
-// Event is one stream arrival routed to a site.
-type Event = workload.Event
+// StreamEvent is one synthetic-workload arrival routed to a site (key,
+// time, site). It is distinct from the batch-ingest Event type of the
+// Ingestor interfaces, which carries no site affinity.
+type StreamEvent = workload.Event
 
 // NewCluster builds n sites with identically configured, mergeable sketches.
 func NewCluster(p Params, n int) (*Cluster, error) { return distrib.NewCluster(p, n) }

@@ -1,15 +1,17 @@
-// Command ecmserve runs an ECM-sketch behind a small HTTP API, the shape a
-// monitoring site would deploy: collectors POST arrivals, dashboards GET
-// sliding-window estimates, and a coordinator can pull the serialized sketch
-// to aggregate several sites (see cmd/ecmcoord in EXPERIMENTS.md workflows,
-// or ecmsketch.Merge programmatically).
+// Command ecmserve runs a sharded ECM-sketch engine behind the versioned
+// HTTP API of package ecmserver: collectors POST arrivals, dashboards GET
+// sliding-window estimates, and a coordinator can pull the serialized
+// sketch to aggregate several sites (see cmd/ecmcoord, or ecmsketch.Merge
+// programmatically). The typed Go client for this API is package ecmclient.
 //
 // Usage:
 //
-//	ecmserve -addr :8080 -epsilon 0.02 -delta 0.01 -window 3600000
+//	ecmserve -addr :8080 -epsilon 0.02 -delta 0.01 -window 3600000 -shards 8
 //
-// Endpoints (see handler docs below): POST /add, POST /batch,
-// GET /estimate, GET /selfjoin, GET /total, GET /stats, GET /sketch.
+// Endpoints (see ecmserver handler docs): POST /v1/add, POST /v1/batch,
+// POST /v1/events, GET /v1/estimate, GET /v1/interval, GET /v1/selfjoin,
+// GET /v1/total, GET /v1/stats, GET /v1/sketch, POST /v1/advance, and
+// GET /v1/topk with -topk. The unversioned paths remain as aliases.
 package main
 
 import (
@@ -18,6 +20,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
+
+	"ecmsketch/ecmserver"
 )
 
 func main() {
@@ -29,10 +34,12 @@ func main() {
 		algo    = flag.String("algo", "eh", "counter algorithm: eh|dw|rw")
 		ubound  = flag.Uint64("ubound", 0, "u(N,S) arrival bound (waves; 0 = window length)")
 		seed    = flag.Uint64("seed", 1, "hash seed (sites to be merged must share it)")
-		topk    = flag.Int("topk", 0, "track the N hottest keys and serve GET /topk (0 = off)")
+		topk    = flag.Int("topk", 0, "track the N hottest keys and serve GET /v1/topk (0 = off)")
+		shards  = flag.Int("shards", 0, "ingest lock stripes (0 = GOMAXPROCS)")
+		ttl     = flag.Duration("merge-ttl", 250*time.Millisecond, "staleness bound of cached global-query view (0 = always fresh)")
 	)
 	flag.Parse()
-	srv, err := NewServer(ServerConfig{
+	srv, err := ecmserver.New(ecmserver.Config{
 		Epsilon:      *epsilon,
 		Delta:        *delta,
 		WindowLength: *window,
@@ -40,12 +47,14 @@ func main() {
 		UpperBound:   *ubound,
 		Seed:         *seed,
 		TopK:         *topk,
+		Shards:       *shards,
+		MergeTTL:     *ttl,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("ecmserve listening on %s (eps=%v delta=%v window=%d algo=%s)",
-		*addr, *epsilon, *delta, *window, *algo)
+	log.Printf("ecmserve listening on %s (eps=%v delta=%v window=%d algo=%s shards=%d)",
+		*addr, *epsilon, *delta, *window, *algo, srv.Engine().Shards())
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

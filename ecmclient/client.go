@@ -1,0 +1,399 @@
+// Package ecmclient is the typed Go client of the ecmserver /v1 HTTP API.
+//
+// Client implements the same ecmsketch.Ingestor / Querier / Snapshotter
+// interfaces as the local sketch front ends, so code written against those
+// interfaces — ingest pipelines, the TopK tracker, examples — can point at
+// a remote ecmserve deployment by swapping the constructor and nothing
+// else.
+//
+// Two method families coexist:
+//
+//   - Explicit, error-returning calls (AddEvents, PointEstimate,
+//     SelfJoinEstimate, FetchSketch, Stats, TopK, ...) for callers that
+//     handle transport failures per request.
+//   - The interface methods (Add, AddBatch, Estimate, SelfJoin, ...),
+//     whose signatures carry no error; a transport failure there returns a
+//     zero value and parks the error on the client, readable (and
+//     clearable) via Err, in the bufio.Scanner sticky-error style.
+package ecmclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"ecmsketch"
+)
+
+// Client speaks the ecmserver /v1 API. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu  sync.Mutex
+	err error // first unconsumed transport failure of an interface call
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, TLS, proxies).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the ecmserver instance at baseURL
+// (e.g. "http://collector-3:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: baseURL, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Err reports the first transport failure recorded by an interface-shaped
+// call since the last Reset; nil means every such call succeeded.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Reset clears the sticky error.
+func (c *Client) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.err = nil
+}
+
+func (c *Client) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// post issues a POST and decodes the JSON reply into out (ignored if nil).
+func (c *Client) post(path string, q url.Values, body io.Reader, contentType string, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodPost, u, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) get(path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("ecmclient: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var remote struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &remote) == nil && remote.Error != "" {
+			return fmt.Errorf("ecmclient: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, remote.Error)
+		}
+		return fmt.Errorf("ecmclient: %s %s: %s", req.Method, req.URL.Path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("ecmclient: reading %s: %w", req.URL.Path, err)
+		}
+		*raw = b
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("ecmclient: decoding %s reply: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// ---- explicit, error-returning API ----
+
+// AddKey registers n arrivals of a pre-digested key at tick t.
+func (c *Client) AddKey(key uint64, t ecmsketch.Tick, n uint64) error {
+	q := url.Values{
+		"ikey": {strconv.FormatUint(key, 10)},
+		"t":    {strconv.FormatUint(t, 10)},
+		"n":    {strconv.FormatUint(n, 10)},
+	}
+	return c.post("/v1/add", q, nil, "", nil)
+}
+
+// AddKeyString registers n arrivals of a string key (digested server-side,
+// with the same KeyString digest as local sketches).
+func (c *Client) AddKeyString(key string, t ecmsketch.Tick, n uint64) error {
+	q := url.Values{
+		"key": {key},
+		"t":   {strconv.FormatUint(t, 10)},
+		"n":   {strconv.FormatUint(n, 10)},
+	}
+	return c.post("/v1/add", q, nil, "", nil)
+}
+
+// AddEvents ships a batch of arrivals in one POST /v1/events request.
+func (c *Client) AddEvents(events []ecmsketch.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	type wireEvent struct {
+		IKey string `json:"ikey"`
+		T    uint64 `json:"t"`
+		N    uint64 `json:"n,omitempty"`
+	}
+	wire := make([]wireEvent, len(events))
+	for i, ev := range events {
+		wire[i] = wireEvent{IKey: strconv.FormatUint(ev.Key, 10), T: ev.Tick, N: ev.N}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	return c.post("/v1/events", nil, bytes.NewReader(body), "application/json", nil)
+}
+
+// AdvanceTo moves the server's window clock forward without an arrival.
+func (c *Client) AdvanceTo(t ecmsketch.Tick) error {
+	return c.post("/v1/advance", url.Values{"t": {strconv.FormatUint(t, 10)}}, nil, "", nil)
+}
+
+// PointEstimate answers a point query over the last r ticks.
+func (c *Client) PointEstimate(key uint64, r ecmsketch.Tick) (float64, error) {
+	var out struct {
+		Estimate float64 `json:"estimate"`
+	}
+	q := url.Values{
+		"ikey":  {strconv.FormatUint(key, 10)},
+		"range": {strconv.FormatUint(r, 10)},
+	}
+	if err := c.get("/v1/estimate", q, &out); err != nil {
+		return 0, err
+	}
+	return out.Estimate, nil
+}
+
+// PointEstimateString answers a point query for a string key.
+func (c *Client) PointEstimateString(key string, r ecmsketch.Tick) (float64, error) {
+	var out struct {
+		Estimate float64 `json:"estimate"`
+	}
+	q := url.Values{"key": {key}, "range": {strconv.FormatUint(r, 10)}}
+	if err := c.get("/v1/estimate", q, &out); err != nil {
+		return 0, err
+	}
+	return out.Estimate, nil
+}
+
+// IntervalEstimate answers a point query over the tick interval (from, to].
+func (c *Client) IntervalEstimate(key uint64, from, to ecmsketch.Tick) (float64, error) {
+	var out struct {
+		Estimate float64 `json:"estimate"`
+	}
+	q := url.Values{
+		"ikey": {strconv.FormatUint(key, 10)},
+		"from": {strconv.FormatUint(from, 10)},
+		"to":   {strconv.FormatUint(to, 10)},
+	}
+	if err := c.get("/v1/interval", q, &out); err != nil {
+		return 0, err
+	}
+	return out.Estimate, nil
+}
+
+// SelfJoinEstimate answers an F₂ query over the last r ticks.
+func (c *Client) SelfJoinEstimate(r ecmsketch.Tick) (float64, error) {
+	var out struct {
+		SelfJoin float64 `json:"selfJoin"`
+	}
+	if err := c.get("/v1/selfjoin", url.Values{"range": {strconv.FormatUint(r, 10)}}, &out); err != nil {
+		return 0, err
+	}
+	return out.SelfJoin, nil
+}
+
+// TotalEstimate answers a ‖a_r‖₁ query over the last r ticks.
+func (c *Client) TotalEstimate(r ecmsketch.Tick) (float64, error) {
+	var out struct {
+		Total float64 `json:"total"`
+	}
+	if err := c.get("/v1/total", url.Values{"range": {strconv.FormatUint(r, 10)}}, &out); err != nil {
+		return 0, err
+	}
+	return out.Total, nil
+}
+
+// FetchSketchBytes pulls the server's serialized merged sketch.
+func (c *Client) FetchSketchBytes() ([]byte, error) {
+	var raw []byte
+	if err := c.get("/v1/sketch", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// FetchSketch pulls and decodes the server's merged sketch — ready to
+// query locally or Merge with other sites' summaries.
+func (c *Client) FetchSketch() (*ecmsketch.Sketch, error) {
+	raw, err := c.FetchSketchBytes()
+	if err != nil {
+		return nil, err
+	}
+	return ecmsketch.Unmarshal(raw)
+}
+
+// Stats is the server's engine accounting.
+type Stats struct {
+	Width       int            `json:"width"`
+	Depth       int            `json:"depth"`
+	Shards      int            `json:"shards"`
+	Now         ecmsketch.Tick `json:"now"`
+	Count       uint64         `json:"count"`
+	MemoryBytes int            `json:"memoryBytes"`
+	Epsilon     float64        `json:"epsilon"`
+	Delta       float64        `json:"delta"`
+	Window      uint64         `json:"window"`
+	Algorithm   string         `json:"algorithm"`
+	APIVersion  string         `json:"apiVersion"`
+}
+
+// FetchStats reports engine dimensions, clock and footprint.
+func (c *Client) FetchStats() (Stats, error) {
+	var out Stats
+	err := c.get("/v1/stats", nil, &out)
+	return out, err
+}
+
+// TopK reports the server's current hottest keys within the last r ticks
+// (requires the server to run with TopK enabled).
+func (c *Client) TopK(r ecmsketch.Tick) ([]ecmsketch.HeavyItem, error) {
+	var out struct {
+		Top []struct {
+			Key      string  `json:"key"`
+			Estimate float64 `json:"estimate"`
+		} `json:"top"`
+	}
+	if err := c.get("/v1/topk", url.Values{"range": {strconv.FormatUint(r, 10)}}, &out); err != nil {
+		return nil, err
+	}
+	items := make([]ecmsketch.HeavyItem, 0, len(out.Top))
+	for _, e := range out.Top {
+		key, err := strconv.ParseUint(e.Key, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ecmclient: bad key %q in topk reply: %v", e.Key, err)
+		}
+		items = append(items, ecmsketch.HeavyItem{Key: key, Estimate: e.Estimate})
+	}
+	return items, nil
+}
+
+// ---- ecmsketch.Ingestor / Querier / Snapshotter ----
+
+var _ ecmsketch.Engine = (*Client)(nil)
+
+// Add registers one arrival of key at tick t.
+func (c *Client) Add(key uint64, t ecmsketch.Tick) { c.record(c.AddKey(key, t, 1)) }
+
+// AddN registers n arrivals of key at tick t.
+func (c *Client) AddN(key uint64, t ecmsketch.Tick, n uint64) { c.record(c.AddKey(key, t, n)) }
+
+// AddString registers one arrival of a string-keyed item.
+func (c *Client) AddString(key string, t ecmsketch.Tick) { c.record(c.AddKeyString(key, t, 1)) }
+
+// AddBatch ships a batch of arrivals in one request.
+func (c *Client) AddBatch(events []ecmsketch.Event) { c.record(c.AddEvents(events)) }
+
+// Advance moves the server's window clock forward.
+func (c *Client) Advance(t ecmsketch.Tick) { c.record(c.AdvanceTo(t)) }
+
+// Estimate answers a point query over the last r ticks.
+func (c *Client) Estimate(key uint64, r ecmsketch.Tick) float64 {
+	v, err := c.PointEstimate(key, r)
+	c.record(err)
+	return v
+}
+
+// EstimateString answers a point query for a string key.
+func (c *Client) EstimateString(key string, r ecmsketch.Tick) float64 {
+	v, err := c.PointEstimateString(key, r)
+	c.record(err)
+	return v
+}
+
+// InnerProduct estimates the inner product between the server's stream and
+// another (compatible) sketch's stream over the last r ticks, by pulling
+// the server's merged sketch and running the query locally.
+func (c *Client) InnerProduct(other *ecmsketch.Sketch, r ecmsketch.Tick) (float64, error) {
+	sk, err := c.FetchSketch()
+	if err != nil {
+		return 0, err
+	}
+	return sk.InnerProduct(other, r)
+}
+
+// SelfJoin estimates F₂ over the last r ticks.
+func (c *Client) SelfJoin(r ecmsketch.Tick) float64 {
+	v, err := c.SelfJoinEstimate(r)
+	c.record(err)
+	return v
+}
+
+// EstimateTotal estimates ‖a_r‖₁ over the last r ticks.
+func (c *Client) EstimateTotal(r ecmsketch.Tick) float64 {
+	v, err := c.TotalEstimate(r)
+	c.record(err)
+	return v
+}
+
+// Now reports the server's latest observed tick.
+func (c *Client) Now() ecmsketch.Tick {
+	st, err := c.FetchStats()
+	c.record(err)
+	return st.Now
+}
+
+// Marshal pulls the server's serialized merged sketch; nil on transport
+// failure (recorded in Err).
+func (c *Client) Marshal() []byte {
+	raw, err := c.FetchSketchBytes()
+	c.record(err)
+	return raw
+}
+
+// Snapshot pulls and decodes the server's merged sketch.
+func (c *Client) Snapshot() (*ecmsketch.Sketch, error) { return c.FetchSketch() }

@@ -1,0 +1,235 @@
+package ecmclient_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ecmsketch"
+	"ecmsketch/ecmclient"
+	"ecmsketch/ecmserver"
+)
+
+func startServer(t *testing.T, topk int) (*httptest.Server, *ecmclient.Client) {
+	t.Helper()
+	srv, err := ecmserver.New(ecmserver.Config{
+		Epsilon:      0.05,
+		Delta:        0.05,
+		WindowLength: 10000,
+		Seed:         7,
+		TopK:         topk,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, ecmclient.New(ts.URL)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, c := startServer(t, 0)
+	for i := ecmsketch.Tick(1); i <= 50; i++ {
+		if err := c.AddKeyString("/home", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]ecmsketch.Event, 100)
+	for i := range batch {
+		batch[i] = ecmsketch.Event{Key: ecmsketch.KeyString("/search"), Tick: ecmsketch.Tick(51 + i)}
+	}
+	if err := c.AddEvents(batch); err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.PointEstimateString("/home", 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 45 || est > 60 {
+		t.Errorf("estimate = %v, want ≈50", est)
+	}
+	total, err := c.TotalEstimate(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 135 || total > 170 {
+		t.Errorf("total = %v, want ≈150", total)
+	}
+	if _, err := c.SelfJoinEstimate(10000); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.FetchStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 150 || st.Shards != 4 || st.APIVersion != "v1" {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := c.AdvanceTo(60000); err != nil {
+		t.Fatal(err)
+	}
+	if est, _ := c.PointEstimateString("/home", 10000); est != 0 {
+		t.Errorf("estimate after expiry = %v, want 0", est)
+	}
+	if c.Err() != nil {
+		t.Errorf("sticky error set by explicit calls: %v", c.Err())
+	}
+}
+
+// feedAndQuery is the interface-driven pipeline of the interchangeability
+// test: everything it touches is the Ingestor/Querier contract, so it runs
+// identically against a plain Sketch, a Sharded engine, or a remote server.
+func feedAndQuery(e ecmsketch.IngestQuerier) (hot float64, total float64) {
+	var batch []ecmsketch.Event
+	var now ecmsketch.Tick
+	for i := 0; i < 500; i++ {
+		now++
+		key := uint64(i % 7)
+		if i%2 == 0 {
+			key = 42 // hot key: every second arrival
+		}
+		batch = append(batch, ecmsketch.Event{Key: key, Tick: now})
+		if len(batch) == 100 {
+			e.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	e.AddBatch(batch)
+	e.AddN(42, now, 5)
+	return e.Estimate(42, 10000), e.EstimateTotal(10000)
+}
+
+// TestClientInterchangeable runs the same pipeline against a local sketch,
+// a sharded engine and the remote client, and requires near-identical
+// answers — the acceptance gate for "one interface, three backends".
+func TestClientInterchangeable(t *testing.T) {
+	p := ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, Seed: 7}
+	local, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, remote := startServer(t, 0)
+
+	backends := map[string]ecmsketch.IngestQuerier{
+		"sketch": local, "sharded": sharded, "client": remote,
+	}
+	type answer struct{ hot, total float64 }
+	got := map[string]answer{}
+	for name, b := range backends {
+		hot, total := feedAndQuery(b)
+		got[name] = answer{hot, total}
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("remote pipeline recorded transport error: %v", err)
+	}
+	ref := got["sketch"]
+	if ref.hot < 250 || ref.total < 450 {
+		t.Fatalf("reference answers degenerate: %+v", ref)
+	}
+	for name, a := range got {
+		if relDiff(a.hot, ref.hot) > 0.1 || relDiff(a.total, ref.total) > 0.1 {
+			t.Errorf("%s answers %+v diverge from sketch reference %+v", name, a, ref)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return a
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestClientSketchPullAndMerge(t *testing.T) {
+	_, siteA := startServer(t, 0)
+	_, siteB := startServer(t, 0)
+	for i := ecmsketch.Tick(1); i <= 30; i++ {
+		siteA.Add(99, i)
+		siteB.Add(99, i)
+	}
+	a, err := siteA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := siteB.FetchSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ecmsketch.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := m.Estimate(99, 10000); est < 50 || est > 70 {
+		t.Errorf("merged estimate = %v, want ≈60", est)
+	}
+	// InnerProduct pulls the remote sketch and runs locally.
+	ip, err := siteA.InnerProduct(b, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip < 700 || ip > 1200 {
+		t.Errorf("inner product = %v, want ≈900", ip)
+	}
+}
+
+func TestClientTopK(t *testing.T) {
+	_, c := startServer(t, 2)
+	for i := ecmsketch.Tick(1); i <= 60; i++ {
+		c.AddString("hot", i)
+		if i%3 == 0 {
+			c.AddString("warm", i)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	top, err := c.TopK(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Key != ecmsketch.KeyString("hot") {
+		t.Errorf("TopK = %v", top)
+	}
+}
+
+func TestClientStickyError(t *testing.T) {
+	ts, c := startServer(t, 0)
+	ts.Close()
+	c.Add(1, 1)
+	if c.Err() == nil {
+		t.Fatal("transport failure not recorded")
+	}
+	if got := c.Estimate(1, 100); got != 0 {
+		t.Errorf("estimate against dead server = %v, want 0", got)
+	}
+	c.Reset()
+	if c.Err() != nil {
+		t.Error("Reset did not clear the sticky error")
+	}
+	if b := c.Marshal(); b != nil {
+		t.Errorf("Marshal against dead server = %d bytes, want nil", len(b))
+	}
+	if c.Err() == nil {
+		t.Error("Marshal failure not recorded")
+	}
+}
+
+func TestClientBadRequestSurfacesServerError(t *testing.T) {
+	_, c := startServer(t, 0)
+	// Tick 0 is rejected server-side; the error body must surface.
+	if err := c.AddKey(1, 0, 1); err == nil {
+		t.Fatal("server-side validation error not surfaced")
+	}
+	// TopK is not enabled on this server.
+	if _, err := c.TopK(10000); err == nil {
+		t.Fatal("topk on a server without -topk must error")
+	}
+}

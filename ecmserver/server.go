@@ -1,0 +1,477 @@
+// Package ecmserver is the embeddable HTTP front end over an ECM-sketch
+// engine: collectors POST arrivals, dashboards GET sliding-window
+// estimates, and a coordinator can pull the serialized sketch to aggregate
+// several sites (see cmd/ecmcoord, or ecmsketch.Merge programmatically).
+//
+// The engine behind the API is a lock-striped ecmsketch.Sharded, so
+// concurrent collectors contend per key stripe instead of on one global
+// lock. Routes are versioned under /v1/ (POST /v1/add, POST /v1/batch,
+// POST /v1/events, GET /v1/estimate, ...); the unversioned paths of
+// earlier deployments remain as thin aliases. cmd/ecmserve wires this
+// package behind flags; ecmclient speaks the /v1 API as a typed Go client.
+package ecmserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ecmsketch"
+)
+
+// Config configures the sketch engine behind the HTTP API.
+type Config struct {
+	Epsilon      float64
+	Delta        float64
+	WindowLength uint64
+	Algorithm    string // "eh", "dw" or "rw"
+	UpperBound   uint64
+	Seed         uint64
+	// TopK enables the /v1/topk endpoint tracking this many hottest keys.
+	TopK int
+	// Shards is the lock-stripe count of the engine; 0 means GOMAXPROCS.
+	Shards int
+	// MergeTTL bounds the staleness of global queries (selfjoin, total,
+	// sketch pulls) served from the engine's cached merged view; 0 means
+	// always fresh.
+	MergeTTL time.Duration
+}
+
+// Server is an HTTP front end over a sharded ECM-sketch engine. All
+// handlers are safe for concurrent use; ingest contends only per key
+// stripe.
+type Server struct {
+	engine *ecmsketch.Sharded
+	cfg    Config
+	mux    *http.ServeMux
+
+	// topkMu guards the TopK candidate set; the stream itself lives in the
+	// shared engine (single ingest, no private second sketch).
+	topkMu sync.Mutex
+	topk   *ecmsketch.TopK // nil unless TopK > 0
+}
+
+// New builds the engine and routes.
+func New(cfg Config) (*Server, error) {
+	algo, err := ParseAlgo(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	params := ecmsketch.Params{
+		Epsilon:      cfg.Epsilon,
+		Delta:        cfg.Delta,
+		Algorithm:    algo,
+		WindowLength: cfg.WindowLength,
+		UpperBound:   cfg.UpperBound,
+		Seed:         cfg.Seed,
+	}
+	engine, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params:   params,
+		Shards:   cfg.Shards,
+		MergeTTL: cfg.MergeTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{engine: engine, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.TopK > 0 {
+		tk, err := ecmsketch.NewTopKOver(cfg.TopK, engine, cfg.WindowLength)
+		if err != nil {
+			return nil, err
+		}
+		s.topk = tk
+		s.route("GET", "/topk", s.handleTopK)
+	}
+	s.route("POST", "/add", s.handleAdd)
+	s.route("POST", "/batch", s.handleBatch)
+	s.route("GET", "/estimate", s.handleEstimate)
+	s.route("GET", "/interval", s.handleInterval)
+	s.route("GET", "/selfjoin", s.handleSelfJoin)
+	s.route("GET", "/total", s.handleTotal)
+	s.route("GET", "/stats", s.handleStats)
+	s.route("GET", "/sketch", s.handleSketch)
+	s.route("POST", "/advance", s.handleAdvance)
+	// JSON batch ingest exists only under the versioned prefix.
+	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	return s, nil
+}
+
+// route registers a handler under the versioned /v1 prefix and the legacy
+// unversioned path.
+func (s *Server) route(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /v1"+path, h)
+	s.mux.HandleFunc(method+" "+path, h)
+}
+
+// Engine exposes the sketch engine backing the server (e.g. to share it
+// with other in-process consumers).
+func (s *Server) Engine() *ecmsketch.Sharded { return s.engine }
+
+// ParseAlgo resolves the wire names of the counter algorithms.
+func ParseAlgo(s string) (ecmsketch.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "eh":
+		return ecmsketch.AlgoEH, nil
+	case "dw":
+		return ecmsketch.AlgoDW, nil
+	case "rw":
+		return ecmsketch.AlgoRW, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want eh, dw or rw)", s)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// parseKey resolves the item key from either ?key= (string, digested) or
+// ?ikey= (raw uint64).
+func parseKey(r *http.Request) (uint64, error) {
+	if k := r.URL.Query().Get("key"); k != "" {
+		return ecmsketch.KeyString(k), nil
+	}
+	if k := r.URL.Query().Get("ikey"); k != "" {
+		v, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad ikey: %v", err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("missing key or ikey parameter")
+}
+
+func parseU64(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ingest feeds one arrival through the engine, keeping the TopK candidate
+// set in sync when enabled. The engine ingests the stream exactly once
+// either way, and always outside topkMu — the stripe locks, not the
+// candidate-set mutex, are the concurrency bottleneck.
+func (s *Server) ingest(key uint64, t ecmsketch.Tick, n uint64) {
+	s.engine.AddN(key, t, n)
+	if s.topk != nil {
+		s.topkMu.Lock()
+		s.topk.Note(key)
+		s.topkMu.Unlock()
+	}
+}
+
+// ingestBatch feeds a batch through the engine's lock-amortized path and
+// then registers the keys as TopK candidates without re-ingesting.
+func (s *Server) ingestBatch(events []ecmsketch.Event) {
+	s.engine.AddBatch(events)
+	if s.topk != nil {
+		s.topkMu.Lock()
+		for _, ev := range events {
+			s.topk.Note(ev.Key)
+		}
+		s.topkMu.Unlock()
+	}
+}
+
+// handleAdd registers one arrival: POST /v1/add?key=/home&t=12345[&n=3].
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := parseU64(r, "t", 0)
+	if err != nil || t == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad t parameter"))
+		return
+	}
+	n, err := parseU64(r, "n", 1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ingest(key, t, n)
+	respond(w, map[string]any{"ok": true})
+}
+
+// ingestFlushEvery bounds the memory of streaming batch uploads: parsed
+// events are flushed into the engine in chunks of this many, so arbitrarily
+// long request bodies never accumulate in full.
+const ingestFlushEvery = 4096
+
+// handleBatch ingests newline-separated "key,tick[,count]" records:
+// POST /v1/batch with a text body. Returns the number of accepted records
+// and the first error encountered, if any. Records are applied in chunks
+// as the body streams in, so a huge upload costs bounded memory (malformed
+// lines are skipped, as reported, not rolled back).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	accepted, lineNo := 0, 0
+	var firstErr string
+	events := make([]ecmsketch.Event, 0, ingestFlushEvery)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("line %d: want key,tick[,count]", lineNo)
+			}
+			continue
+		}
+		t, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("line %d: bad tick: %v", lineNo, err)
+			}
+			continue
+		}
+		n := uint64(1)
+		if len(parts) >= 3 {
+			if n, err = strconv.ParseUint(strings.TrimSpace(parts[2]), 10, 64); err != nil {
+				if firstErr == "" {
+					firstErr = fmt.Sprintf("line %d: bad count: %v", lineNo, err)
+				}
+				continue
+			}
+		}
+		key := ecmsketch.KeyString(strings.TrimSpace(parts[0]))
+		events = append(events, ecmsketch.Event{Key: key, Tick: t, N: n})
+		accepted++
+		if len(events) == ingestFlushEvery {
+			s.ingestBatch(events)
+			events = events[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ingestBatch(events)
+	resp := map[string]any{"accepted": accepted}
+	if firstErr != "" {
+		resp["firstError"] = firstErr
+	}
+	respond(w, resp)
+}
+
+// WireEvent is the JSON form of one batched arrival on POST /v1/events.
+// Exactly one of Key (string, digested server-side) or IKey (decimal
+// uint64, kept as a string so >2^53 digests survive non-Go JSON stacks)
+// identifies the item.
+type WireEvent struct {
+	Key  string `json:"key,omitempty"`
+	IKey string `json:"ikey,omitempty"`
+	T    uint64 `json:"t"`
+	N    uint64 `json:"n,omitempty"`
+}
+
+// handleEvents ingests a JSON array of arrivals: POST /v1/events with body
+// [{"key":"/home","t":12345,"n":2}, {"ikey":"17446744073709551615","t":12346}].
+// The array is decoded element by element and flushed into the engine in
+// chunks, so body size does not bound memory; an error mid-stream returns
+// 400 with the count already accepted (earlier chunks are not rolled back).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	accepted := 0
+	fail := func(err error) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "accepted": accepted})
+	}
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+		fail(fmt.Errorf("bad events body: want a JSON array"))
+		return
+	}
+	events := make([]ecmsketch.Event, 0, ingestFlushEvery)
+	for i := 0; dec.More(); i++ {
+		var ev WireEvent
+		if err := dec.Decode(&ev); err != nil {
+			fail(fmt.Errorf("event %d: %v", i, err))
+			return
+		}
+		var key uint64
+		switch {
+		case ev.Key != "":
+			key = ecmsketch.KeyString(ev.Key)
+		case ev.IKey != "":
+			v, err := strconv.ParseUint(ev.IKey, 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("event %d: bad ikey: %v", i, err))
+				return
+			}
+			key = v
+		default:
+			fail(fmt.Errorf("event %d: missing key or ikey", i))
+			return
+		}
+		if ev.T == 0 {
+			fail(fmt.Errorf("event %d: missing or zero t", i))
+			return
+		}
+		events = append(events, ecmsketch.Event{Key: key, Tick: ev.T, N: ev.N})
+		if len(events) == ingestFlushEvery {
+			s.ingestBatch(events)
+			accepted += len(events)
+			events = events[:0]
+		}
+	}
+	if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
+		fail(fmt.Errorf("bad events body: unterminated array"))
+		return
+	}
+	s.ingestBatch(events)
+	accepted += len(events)
+	respond(w, map[string]any{"accepted": accepted})
+}
+
+// handleEstimate answers a point query: GET /v1/estimate?key=/home&range=60000.
+// Key-hash routing answers from the single shard owning the key.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	respond(w, map[string]any{"estimate": s.engine.Estimate(key, rng), "range": rng})
+}
+
+// handleInterval answers a point query over an arbitrary tick interval:
+// GET /v1/interval?key=/home&from=1000&to=2000 estimates the key's
+// frequency within (from, to]. Interval queries carry twice the window
+// error of suffix queries.
+func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	from, err := parseU64(r, "from", 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := parseU64(r, "to", 0)
+	if err != nil || to == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad to parameter"))
+		return
+	}
+	est := s.engine.EstimateInterval(key, from, to)
+	respond(w, map[string]any{"estimate": est, "from": from, "to": to})
+}
+
+// handleSelfJoin answers GET /v1/selfjoin?range=60000 from the merged view.
+func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	respond(w, map[string]any{"selfJoin": s.engine.SelfJoin(rng), "range": rng})
+}
+
+// handleTotal answers GET /v1/total?range=60000 with the estimated ‖a_r‖₁.
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	respond(w, map[string]any{"total": s.engine.EstimateTotal(rng), "range": rng})
+}
+
+// handleStats reports engine dimensions, clock and footprint.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	respond(w, map[string]any{
+		"width":       s.engine.Width(),
+		"depth":       s.engine.Depth(),
+		"shards":      s.engine.Shards(),
+		"now":         s.engine.Now(),
+		"count":       s.engine.Count(),
+		"memoryBytes": s.engine.MemoryBytes(),
+		"epsilon":     s.cfg.Epsilon,
+		"delta":       s.cfg.Delta,
+		"window":      s.cfg.WindowLength,
+		"algorithm":   s.cfg.Algorithm,
+		"apiVersion":  "v1",
+	})
+}
+
+// handleSketch ships the serialized merged view, letting a coordinator pull
+// and merge several sites' summaries.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	enc := s.engine.Marshal()
+	if enc == nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("merging shards failed"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc)
+}
+
+// handleAdvance moves the window clock forward without an arrival:
+// POST /v1/advance?t=99999.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	t, err := parseU64(r, "t", 0)
+	if err != nil || t == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing or bad t parameter"))
+		return
+	}
+	s.engine.Advance(t)
+	respond(w, map[string]any{"ok": true, "now": t})
+}
+
+// handleTopK reports the current hottest keys: GET /v1/topk?range=60000.
+// Available only when the server was configured with TopK > 0.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	rng, err := parseU64(r, "range", s.cfg.WindowLength)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.topkMu.Lock()
+	items := s.topk.Top(rng)
+	s.topkMu.Unlock()
+	// Keys are rendered as decimal strings: uint64 digests exceed the
+	// float64-exact integer range of JSON consumers.
+	type entry struct {
+		Key      string  `json:"key"`
+		Estimate float64 `json:"estimate"`
+	}
+	out := make([]entry, len(items))
+	for i, it := range items {
+		out[i] = entry{Key: strconv.FormatUint(it.Key, 10), Estimate: it.Estimate}
+	}
+	respond(w, map[string]any{"top": out, "range": rng})
+}

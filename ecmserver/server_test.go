@@ -1,4 +1,4 @@
-package main
+package ecmserver
 
 import (
 	"encoding/json"
@@ -14,7 +14,7 @@ import (
 
 func testServer(t *testing.T) *Server {
 	t.Helper()
-	srv, err := NewServer(ServerConfig{
+	srv, err := New(Config{
 		Epsilon:      0.05,
 		Delta:        0.05,
 		WindowLength: 10000,
@@ -48,10 +48,10 @@ func doJSON(t *testing.T, srv *Server, method, url, body string) (int, map[strin
 }
 
 func TestServerConfigValidation(t *testing.T) {
-	if _, err := NewServer(ServerConfig{Epsilon: 0.1, Delta: 0.1, WindowLength: 100, Algorithm: "bogus"}); err == nil {
+	if _, err := New(Config{Epsilon: 0.1, Delta: 0.1, WindowLength: 100, Algorithm: "bogus"}); err == nil {
 		t.Error("bogus algorithm accepted")
 	}
-	if _, err := NewServer(ServerConfig{Epsilon: 0, Delta: 0.1, WindowLength: 100}); err == nil {
+	if _, err := New(Config{Epsilon: 0, Delta: 0.1, WindowLength: 100}); err == nil {
 		t.Error("zero epsilon accepted")
 	}
 }
@@ -242,9 +242,9 @@ func TestParseAlgo(t *testing.T) {
 		"": ecmsketch.AlgoEH, "eh": ecmsketch.AlgoEH, "EH": ecmsketch.AlgoEH,
 		"dw": ecmsketch.AlgoDW, "rw": ecmsketch.AlgoRW,
 	} {
-		got, err := parseAlgo(in)
+		got, err := ParseAlgo(in)
 		if err != nil || got != want {
-			t.Errorf("parseAlgo(%q) = %v, %v", in, got, err)
+			t.Errorf("ParseAlgo(%q) = %v, %v", in, got, err)
 		}
 	}
 }
@@ -269,7 +269,7 @@ func TestIntervalEndpoint(t *testing.T) {
 }
 
 func TestTopKEndpoint(t *testing.T) {
-	srv, err := NewServer(ServerConfig{
+	srv, err := New(Config{
 		Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, TopK: 2, Seed: 3,
 	})
 	if err != nil {
@@ -304,5 +304,69 @@ func TestTopKEndpoint(t *testing.T) {
 	code, _ = doJSON(t, plain, "GET", "/topk", "")
 	if code == http.StatusOK {
 		t.Error("/topk served without TopK configured")
+	}
+}
+
+// TestVersionedRoutes checks every endpoint answers identically under the
+// /v1 prefix and its legacy unversioned alias.
+func TestVersionedRoutes(t *testing.T) {
+	srv := testServer(t)
+	for i := 1; i <= 20; i++ {
+		code, _ := doJSON(t, srv, "POST", fmt.Sprintf("/v1/add?key=/home&t=%d", i), "")
+		if code != http.StatusOK {
+			t.Fatalf("/v1/add returned %d", code)
+		}
+	}
+	_, v1 := doJSON(t, srv, "GET", "/v1/estimate?key=/home", "")
+	_, legacy := doJSON(t, srv, "GET", "/estimate?key=/home", "")
+	if v1["estimate"] != legacy["estimate"] {
+		t.Errorf("/v1/estimate %v != /estimate %v", v1["estimate"], legacy["estimate"])
+	}
+	_, stats := doJSON(t, srv, "GET", "/v1/stats", "")
+	if stats["apiVersion"] != "v1" || stats["shards"].(float64) < 1 {
+		t.Errorf("stats = %v", stats)
+	}
+	for _, url := range []string{"/v1/selfjoin", "/v1/total", "/v1/interval?key=/home&from=1&to=9"} {
+		code, _ := doJSON(t, srv, "GET", url, "")
+		if code != http.StatusOK {
+			t.Errorf("GET %s returned %d", url, code)
+		}
+	}
+}
+
+// TestEventsEndpoint covers the JSON batch route, only present under /v1.
+func TestEventsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := `[{"key":"/home","t":1},{"key":"/home","t":2,"n":4},{"ikey":"42","t":3}]`
+	code, out := doJSON(t, srv, "POST", "/v1/events", body)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/events returned %d: %v", code, out)
+	}
+	if out["accepted"].(float64) != 3 {
+		t.Errorf("accepted = %v, want 3", out["accepted"])
+	}
+	_, est := doJSON(t, srv, "GET", "/v1/estimate?key=/home", "")
+	if v := est["estimate"].(float64); v < 5 {
+		t.Errorf("/home estimate = %v, want ≥5", v)
+	}
+	_, est = doJSON(t, srv, "GET", "/v1/estimate?ikey=42", "")
+	if v := est["estimate"].(float64); v < 1 {
+		t.Errorf("ikey 42 estimate = %v, want ≥1", v)
+	}
+	for _, bad := range []string{
+		`not json`,
+		`[{"t":5}]`,              // no key
+		`[{"key":"x"}]`,          // no t
+		`[{"ikey":"zzz","t":1}]`, // bad ikey
+	} {
+		code, _ := doJSON(t, srv, "POST", "/v1/events", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %q returned %d, want 400", bad, code)
+		}
+	}
+	// The JSON batch route has no legacy alias.
+	code, _ = doJSON(t, srv, "POST", "/events", `[]`)
+	if code == http.StatusOK {
+		t.Error("/events served without version prefix")
 	}
 }

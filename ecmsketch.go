@@ -12,6 +12,25 @@
 // a single sketch of the combined stream with a small, bounded loss of
 // accuracy.
 //
+// # Interface-first API
+//
+// Every sketch front end satisfies the same three small interfaces —
+// Ingestor (Add/AddN/AddBatch/Advance), Querier (Estimate/InnerProduct/
+// SelfJoin/EstimateTotal over window suffixes) and Snapshotter
+// (Marshal/Snapshot, merge-ready) — collectively Engine:
+//
+//   - *Sketch: the plain single-goroutine ECM-sketch.
+//   - *SafeSketch: one sketch behind one mutex, for modest concurrency.
+//   - *Sharded: a lock-striped engine of P mergeable per-shard sketches,
+//     key-hash routed; point queries hit one stripe, global queries merge
+//     on demand (Theorem 4 applied inside one process for throughput).
+//   - ecmclient.Client: a remote ecmserve instance behind the same
+//     interfaces, over the versioned /v1 HTTP API served by ecmserver.
+//
+// Pipelines written against the interfaces swap backends by swapping the
+// constructor (see examples/sharded). Event is the batch unit: AddBatch
+// amortizes lock traffic across a slice of arrivals on every backend.
+//
 // # Quick start
 //
 //	sk, err := ecmsketch.New(ecmsketch.Params{
@@ -23,14 +42,24 @@
 //	sk.AddString(pageURL, uint64(arrivalMillis))
 //	views := sk.EstimateString(pageURL, 3600*1000) // last hour
 //
+// For write-heavy concurrent ingest, substitute the sharded engine:
+//
+//	eng, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+//	    Params: params, Shards: 16, MergeTTL: 100 * time.Millisecond,
+//	})
+//
 // Higher-level queries (heavy hitters, range counts, quantiles) live behind
-// NewHierarchy; continuous distributed threshold monitoring behind
-// NewMonitor; multi-site simulation and aggregation behind NewCluster.
+// NewHierarchy; hot-item tracking behind NewTopK/NewTopKOver (the latter
+// wraps any existing Engine instead of owning a second sketch); continuous
+// distributed threshold monitoring behind NewMonitor; multi-site simulation
+// and aggregation behind NewCluster.
 //
 // The implementation packages sit under internal/: window (exponential
 // histograms, deterministic and randomized waves), cm (conventional
 // Count-Min), core (the ECM-sketch itself), dyadic, geom, distrib,
 // workload and experiments (the reproduction of the paper's evaluation).
+// The HTTP layer lives in ecmserver (embeddable server) and ecmclient
+// (typed client); cmd/ecmserve wires the server behind flags.
 package ecmsketch
 
 import (

@@ -1,0 +1,3 @@
+module ecmsketch
+
+go 1.22

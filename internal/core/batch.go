@@ -1,0 +1,28 @@
+package core
+
+// Event is one stream arrival in batched form: key, logical timestamp and
+// multiplicity. Batches amortize per-call overhead (and, for concurrent
+// front ends, lock traffic) across many arrivals; they are the unit every
+// ingest path of the public API accepts.
+type Event struct {
+	Key  uint64
+	Tick Tick
+	N    uint64 // arrival multiplicity; 0 is treated as 1
+}
+
+// AddBatch registers a slice of arrivals in one call. Events are applied in
+// slice order; ticks must be non-decreasing across the batch as for AddN
+// (regressed ticks are clamped forward).
+func (s *Sketch) AddBatch(events []Event) {
+	for _, ev := range events {
+		n := ev.N
+		if n == 0 {
+			n = 1
+		}
+		s.AddN(ev.Key, ev.Tick, n)
+	}
+}
+
+// Snapshot returns an independent copy of the sketch (serialize + decode),
+// safe to query, merge or ship elsewhere while the original keeps ingesting.
+func (s *Sketch) Snapshot() (*Sketch, error) { return Unmarshal(s.Marshal()) }

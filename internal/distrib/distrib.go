@@ -43,10 +43,13 @@ func (n *Network) Bytes() int64 { return n.bytes.Load() }
 func (n *Network) Messages() int64 { return n.messages.Load() }
 
 // Cluster is a set of simulated sites sharing one sketch configuration.
+// Site channels carry event batches, not single events: feeding batched
+// keeps the channel traffic (and, inside each site, the per-arrival call
+// overhead) proportional to batches rather than arrivals.
 type Cluster struct {
 	params  core.Params
 	sites   []*core.Sketch
-	chans   []chan workload.Event
+	chans   []chan []workload.Event
 	wg      sync.WaitGroup
 	net     Network
 	started bool
@@ -85,15 +88,20 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	c.chans = make([]chan workload.Event, len(c.sites))
+	c.chans = make([]chan []workload.Event, len(c.sites))
 	for i := range c.sites {
-		c.chans[i] = make(chan workload.Event, 256)
+		c.chans[i] = make(chan []workload.Event, 64)
 		c.wg.Add(1)
 		go func(idx int) {
 			defer c.wg.Done()
 			s := c.sites[idx]
-			for ev := range c.chans[idx] {
-				s.Add(ev.Key, ev.Time)
+			var buf []core.Event
+			for batch := range c.chans[idx] {
+				buf = buf[:0]
+				for _, ev := range batch {
+					buf = append(buf, core.Event{Key: ev.Key, Tick: ev.Time, N: 1})
+				}
+				s.AddBatch(buf)
 			}
 		}(i)
 	}
@@ -101,7 +109,23 @@ func (c *Cluster) Start() {
 
 // Feed routes one event to its site (ev.Site modulo the cluster size).
 func (c *Cluster) Feed(ev workload.Event) {
-	c.chans[ev.Site%len(c.sites)] <- ev
+	c.chans[ev.Site%len(c.sites)] <- []workload.Event{ev}
+}
+
+// FeedBatch routes a batch of events, grouping them per site so each site
+// channel receives at most one message for the whole batch. Per-site event
+// order follows slice order.
+func (c *Cluster) FeedBatch(events []workload.Event) {
+	groups := make([][]workload.Event, len(c.sites))
+	for _, ev := range events {
+		idx := ev.Site % len(c.sites)
+		groups[idx] = append(groups[idx], ev)
+	}
+	for i, g := range groups {
+		if len(g) > 0 {
+			c.chans[i] <- g
+		}
+	}
 }
 
 // Wait closes the site channels and blocks until every site has drained its
@@ -117,9 +141,13 @@ func (c *Cluster) Wait(now Tick) {
 	}
 }
 
+// ingestChunk is the batch size IngestAll slices a pre-generated stream
+// into before routing it to the sites.
+const ingestChunk = 512
+
 // IngestAll runs the full pipeline for a pre-generated stream: start the
-// sites, feed every event, and wait for completion. It returns the final
-// stream tick.
+// sites, feed every event in site-grouped batches, and wait for
+// completion. It returns the final stream tick.
 func (c *Cluster) IngestAll(events []workload.Event) Tick {
 	c.Start()
 	var now Tick
@@ -127,7 +155,13 @@ func (c *Cluster) IngestAll(events []workload.Event) Tick {
 		if ev.Time > now {
 			now = ev.Time
 		}
-		c.Feed(ev)
+	}
+	for off := 0; off < len(events); off += ingestChunk {
+		end := off + ingestChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		c.FeedBatch(events[off:end])
 	}
 	c.Wait(now)
 	return now

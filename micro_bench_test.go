@@ -1,6 +1,8 @@
 package ecmsketch_test
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -114,6 +116,77 @@ func BenchmarkTopKOffer(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tk.Offer(uint64(i%4096), ecmsketch.Tick(i+1))
+	}
+}
+
+// benchConcurrentIngest measures wall-clock ingest throughput of an
+// Ingestor under a fixed number of writer goroutines, each feeding
+// single-event AddN calls (the worst case for lock traffic — batching is
+// benchmarked separately). The b.N budget is split across the goroutines.
+func benchConcurrentIngest(b *testing.B, ing ecmsketch.Ingestor, goroutines int, batchSize int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/goroutines + 1
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) << 32
+			if batchSize <= 1 {
+				for i := 0; i < per; i++ {
+					ing.AddN(base|uint64(i%4096), ecmsketch.Tick(i+1), 1)
+				}
+				return
+			}
+			batch := make([]ecmsketch.Event, 0, batchSize)
+			for i := 0; i < per; i++ {
+				batch = append(batch, ecmsketch.Event{Key: base | uint64(i%4096), Tick: ecmsketch.Tick(i + 1)})
+				if len(batch) == cap(batch) {
+					ing.AddBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			ing.AddBatch(batch)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkIngestSafeVsSharded compares the single-mutex SafeSketch against
+// the lock-striped Sharded engine at 1, 4 and 16 writer goroutines — the
+// scaling argument behind the sharded engine (compare ns/op across the
+// /safe/ and /sharded/ variants at equal goroutine counts).
+func BenchmarkIngestSafeVsSharded(b *testing.B) {
+	params := ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20}
+	for _, bench := range []struct {
+		name string
+		mk   func(b *testing.B) ecmsketch.Ingestor
+	}{
+		{"safe", func(b *testing.B) ecmsketch.Ingestor {
+			ss, err := ecmsketch.NewSafe(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ss
+		}},
+		{"sharded", func(b *testing.B) ecmsketch.Ingestor {
+			sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: params, Shards: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sh
+		}},
+	} {
+		for _, goroutines := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", bench.name, goroutines), func(b *testing.B) {
+				benchConcurrentIngest(b, bench.mk(b), goroutines, 1)
+			})
+			b.Run(fmt.Sprintf("%s-batch64/goroutines=%d", bench.name, goroutines), func(b *testing.B) {
+				benchConcurrentIngest(b, bench.mk(b), goroutines, 64)
+			})
+		}
 	}
 }
 

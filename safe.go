@@ -48,6 +48,14 @@ func (ss *SafeSketch) AddString(key string, t Tick) {
 	ss.s.AddString(key, t)
 }
 
+// AddBatch registers a slice of arrivals under one lock acquisition,
+// amortizing the cache-line bounce across the whole batch.
+func (ss *SafeSketch) AddBatch(events []Event) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.s.AddBatch(events)
+}
+
 // Advance moves the window clock forward.
 func (ss *SafeSketch) Advance(t Tick) {
 	ss.mu.Lock()
@@ -67,6 +75,15 @@ func (ss *SafeSketch) EstimateString(key string, r Tick) float64 {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	return ss.s.EstimateString(key, r)
+}
+
+// InnerProduct estimates the inner product against another sketch's stream
+// over the last r ticks. The caller is responsible for the other sketch's
+// concurrency safety (pass a Snapshot of another concurrent front end).
+func (ss *SafeSketch) InnerProduct(other *Sketch, r Tick) (float64, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.InnerProduct(other, r)
 }
 
 // SelfJoin estimates F₂ over the last r ticks.

@@ -1,0 +1,401 @@
+package ecmsketch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecmsketch/internal/hashing"
+)
+
+// Sharded is a lock-striped ECM-sketch engine for write-heavy concurrent
+// workloads. Ingest is partitioned across P per-shard sketches by key hash,
+// so concurrent writers contend only when they hit the same stripe — the
+// paper's Theorem 4 mergeability applied *inside* one process for
+// throughput, not just across distributed sites.
+//
+// Because routing is by key, every arrival of a key lands in exactly one
+// shard: point queries (Estimate, EstimateString) touch a single stripe and
+// pay no merge error at all. Global queries (SelfJoin, EstimateTotal,
+// InnerProduct, Marshal, Snapshot) merge the shards on demand into a view
+// of the combined stream — with the order-preserving ⊕ of Section 5.3 and
+// its bounded error inflation — and cache that view for MergeTTL, so
+// dashboards polling global statistics do not re-merge on every request.
+//
+// All methods are safe for concurrent use.
+type Sharded struct {
+	params Params
+	ttl    time.Duration
+	mask   uint64
+	shards []shard
+
+	// now is the global high-water tick across all shards; queries advance
+	// the touched shard to it so expiry is aligned engine-wide.
+	now atomic.Uint64
+
+	merged struct {
+		sync.Mutex
+		view    *Sketch
+		version uint64
+		builtAt time.Time
+	}
+}
+
+// shard pads each stripe to its own cache lines so neighboring locks don't
+// false-share under heavy concurrent ingest. version counts the stripe's
+// mutations — written while holding mu (so the bump is uncontended), read
+// lock-free by the merged-view cache check.
+type shard struct {
+	mu      sync.Mutex
+	sk      *Sketch
+	version atomic.Uint64
+	// Fields above total 24 bytes; pad the stride to two cache lines so no
+	// two stripes ever share one.
+	_ [128 - 24]byte
+}
+
+// ShardedConfig configures a Sharded engine.
+type ShardedConfig struct {
+	// Params configures every per-shard sketch. All shards share the seed,
+	// dimensions and window configuration, so they stay mergeable.
+	// Count-based windows are rejected: splitting a count-based window
+	// across stripes changes its semantics (each stripe would cover its own
+	// last N arrivals, not the stream's).
+	Params Params
+	// Shards is the stripe count P, rounded up to a power of two; 0 means
+	// GOMAXPROCS. More stripes mean less write contention but a costlier
+	// merged view for global queries.
+	Shards int
+	// MergeTTL bounds the staleness of the cached merged view serving
+	// global queries. 0 means the cache is only reused while no new
+	// arrivals have been ingested — always-fresh answers at the cost of a
+	// re-merge after every write burst.
+	MergeTTL time.Duration
+}
+
+// NewSharded builds a lock-striped engine of identically configured,
+// mergeable per-shard sketches.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Params.Model == CountBased {
+		return nil, fmt.Errorf("ecmsketch: Sharded requires time-based windows (count-based semantics do not survive key partitioning)")
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("ecmsketch: Shards must be non-negative, got %d", cfg.Shards)
+	}
+	p := cfg.Shards
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	// Round up to a power of two so routing is a mask, not a modulo.
+	pow := 1
+	for pow < p {
+		pow <<= 1
+	}
+	sh := &Sharded{params: cfg.Params, ttl: cfg.MergeTTL, mask: uint64(pow - 1)}
+	sh.shards = make([]shard, pow)
+	for i := range sh.shards {
+		s, err := New(cfg.Params)
+		if err != nil {
+			return nil, fmt.Errorf("ecmsketch: shard %d: %w", i, err)
+		}
+		// Distinct identifier salts keep randomized-wave event identifiers
+		// globally unique across stripes (as NewCluster does across sites).
+		s.SetIDSalt(0x9e37_79b9_7f4a_7c15 * uint64(i+1))
+		sh.shards[i] = shard{sk: s}
+	}
+	return sh, nil
+}
+
+// Shards reports the stripe count P.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Params returns the per-shard sketch configuration.
+func (sh *Sharded) Params() Params { return sh.params }
+
+func (sh *Sharded) shardFor(key uint64) *shard {
+	return &sh.shards[hashing.Mix64(key)&sh.mask]
+}
+
+// observe raises the global high-water tick to t.
+func (sh *Sharded) observe(t Tick) {
+	for {
+		cur := sh.now.Load()
+		if t <= cur || sh.now.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Add registers one arrival of key at tick t.
+func (sh *Sharded) Add(key uint64, t Tick) { sh.AddN(key, t, 1) }
+
+// AddN registers n arrivals of key at tick t.
+func (sh *Sharded) AddN(key uint64, t Tick, n uint64) {
+	sh.observe(t)
+	s := sh.shardFor(key)
+	s.mu.Lock()
+	s.sk.AddN(key, t, n)
+	s.version.Add(1)
+	s.mu.Unlock()
+}
+
+// AddString registers one arrival of a string-keyed item.
+func (sh *Sharded) AddString(key string, t Tick) { sh.AddN(KeyString(key), t, 1) }
+
+// AddBatch registers a slice of arrivals, grouping them per stripe so each
+// shard lock is taken at most once for the whole batch. Events are applied
+// in slice order within each stripe. Grouping threads index chains through
+// a scratch slice instead of materializing per-stripe buckets, so a batch
+// costs three small allocations regardless of stripe count.
+func (sh *Sharded) AddBatch(events []Event) {
+	// Chain indices are int32; chunk absurdly large batches.
+	const maxChunk = 1 << 30
+	for len(events) > maxChunk {
+		sh.AddBatch(events[:maxChunk])
+		events = events[maxChunk:]
+	}
+	if len(events) == 0 {
+		return
+	}
+	if len(sh.shards) == 1 {
+		var maxTick Tick
+		for _, ev := range events {
+			if ev.Tick > maxTick {
+				maxTick = ev.Tick
+			}
+		}
+		sh.observe(maxTick)
+		s := &sh.shards[0]
+		s.mu.Lock()
+		s.sk.AddBatch(events)
+		s.version.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	heads := make([]int32, len(sh.shards))
+	tails := make([]int32, len(sh.shards))
+	for i := range heads {
+		heads[i] = -1
+	}
+	next := make([]int32, len(events))
+	var maxTick Tick
+	for i, ev := range events {
+		idx := hashing.Mix64(ev.Key) & sh.mask
+		if heads[idx] < 0 {
+			heads[idx] = int32(i)
+		} else {
+			next[tails[idx]] = int32(i)
+		}
+		tails[idx] = int32(i)
+		next[i] = -1
+		if ev.Tick > maxTick {
+			maxTick = ev.Tick
+		}
+	}
+	sh.observe(maxTick)
+	for si := range sh.shards {
+		i := heads[si]
+		if i < 0 {
+			continue
+		}
+		s := &sh.shards[si]
+		s.mu.Lock()
+		for ; i >= 0; i = next[i] {
+			ev := events[i]
+			n := ev.N
+			if n == 0 {
+				n = 1
+			}
+			s.sk.AddN(ev.Key, ev.Tick, n)
+		}
+		s.version.Add(1)
+		s.mu.Unlock()
+	}
+}
+
+// Advance moves the window clock of every stripe forward.
+func (sh *Sharded) Advance(t Tick) {
+	sh.observe(t)
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		s.mu.Lock()
+		s.sk.Advance(t)
+		s.version.Add(1)
+		s.mu.Unlock()
+	}
+}
+
+// Estimate answers a point query over the last r ticks. Key-hash routing
+// means the answer comes from the single stripe owning the key, with no
+// merge error; the stripe is first advanced to the engine-wide clock so
+// expiry matches a single-sketch deployment.
+func (sh *Sharded) Estimate(key uint64, r Tick) float64 {
+	now := sh.now.Load()
+	s := sh.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now > s.sk.Now() {
+		s.sk.Advance(now)
+	}
+	return s.sk.Estimate(key, r)
+}
+
+// EstimateString answers a point query for a string key.
+func (sh *Sharded) EstimateString(key string, r Tick) float64 {
+	return sh.Estimate(KeyString(key), r)
+}
+
+// EstimateInterval answers a point query over the tick interval (from, to],
+// again from the single stripe owning the key.
+func (sh *Sharded) EstimateInterval(key uint64, from, to Tick) float64 {
+	now := sh.now.Load()
+	s := sh.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now > s.sk.Now() {
+		s.sk.Advance(now)
+	}
+	return s.sk.EstimateInterval(key, from, to)
+}
+
+// SelfJoin estimates F₂ over the last r ticks from the merged view.
+func (sh *Sharded) SelfJoin(r Tick) float64 {
+	sh.merged.Lock()
+	defer sh.merged.Unlock()
+	view, err := sh.mergedViewLocked()
+	if err != nil {
+		return 0
+	}
+	return view.SelfJoin(r)
+}
+
+// EstimateTotal estimates ‖a_r‖₁ over the last r ticks from the merged view.
+func (sh *Sharded) EstimateTotal(r Tick) float64 {
+	sh.merged.Lock()
+	defer sh.merged.Unlock()
+	view, err := sh.mergedViewLocked()
+	if err != nil {
+		return 0
+	}
+	return view.EstimateTotal(r)
+}
+
+// InnerProduct estimates the inner product between this engine's combined
+// stream and another sketch's stream over the last r ticks.
+func (sh *Sharded) InnerProduct(other *Sketch, r Tick) (float64, error) {
+	sh.merged.Lock()
+	defer sh.merged.Unlock()
+	view, err := sh.mergedViewLocked()
+	if err != nil {
+		return 0, err
+	}
+	return view.InnerProduct(other, r)
+}
+
+// Now reports the engine-wide high-water tick.
+func (sh *Sharded) Now() Tick { return sh.now.Load() }
+
+// Count reports total arrivals across all stripes since stream start.
+func (sh *Sharded) Count() uint64 {
+	var total uint64
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		s.mu.Lock()
+		total += s.sk.Count()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Width reports the Count-Min width shared by every stripe.
+func (sh *Sharded) Width() int { return sh.shards[0].sk.Width() }
+
+// Depth reports the Count-Min depth shared by every stripe.
+func (sh *Sharded) Depth() int { return sh.shards[0].sk.Depth() }
+
+// MemoryBytes reports the summed footprint of all stripes.
+func (sh *Sharded) MemoryBytes() int {
+	var total int
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		s.mu.Lock()
+		total += s.sk.MemoryBytes()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Marshal serializes the merged view of the combined stream — the same wire
+// format as Sketch.Marshal, so coordinators can pull and Merge it with other
+// sites' summaries. Returns nil if the merge fails (only possible with
+// corrupted state).
+func (sh *Sharded) Marshal() []byte {
+	sh.merged.Lock()
+	defer sh.merged.Unlock()
+	view, err := sh.mergedViewLocked()
+	if err != nil {
+		return nil
+	}
+	return view.Marshal()
+}
+
+// Snapshot returns an independent single-sketch copy of the combined
+// stream, built by merging the stripes.
+func (sh *Sharded) Snapshot() (*Sketch, error) {
+	sh.merged.Lock()
+	defer sh.merged.Unlock()
+	view, err := sh.mergedViewLocked()
+	if err != nil {
+		return nil, err
+	}
+	return view.Snapshot()
+}
+
+// mergedViewLocked returns a sketch summarizing the union of all stripes;
+// sh.merged must be held, and stays held while the caller queries the view
+// (sliding-window queries expire counters lazily, so even reads mutate).
+// The view is cached: it is reused while no mutation has happened since it
+// was built, or — when a MergeTTL is configured — while it is younger than
+// the TTL. Stripes are snapshotted under their own locks one at a time
+// (brief pauses per stripe), and the merge itself runs on the copies
+// without blocking ingest.
+func (sh *Sharded) mergedViewLocked() (*Sketch, error) {
+	var v uint64
+	for i := range sh.shards {
+		v += sh.shards[i].version.Load()
+	}
+	if sh.merged.view != nil {
+		if sh.merged.version == v {
+			return sh.merged.view, nil
+		}
+		if sh.ttl > 0 && time.Since(sh.merged.builtAt) < sh.ttl {
+			return sh.merged.view, nil
+		}
+	}
+	now := sh.now.Load()
+	parts := make([]*Sketch, len(sh.shards))
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		s.mu.Lock()
+		if now > s.sk.Now() {
+			s.sk.Advance(now)
+		}
+		enc := s.sk.Marshal()
+		s.mu.Unlock()
+		part, err := Unmarshal(enc)
+		if err != nil {
+			return nil, fmt.Errorf("ecmsketch: decoding shard %d snapshot: %w", i, err)
+		}
+		parts[i] = part
+	}
+	view, err := Merge(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("ecmsketch: merging shards: %w", err)
+	}
+	sh.merged.view = view
+	sh.merged.version = v
+	sh.merged.builtAt = time.Now()
+	return view, nil
+}

@@ -1,0 +1,333 @@
+package ecmsketch_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ecmsketch"
+)
+
+func shardedParams() ecmsketch.Params {
+	return ecmsketch.Params{Epsilon: 0.05, Delta: 0.01, WindowLength: 10000, Seed: 42}
+}
+
+func TestShardedValidation(t *testing.T) {
+	p := shardedParams()
+	if _, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	bad := p
+	bad.Epsilon = 0
+	if _, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: bad}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	cb := p
+	cb.Model = ecmsketch.CountBased
+	if _, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: cb}); err == nil {
+		t.Error("count-based windows accepted (semantics do not survive partitioning)")
+	}
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 8 {
+		t.Errorf("Shards() = %d, want 8 (rounded up to a power of two)", sh.Shards())
+	}
+	def, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Shards() < 1 {
+		t.Errorf("default Shards() = %d", def.Shards())
+	}
+}
+
+// TestShardedEquivalence feeds the identical stream to a Sharded engine and
+// a single sketch, and checks that both answer point, total and self-join
+// queries within the paper's bounds — point queries within the ε·‖a_r‖₁
+// guarantee of Theorem 1 (sharded point queries touch one stripe, so they
+// pay no merge error), global queries within the inflated window error of
+// the Theorem 4 merge (ε_sw” = 2ε_sw + ε_sw² per counter, which the total
+// ε budget of the test's tolerance comfortably covers).
+func TestShardedEquivalence(t *testing.T) {
+	p := shardedParams()
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ecmsketch.NewOracle(p.WindowLength)
+
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 4096)
+	const events = 50000
+	var now ecmsketch.Tick
+	batch := make([]ecmsketch.Event, 0, 256)
+	for i := 0; i < events; i++ {
+		now++
+		k := zipf.Uint64()
+		batch = append(batch, ecmsketch.Event{Key: k, Tick: now})
+		single.Add(k, now)
+		oracle.Add(k, now)
+		if len(batch) == cap(batch) {
+			sh.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	sh.AddBatch(batch)
+
+	if sh.Count() != single.Count() {
+		t.Fatalf("Count: sharded %d, single %d", sh.Count(), single.Count())
+	}
+	if sh.Now() != single.Now() {
+		t.Fatalf("Now: sharded %d, single %d", sh.Now(), single.Now())
+	}
+
+	for _, r := range []ecmsketch.Tick{p.WindowLength, p.WindowLength / 4} {
+		total := float64(oracle.Total(r))
+		bound := p.Epsilon * total
+		for key := uint64(0); key < 50; key++ {
+			exact := float64(oracle.Freq(key, r))
+			got := sh.Estimate(key, r)
+			// Unlike a plain Count-Min, the window counters carry two-sided
+			// ε_sw relative error, so small underestimates are legitimate;
+			// overestimates are bounded by ε·‖a_r‖₁ plus the window error.
+			if got < exact*(1-p.Epsilon)-1e-9 {
+				t.Errorf("r=%d key=%d: sharded estimate %v undershoots exact %v beyond ε", r, key, got, exact)
+			}
+			if got-exact > bound+p.Epsilon*exact {
+				t.Errorf("r=%d key=%d: sharded estimate %v exceeds exact %v by more than ε·total (%v)", r, key, got, exact, bound)
+			}
+		}
+		// Global queries answer from the Theorem 4 merged view: compare
+		// against the single sketch over the same stream, allowing the
+		// merge's window-error inflation on top of the base budget.
+		tol := 3 * p.Epsilon
+		st, tt := sh.EstimateTotal(r), single.EstimateTotal(r)
+		if tt > 0 && math.Abs(st-tt)/tt > tol {
+			t.Errorf("r=%d: EstimateTotal sharded %v vs single %v (rel diff > %v)", r, st, tt, tol)
+		}
+		ssj, tsj := sh.SelfJoin(r), single.SelfJoin(r)
+		// Self-join estimates square the per-counter values, so the merge
+		// inflation doubles: (1+2ε)² - 1 ≈ 4ε slack plus the base budget.
+		sjTol := 7 * p.Epsilon
+		if tsj > 0 && math.Abs(ssj-tsj)/tsj > sjTol {
+			t.Errorf("r=%d: SelfJoin sharded %v vs single %v (rel diff > %v)", r, ssj, tsj, sjTol)
+		}
+	}
+
+	// The merged snapshot is a plain, compatible sketch: it can be merged
+	// again with the single sketch (two "sites") and queried.
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := ecmsketch.Merge(snap, single)
+	if err != nil {
+		t.Fatalf("merging sharded snapshot with single sketch: %v", err)
+	}
+	if both.Count() != sh.Count()+single.Count() {
+		t.Errorf("merged count %d, want %d", both.Count(), sh.Count()+single.Count())
+	}
+}
+
+// TestShardedInnerProduct checks the merged view answers inner-product
+// queries against a compatible external sketch.
+func TestShardedInnerProduct(t *testing.T) {
+	p := shardedParams()
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := ecmsketch.Tick(1); i <= 1000; i++ {
+		sh.Add(i%10, i)
+		other.Add(i%10, i)
+	}
+	ip, err := sh.InnerProduct(other, p.WindowLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both streams hold 100 arrivals of each of 10 keys: true ⊙ = 10·100².
+	if ip < 100000*0.9 || ip > 100000*1.5 {
+		t.Errorf("InnerProduct = %v, want ≈100000", ip)
+	}
+}
+
+// TestShardedMergedViewCache verifies the TTL cache: with a long TTL, a
+// global query after new writes may serve the stale view; after the
+// version-based path (TTL 0), it must always be fresh.
+func TestShardedMergedViewCache(t *testing.T) {
+	p := shardedParams()
+	fresh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Add(1, 1)
+	if got := fresh.EstimateTotal(p.WindowLength); got < 1 {
+		t.Errorf("total before = %v, want ≥1", got)
+	}
+	fresh.AddN(1, 2, 99)
+	if got := fresh.EstimateTotal(p.WindowLength); got < 100 {
+		t.Errorf("TTL=0 must re-merge after writes: total = %v, want ≥100", got)
+	}
+
+	cached, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 2, MergeTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Add(1, 1)
+	if got := cached.EstimateTotal(p.WindowLength); got < 1 {
+		t.Errorf("total before = %v, want ≥1", got)
+	}
+	cached.AddN(1, 2, 99)
+	if got := cached.EstimateTotal(p.WindowLength); got >= 100 {
+		t.Errorf("hour-long TTL must serve the cached view: total = %v, want <100", got)
+	}
+}
+
+// TestShardedConcurrentStress hammers a Sharded engine with concurrent
+// batched writers and point/global readers; run under -race this is the
+// engine's data-race certificate. Counts must come out exact.
+func TestShardedConcurrentStress(t *testing.T) {
+	p := shardedParams()
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4, MergeTTL: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			batch := make([]ecmsketch.Event, 0, 64)
+			for i := 1; i <= perG; i++ {
+				key := uint64(rng.Intn(512))
+				batch = append(batch, ecmsketch.Event{Key: key, Tick: ecmsketch.Tick(i)})
+				if len(batch) == cap(batch) {
+					sh.AddBatch(batch)
+					batch = batch[:0]
+				}
+				switch {
+				case i%97 == 0:
+					sh.Estimate(key, p.WindowLength)
+				case i%251 == 0:
+					sh.SelfJoin(p.WindowLength)
+				case i%509 == 0:
+					sh.EstimateTotal(p.WindowLength)
+					sh.Now()
+				}
+			}
+			sh.AddBatch(batch)
+			if _, err := sh.Snapshot(); err != nil {
+				t.Errorf("goroutine %d: snapshot: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := sh.Count(); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d", got, goroutines*perG)
+	}
+	if got := sh.EstimateTotal(p.WindowLength); got < float64(goroutines*perG)*0.8 {
+		t.Errorf("EstimateTotal = %v, want ≈%d", got, goroutines*perG)
+	}
+	if sh.MemoryBytes() <= 0 || sh.Width() <= 0 || sh.Depth() <= 0 {
+		t.Error("degenerate engine accounting")
+	}
+}
+
+// TestSafeSketchConcurrentStress is the same certificate for the
+// mutex-guarded front end, exercising the new AddBatch path.
+func TestSafeSketchConcurrentStress(t *testing.T) {
+	p := shardedParams()
+	ss, err := ecmsketch.NewSafe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			batch := make([]ecmsketch.Event, 0, 64)
+			for i := 1; i <= perG; i++ {
+				key := uint64(rng.Intn(512))
+				batch = append(batch, ecmsketch.Event{Key: key, Tick: ecmsketch.Tick(i)})
+				if len(batch) == cap(batch) {
+					ss.AddBatch(batch)
+					batch = batch[:0]
+				}
+				if i%97 == 0 {
+					ss.Estimate(key, p.WindowLength)
+					ss.SelfJoin(p.WindowLength)
+				}
+			}
+			ss.AddBatch(batch)
+		}(g)
+	}
+	wg.Wait()
+	if got := ss.Count(); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d", got, goroutines*perG)
+	}
+	other, err := ss.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.InnerProduct(other, p.WindowLength); err != nil {
+		t.Errorf("InnerProduct against own snapshot: %v", err)
+	}
+}
+
+// TestEventBatchSemantics pins the Event contract shared by every
+// Ingestor: slice order, multiplicity, and N==0 counting as one arrival.
+func TestEventBatchSemantics(t *testing.T) {
+	p := shardedParams()
+	mk := func() []ecmsketch.Ingestor {
+		sk, err := ecmsketch.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := ecmsketch.NewSafe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []ecmsketch.Ingestor{sk, ss, sh}
+	}
+	for _, ing := range mk() {
+		ing.AddBatch([]ecmsketch.Event{
+			{Key: 1, Tick: 10},          // N==0 counts once
+			{Key: 1, Tick: 11, N: 4},    // multiplicity
+			{Key: 2, Tick: 12, N: 1},    //
+			{Key: 3, Tick: 13, N: 1000}, // heavy key
+		})
+		q, ok := ing.(ecmsketch.Querier)
+		if !ok {
+			t.Fatalf("%T does not implement Querier", ing)
+		}
+		if got := q.Estimate(1, p.WindowLength); got < 5 {
+			t.Errorf("%T: key 1 estimate %v, want ≥5", ing, got)
+		}
+		if got := q.Now(); got != 13 {
+			t.Errorf("%T: Now = %d, want 13", ing, got)
+		}
+	}
+}

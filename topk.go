@@ -6,16 +6,26 @@ import (
 )
 
 // TopK continuously tracks the k most frequent items of a sliding window.
-// It pairs an ECM-sketch with a bounded candidate set: every offered item is
-// admitted as a candidate if its current estimate competes with the k-th
-// best, and candidates are re-scored against the (decaying) window on every
-// report. This is the practical "find the hot items without scanning the
-// universe" companion to the dyadic Hierarchy — cheaper (no log|U| sketch
-// stack) but only able to report items it has seen compete, whereas the
-// Hierarchy enumerates heavy hitters of the whole domain.
+// It pairs an ECM-sketch backend with a bounded candidate set: every offered
+// item is admitted as a candidate, and candidates are re-scored against the
+// (decaying) window on every report. This is the practical "find the hot
+// items without scanning the universe" companion to the dyadic Hierarchy —
+// cheaper (no log|U| sketch stack) but only able to report items it has
+// seen compete, whereas the Hierarchy enumerates heavy hitters of the whole
+// domain.
+//
+// The backend is any IngestQuerier: TopK can own a private Sketch (NewTopK)
+// or wrap a sketch the caller already feeds for other queries (NewTopKOver),
+// so a server tracking hot keys does not pay for a second copy of the
+// stream. The candidate set itself is not synchronized: wrap calls to Offer
+// and Top in the caller's lock when used from multiple goroutines, even if
+// the backend (SafeSketch, Sharded, a remote client) is concurrency-safe.
 type TopK struct {
 	k      int
-	sketch *Sketch
+	target IngestQuerier
+	window Tick
+	// owned is the private sketch behind NewTopK, nil when wrapping.
+	owned *Sketch
 	// candidates holds up to overprovision·k keys worth re-scoring.
 	candidates map[uint64]struct{}
 	maxCand    int
@@ -27,7 +37,8 @@ type TopK struct {
 // the current top k.
 const topKOverprovision = 8
 
-// NewTopK builds a tracker for the k most frequent items over p's window.
+// NewTopK builds a tracker for the k most frequent items over p's window,
+// owning a private ECM-sketch.
 func NewTopK(k int, p Params) (*TopK, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("ecmsketch: k must be positive, got %d", k)
@@ -36,21 +47,60 @@ func NewTopK(k int, p Params) (*TopK, error) {
 	if err != nil {
 		return nil, err
 	}
+	tk, err := NewTopKOver(k, s, p.WindowLength)
+	if err != nil {
+		return nil, err
+	}
+	tk.owned = s
+	return tk, nil
+}
+
+// NewTopKOver builds a tracker on top of an existing sketch backend; offers
+// are forwarded to it, so a stream fed once serves both point queries and
+// top-k reports. window is the backend's window length in ticks (the
+// horizon candidate trimming scores against).
+func NewTopKOver(k int, target IngestQuerier, window Tick) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ecmsketch: k must be positive, got %d", k)
+	}
+	if target == nil {
+		return nil, fmt.Errorf("ecmsketch: TopK needs a backend")
+	}
+	if window == 0 {
+		return nil, fmt.Errorf("ecmsketch: TopK window must be positive")
+	}
 	return &TopK{
 		k:          k,
-		sketch:     s,
+		target:     target,
+		window:     window,
 		candidates: make(map[uint64]struct{}, topKOverprovision*k),
 		maxCand:    topKOverprovision * k,
 	}, nil
 }
 
-// Sketch exposes the underlying sketch (e.g. for point queries or merging
-// its serialized form elsewhere).
-func (tk *TopK) Sketch() *Sketch { return tk.sketch }
+// Sketch exposes the private sketch behind NewTopK (e.g. for point queries
+// or merging its serialized form elsewhere). It is nil for trackers built
+// with NewTopKOver — query the wrapped backend directly instead.
+func (tk *TopK) Sketch() *Sketch { return tk.owned }
 
 // Offer registers one arrival and keeps the key as a ranking candidate.
-func (tk *TopK) Offer(key uint64, t Tick) {
-	tk.sketch.Add(key, t)
+func (tk *TopK) Offer(key uint64, t Tick) { tk.OfferN(key, t, 1) }
+
+// OfferN registers n arrivals of key at tick t in one call.
+func (tk *TopK) OfferN(key uint64, t Tick, n uint64) {
+	tk.target.AddN(key, t, n)
+	tk.note(key)
+}
+
+// OfferString registers a string-keyed arrival.
+func (tk *TopK) OfferString(key string, t Tick) { tk.Offer(KeyString(key), t) }
+
+// Note admits a key as a ranking candidate without ingesting anything —
+// for callers that already fed the backend (e.g. via AddBatch) and only
+// need TopK's bookkeeping.
+func (tk *TopK) Note(key uint64) { tk.note(key) }
+
+func (tk *TopK) note(key uint64) {
 	tk.candidates[key] = struct{}{}
 	tk.sinceTrim++
 	if len(tk.candidates) > tk.maxCand && tk.sinceTrim >= tk.maxCand/2 {
@@ -59,13 +109,10 @@ func (tk *TopK) Offer(key uint64, t Tick) {
 	}
 }
 
-// OfferString registers a string-keyed arrival.
-func (tk *TopK) OfferString(key string, t Tick) { tk.Offer(KeyString(key), t) }
-
 // trim drops the weakest candidates, keeping the best maxCand/2 by current
 // whole-window estimate.
 func (tk *TopK) trim() {
-	scored := tk.scoreAll(tk.sketch.Params().WindowLength)
+	scored := tk.scoreAll(tk.window)
 	keep := tk.maxCand / 2
 	if keep > len(scored) {
 		keep = len(scored)
@@ -82,7 +129,7 @@ func (tk *TopK) trim() {
 func (tk *TopK) scoreAll(r Tick) []HeavyItem {
 	out := make([]HeavyItem, 0, len(tk.candidates))
 	for key := range tk.candidates {
-		out = append(out, HeavyItem{Key: key, Estimate: tk.sketch.Estimate(key, r)})
+		out = append(out, HeavyItem{Key: key, Estimate: tk.target.Estimate(key, r)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Estimate != out[j].Estimate {
@@ -112,11 +159,18 @@ func (tk *TopK) Top(r Tick) []HeavyItem {
 }
 
 // Advance moves the window forward without an arrival.
-func (tk *TopK) Advance(t Tick) { tk.sketch.Advance(t) }
+func (tk *TopK) Advance(t Tick) { tk.target.Advance(t) }
 
 // Candidates reports the current candidate-set size (for tests and
 // capacity planning).
 func (tk *TopK) Candidates() int { return len(tk.candidates) }
 
-// MemoryBytes reports sketch plus candidate-set footprint.
-func (tk *TopK) MemoryBytes() int { return tk.sketch.MemoryBytes() + 16*len(tk.candidates) }
+// MemoryBytes reports the candidate-set footprint, plus the private sketch
+// when the tracker owns one (wrapped backends account their own memory).
+func (tk *TopK) MemoryBytes() int {
+	total := 16 * len(tk.candidates)
+	if tk.owned != nil {
+		total += tk.owned.MemoryBytes()
+	}
+	return total
+}

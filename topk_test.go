@@ -137,6 +137,74 @@ func TestTopKZipfAgainstOracle(t *testing.T) {
 	}
 }
 
+func TestTopKOverValidation(t *testing.T) {
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: topKParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ecmsketch.NewTopKOver(0, sh, 10000); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ecmsketch.NewTopKOver(3, nil, 10000); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if _, err := ecmsketch.NewTopKOver(3, sh, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// TestTopKOverSharedEngine checks the wrap-an-existing-backend mode: the
+// stream is ingested exactly once into the shared engine (no private
+// second sketch), and offers, batch notes and point queries all see the
+// same counters.
+func TestTopKOverSharedEngine(t *testing.T) {
+	p := topKParams()
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := ecmsketch.NewTopKOver(2, sh, p.WindowLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Sketch() != nil {
+		t.Error("wrapped tracker reports a private sketch")
+	}
+	var now ecmsketch.Tick
+	for i := 0; i < 100; i++ {
+		now++
+		tk.Offer(1, now)
+	}
+	now++
+	tk.OfferN(2, now, 40)
+	// Ingest a batch straight into the engine, then only note the keys.
+	batch := make([]ecmsketch.Event, 25)
+	for i := range batch {
+		now++
+		batch[i] = ecmsketch.Event{Key: 3, Tick: now}
+	}
+	sh.AddBatch(batch)
+	tk.Note(3)
+
+	if got := sh.Count(); got != 100+40+25 {
+		t.Errorf("engine ingested %d arrivals, want exactly %d (single ingest)", got, 100+40+25)
+	}
+	top := tk.Top(p.WindowLength)
+	if len(top) != 2 || top[0].Key != 1 || top[1].Key != 2 {
+		t.Errorf("Top = %v, want keys 1 then 2", top)
+	}
+	if top[0].Estimate < 90 {
+		t.Errorf("rank 1 estimate %v, want ≈100", top[0].Estimate)
+	}
+	if tk.MemoryBytes() <= 0 {
+		t.Error("no candidate memory reported")
+	}
+	// The engine is queryable directly — same counters the tracker scored.
+	if est := sh.Estimate(2, p.WindowLength); est < 40 {
+		t.Errorf("engine estimate for key 2 = %v, want ≥40", est)
+	}
+}
+
 func TestTopKStrings(t *testing.T) {
 	tk, err := ecmsketch.NewTopK(1, topKParams())
 	if err != nil {
