@@ -15,8 +15,26 @@ type Event = core.Event
 // pipelines can be written once against the interface and pointed at any
 // of them.
 //
-// Ticks must be non-decreasing per Ingestor; slightly regressed ticks are
-// clamped forward (biasing estimates) rather than rejected.
+// # Tick clamping contract
+//
+// Ticks must be non-decreasing per Ingestor. Rather than rejecting bad
+// input, every ingest path validates and clamps it — this is the single
+// authoritative statement of how:
+//
+//   - Ticks are 1-based. Tick 0 means "before the stream" and is clamped
+//     to 1.
+//   - Single-event paths (Add, AddN, AddString) pass the tick through to
+//     the counters it lands in; a tick that regresses behind a counter's
+//     own clock is clamped forward to that clock, biasing the arrival
+//     slightly newer instead of dropping it. (Merged streams from loosely
+//     synchronized sites interleave slightly out of order; see Reorderer
+//     for bounded-buffer resequencing when that bias matters.)
+//   - AddBatch validates once per batch, not once per counter update: each
+//     event's tick is clamped to the running maximum of the batch and to
+//     the engine clock at batch entry, so the applied sequence is
+//     non-decreasing engine-wide. Every front end applies the same rule,
+//     which is why identical batch streams produce identical answers from
+//     Sketch, SafeSketch and Sharded.
 type Ingestor interface {
 	// Add registers one arrival of key at tick t.
 	Add(key uint64, t Tick)
@@ -26,7 +44,7 @@ type Ingestor interface {
 	// KeyString).
 	AddString(key string, t Tick)
 	// AddBatch registers a slice of arrivals in one call, applied in slice
-	// order.
+	// order under the batch clamping contract above.
 	AddBatch(events []Event)
 	// Advance moves the window clock forward without an arrival.
 	Advance(t Tick)

@@ -1,0 +1,117 @@
+package ecmsketch_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecmsketch"
+)
+
+// TestEngineBatchEquivalence is the property test behind the batch clamping
+// contract (see Ingestor): the plain Sketch, the mutex-guarded SafeSketch
+// and the lock-striped Sharded engine must produce IDENTICAL
+// Estimate/SelfJoin/EstimateTotal answers for the same randomized batch
+// stream — including regressed and zero ticks, which every front end clamps
+// the same way, once per batch.
+//
+// Identity (not mere closeness) holds because ε is small relative to the
+// stream: no size-class ever exceeds its budget, so no bucket merges happen
+// in any engine, stripe cells partition the single sketch's cells exactly,
+// and the Theorem 4 merged view reassembles them without loss.
+func TestEngineBatchEquivalence(t *testing.T) {
+	const (
+		keys   = 32
+		window = ecmsketch.Tick(1 << 30)
+	)
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(41 + trial)))
+			p := ecmsketch.Params{
+				Epsilon:      0.01,
+				Delta:        0.05,
+				WindowLength: window,
+				Seed:         uint64(7 + trial),
+			}
+			single, err := ecmsketch.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			safe, err := ecmsketch.NewSafe(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 1 << (trial % 3)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines := []struct {
+				name string
+				e    ecmsketch.Engine
+			}{{"single", single}, {"safe", safe}, {"sharded", sharded}}
+
+			check := func(stage string) {
+				t.Helper()
+				for _, r := range []ecmsketch.Tick{window, window / 2, 1000, 1} {
+					for key := uint64(0); key < keys; key++ {
+						want := engines[0].e.Estimate(key, r)
+						for _, eng := range engines[1:] {
+							if got := eng.e.Estimate(key, r); got != want {
+								t.Fatalf("%s: Estimate(%d, %d): %s=%v, single=%v", stage, key, r, eng.name, got, want)
+							}
+						}
+					}
+					wantTotal := engines[0].e.EstimateTotal(r)
+					wantSJ := engines[0].e.SelfJoin(r)
+					for _, eng := range engines[1:] {
+						if got := eng.e.EstimateTotal(r); got != wantTotal {
+							t.Fatalf("%s: EstimateTotal(%d): %s=%v, single=%v", stage, r, eng.name, got, wantTotal)
+						}
+						if got := eng.e.SelfJoin(r); got != wantSJ {
+							t.Fatalf("%s: SelfJoin(%d): %s=%v, single=%v", stage, r, eng.name, got, wantSJ)
+						}
+					}
+				}
+			}
+
+			var tick ecmsketch.Tick
+			events := 0
+			for events < 90 {
+				batch := make([]ecmsketch.Event, rng.Intn(20)+1)
+				for i := range batch {
+					switch rng.Intn(5) {
+					case 0:
+						// Regressed tick: jumps backwards by up to 40.
+						back := ecmsketch.Tick(rng.Intn(40))
+						if back > tick {
+							back = tick
+						}
+						batch[i] = ecmsketch.Event{Key: rng.Uint64() % keys, Tick: tick - back, N: uint64(rng.Intn(3) + 1)}
+					case 1:
+						// Zero tick (clamped to the clock) and zero N (counts as 1).
+						batch[i] = ecmsketch.Event{Key: rng.Uint64() % keys, Tick: 0, N: 0}
+					default:
+						tick += ecmsketch.Tick(rng.Intn(50))
+						batch[i] = ecmsketch.Event{Key: rng.Uint64() % keys, Tick: tick, N: uint64(rng.Intn(3) + 1)}
+					}
+				}
+				events += len(batch)
+				for _, eng := range engines {
+					eng.e.AddBatch(batch)
+				}
+				// Querying mid-stream advances counters lazily; doing so on
+				// every engine must not break the equivalence of later batches.
+				if rng.Intn(3) == 0 {
+					check("mid-stream")
+				}
+			}
+			for _, eng := range engines[1:] {
+				if got, want := eng.e.Now(), engines[0].e.Now(); got != want {
+					t.Fatalf("Now: %s=%d, single=%d", eng.name, got, want)
+				}
+			}
+			check("final")
+		})
+	}
+}

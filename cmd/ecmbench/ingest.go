@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"ecmsketch"
+)
+
+// The -ingest mode measures the ingest hot path of the three local engines
+// (single Sketch, SafeSketch, Sharded) and writes machine-readable results,
+// so layout and locking changes leave a recorded perf trajectory in the repo
+// (BENCH_ingest.json) instead of numbers lost in terminal scrollback.
+//
+// Usage:
+//
+//	ecmbench -ingest -label per-object-eh -out BENCH_ingest.json
+//	ecmbench -ingest -label flat-arena-eh -out BENCH_ingest.json  # appends
+//
+// All figures are per event. The operating point is the acceptance point of
+// the flat-engine refactor: EH counters, ε=0.05, δ=0.05, 2^20-tick window,
+// 4096 distinct keys.
+
+// IngestResult is one engine/mode measurement.
+type IngestResult struct {
+	Engine       string  `json:"engine"`       // single | safe | sharded
+	Mode         string  `json:"mode"`         // add | batch64 | batch1024 | fresh-batch64
+	Goroutines   int     `json:"goroutines"`   // concurrent writers
+	NsPerEvent   float64 `json:"ns_per_event"` // wall-clock ns per ingested event
+	BytesPerOp   int64   `json:"bytes_per_event"`
+	AllocsPerOp  float64 `json:"allocs_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// IngestRun is one labelled invocation of the -ingest mode.
+type IngestRun struct {
+	Label   string         `json:"label"`
+	Results []IngestResult `json:"results"`
+}
+
+func benchParams() ecmsketch.Params {
+	return ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20}
+}
+
+// ingestEngines enumerates the engine constructors under test.
+func ingestEngines() []struct {
+	name string
+	mk   func() (ecmsketch.Ingestor, error)
+} {
+	return []struct {
+		name string
+		mk   func() (ecmsketch.Ingestor, error)
+	}{
+		{"single", func() (ecmsketch.Ingestor, error) { return ecmsketch.New(benchParams()) }},
+		{"safe", func() (ecmsketch.Ingestor, error) { return ecmsketch.NewSafe(benchParams()) }},
+		{"sharded", func() (ecmsketch.Ingestor, error) {
+			return ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: benchParams(), Shards: 16})
+		}},
+	}
+}
+
+// runIngestOnce drives one engine with nGoroutines writers, each feeding
+// events in batches of batchSize (1 means single AddN calls), splitting the
+// b.N event budget across the writers. A positive resetEvery empties the
+// sketch each time that many events have been ingested, so the measurement
+// includes the synopsis growth phase (where allocation behaviour lives)
+// instead of only the steady state; it is only meaningful single-goroutine.
+//
+// A fresh engine is constructed per invocation: testing.Benchmark re-runs
+// the closure with growing b.N while calibrating, and each run restarts
+// ticks at 1 — reusing an engine would leave its clock at the previous
+// run's high-water mark and clamp a prefix of the next run onto one
+// constant tick, measuring a degenerate stream.
+func runIngestOnce(mk func() (ecmsketch.Ingestor, error), goroutines, batchSize, resetEvery int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ing, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		per := b.N/goroutines + 1
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				base := uint64(g) << 32
+				if batchSize <= 1 {
+					for i := 0; i < per; i++ {
+						ing.AddN(base|uint64(i%4096), ecmsketch.Tick(i+1), 1)
+					}
+					return
+				}
+				batch := make([]ecmsketch.Event, 0, batchSize)
+				tick := ecmsketch.Tick(0)
+				for i := 0; i < per; i++ {
+					if resetEvery > 0 && i%resetEvery == 0 && i > 0 {
+						ing.AddBatch(batch)
+						batch = batch[:0]
+						if sk, ok := ing.(*ecmsketch.Sketch); ok {
+							sk.Reset()
+							tick = 0
+						}
+					}
+					tick++
+					batch = append(batch, ecmsketch.Event{Key: base | uint64(i%4096), Tick: tick})
+					if len(batch) == cap(batch) {
+						ing.AddBatch(batch)
+						batch = batch[:0]
+					}
+				}
+				ing.AddBatch(batch)
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+func runIngestBench(label, out string) error {
+	modes := []struct {
+		name       string
+		goroutines int
+		batch      int
+		resetEvery int
+	}{
+		{"add", 1, 1, 0},
+		{"batch64", 1, 64, 0},
+		{"batch1024", 1, 1024, 0},
+		{"fresh-batch64", 1, 64, 1 << 17},
+		{"batch64", 4, 64, 0},
+	}
+	run := IngestRun{Label: label}
+	for _, eng := range ingestEngines() {
+		for _, m := range modes {
+			if eng.name == "single" && m.goroutines > 1 {
+				continue // plain Sketch is single-goroutine by contract
+			}
+			if eng.name != "single" && m.resetEvery > 0 {
+				continue // growth-phase mode relies on Sketch.Reset
+			}
+			r := testing.Benchmark(runIngestOnce(eng.mk, m.goroutines, m.batch, m.resetEvery))
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			res := IngestResult{
+				Engine:       eng.name,
+				Mode:         m.name,
+				Goroutines:   m.goroutines,
+				NsPerEvent:   ns,
+				BytesPerOp:   r.AllocedBytesPerOp(),
+				AllocsPerOp:  float64(r.MemAllocs) / float64(r.N),
+				EventsPerSec: 1e9 / ns,
+			}
+			run.Results = append(run.Results, res)
+			fmt.Printf("%-8s %-14s goroutines=%d  %8.1f ns/event  %6d B/event  %8.4f allocs/event  %10.0f events/s\n",
+				res.Engine, res.Mode, res.Goroutines, res.NsPerEvent, res.BytesPerOp, res.AllocsPerOp, res.EventsPerSec)
+		}
+	}
+	return appendIngestRun(out, run)
+}
+
+// appendIngestRun appends the run to the JSON array in path, creating it if
+// absent, so before/after invocations accumulate in one committed file.
+func appendIngestRun(path string, run IngestRun) error {
+	var runs []IngestRun
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("existing %s is not an ingest-run array: %w", path, err)
+		}
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -28,8 +28,18 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: table2|table3|table4|fig4|fig5|fig6|heavy|geom|geomscale|plan|motivation|ablation|all")
 		dataset = flag.String("dataset", "both", "dataset: wc98|snmp|both")
 		events  = flag.Int("events", experiments.DefaultScale, "stream length per dataset")
+		ingest  = flag.Bool("ingest", false, "measure engine ingest throughput and append JSON results to -out instead of running paper experiments")
+		label   = flag.String("label", "dev", "label recorded with -ingest results")
+		out     = flag.String("out", "BENCH_ingest.json", "output file for -ingest results")
 	)
 	flag.Parse()
+	if *ingest {
+		if err := runIngestBench(*label, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *dataset, *events); err != nil {
 		fmt.Fprintln(os.Stderr, "ecmbench:", err)
 		os.Exit(1)

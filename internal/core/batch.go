@@ -1,5 +1,10 @@
 package core
 
+import (
+	"ecmsketch/internal/hashing"
+	"ecmsketch/internal/window"
+)
+
 // Event is one stream arrival in batched form: key, logical timestamp and
 // multiplicity. Batches amortize per-call overhead (and, for concurrent
 // front ends, lock traffic) across many arrivals; they are the unit every
@@ -10,16 +15,109 @@ type Event struct {
 	N    uint64 // arrival multiplicity; 0 is treated as 1
 }
 
-// AddBatch registers a slice of arrivals in one call. Events are applied in
-// slice order; ticks must be non-decreasing across the batch as for AddN
-// (regressed ticks are clamped forward).
-func (s *Sketch) AddBatch(events []Event) {
-	for _, ev := range events {
+// batchScratch is the reusable working memory of the batch ingest pipeline.
+// It is retained on the sketch between batches (sized by the largest batch
+// seen), so steady-state batch ingest allocates nothing.
+type batchScratch struct {
+	ticks []Tick   // per event: validated tick
+	ns    []uint64 // per event: validated multiplicity
+	pos   []int32  // per (row, event): cell column, laid out row-major
+}
+
+func (sc *batchScratch) resize(events, d int) {
+	if cap(sc.ticks) < events {
+		sc.ticks = make([]Tick, events)
+		sc.ns = make([]uint64, events)
+	}
+	sc.ticks = sc.ticks[:events]
+	sc.ns = sc.ns[:events]
+	if cap(sc.pos) < events*d {
+		sc.pos = make([]int32, events*d)
+	}
+	sc.pos = sc.pos[:events*d]
+}
+
+// validate applies the batch clamping contract (see ecmsketch.Ingestor)
+// once for the whole slice: zero ticks become 1, and every tick is clamped
+// to the running maximum of the batch and to the sketch clock at entry, so
+// the applied sequence is non-decreasing. It fills sc.ticks/sc.ns and
+// returns the batch's high-water tick and total inserted value.
+func (sc *batchScratch) validate(events []Event, clock Tick) (maxTick Tick, total uint64) {
+	lo := clock
+	if lo == 0 {
+		lo = 1 // ticks are 1-based
+	}
+	for e, ev := range events {
+		if ev.Tick > lo {
+			lo = ev.Tick
+		}
+		sc.ticks[e] = lo
 		n := ev.N
 		if n == 0 {
 			n = 1
 		}
-		s.AddN(ev.Key, ev.Tick, n)
+		sc.ns[e] = n
+		total += n
+	}
+	return lo, total
+}
+
+// AddBatch registers a slice of arrivals in one call. Events are applied in
+// slice order under the batch clamping contract documented on
+// ecmsketch.Ingestor: tick validation happens once per batch, not once per
+// counter update.
+//
+// For the flat exponential-histogram engine the batch is the unit of work
+// all the way down: each event's d cell positions are computed once (one
+// key fold, d folded hashes), then updates are applied row-major straight
+// into the arena, with no per-event interface dispatch.
+func (s *Sketch) AddBatch(events []Event) {
+	m := len(events)
+	if m == 0 {
+		return
+	}
+	sc := &s.batch
+	sc.resize(m, s.d)
+	maxTick, total := sc.validate(events, s.now)
+	if maxTick > s.now {
+		s.now = maxTick
+	}
+	s.count += total
+
+	if s.eh == nil {
+		// Wave engines keep per-object counters; apply event-major with the
+		// already-validated ticks.
+		if s.params.Algorithm == window.AlgoRW {
+			for e, ev := range events {
+				s.addRW(ev.Key, sc.ticks[e], sc.ns[e])
+			}
+			return
+		}
+		for e, ev := range events {
+			k := hashing.Fold(ev.Key)
+			for j := 0; j < s.d; j++ {
+				s.counters[j*s.w+s.fam.HashFolded(j, k)].AddN(sc.ticks[e], sc.ns[e])
+			}
+		}
+		return
+	}
+
+	// Flat path. Hash every event once, laying positions out row-major so
+	// each row's sweep reads its positions sequentially...
+	d := s.d
+	for e, ev := range events {
+		k := hashing.Fold(ev.Key)
+		for j := 0; j < d; j++ {
+			sc.pos[j*m+e] = int32(s.fam.HashFolded(j, k))
+		}
+	}
+	// ...then sweep the arena row-major: row j's updates touch only cells
+	// [j*w, (j+1)*w), so consecutive updates stay within one row-sized
+	// region of the slabs instead of striding across the whole sketch for
+	// every event.
+	for j := 0; j < d; j++ {
+		rowPos := sc.pos[j*m : (j+1)*m]
+		s.eh.AddBatchRow(j*s.w, rowPos, sc.ticks, sc.ns)
 	}
 }
 

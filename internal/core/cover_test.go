@@ -63,8 +63,13 @@ func TestExtractVectorMass(t *testing.T) {
 			t.Errorf("row %d mass = %v, want 50", j, row)
 		}
 	}
-	if c := s.counterAt(0, 0); c == nil {
-		t.Error("counterAt returned nil")
+	// Default-algorithm sketches run on the flat arena engine, with no
+	// per-cell counter objects to hand out.
+	if s.eh == nil {
+		t.Error("EH sketch is not using the flat engine")
+	}
+	if s.counters != nil {
+		t.Error("flat sketch still carries per-object counters")
 	}
 }
 

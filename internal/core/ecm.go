@@ -55,18 +55,26 @@ var ecmSaltCounter uint64
 // queries over any sub-range of the window, and order-preserving aggregation
 // with other sketches of identical configuration.
 //
+// For the default exponential-histogram algorithm the d×w counters live in
+// one flat arena (window.EHBank): a contiguous bucket slab addressed
+// row-major, with no per-counter heap objects and no interface dispatch on
+// the ingest path. The wave algorithms keep one window.Counter object per
+// cell.
+//
 // Sketch is not safe for concurrent use; distributed sites each own one.
 type Sketch struct {
 	params   Params
 	split    Split
 	fam      *hashing.Family
-	counters []window.Counter // row-major d×w
+	eh       *window.EHBank   // flat engine; non-nil iff Algorithm == AlgoEH
+	counters []window.Counter // row-major d×w; nil when eh is in use
 	w, d     int
 	wcfg     window.Config
 	now      Tick
 	count    uint64 // arrivals (total inserted value) since stream start
 	salt     uint64
 	seq      uint64
+	batch    batchScratch
 }
 
 // New constructs an ECM-sketch.
@@ -105,15 +113,23 @@ func New(p Params) (*Sketch, error) {
 		Seed:       p.Seed,
 	}
 	s := &Sketch{
-		params:   p,
-		split:    split,
-		fam:      fam,
-		counters: make([]window.Counter, d*w),
-		w:        w,
-		d:        d,
-		wcfg:     wcfg,
-		salt:     hashing.Mix64(atomic.AddUint64(&ecmSaltCounter, 1) * 0x94d049bb133111eb),
+		params: p,
+		split:  split,
+		fam:    fam,
+		w:      w,
+		d:      d,
+		wcfg:   wcfg,
+		salt:   hashing.Mix64(atomic.AddUint64(&ecmSaltCounter, 1) * 0x94d049bb133111eb),
 	}
+	if p.Algorithm == window.AlgoEH {
+		bank, err := window.NewEHBank(wcfg, d*w)
+		if err != nil {
+			return nil, err
+		}
+		s.eh = bank
+		return s, nil
+	}
+	s.counters = make([]window.Counter, d*w)
 	for i := range s.counters {
 		c, err := window.New(p.Algorithm, wcfg)
 		if err != nil {
@@ -190,18 +206,32 @@ func (s *Sketch) AddN(key uint64, t Tick, n uint64) {
 	}
 	s.count += n
 	if s.params.Algorithm == window.AlgoRW {
-		for u := uint64(0); u < n; u++ {
-			s.seq++
-			id := hashing.Mix64(s.salt ^ s.seq)
-			for j := 0; j < s.d; j++ {
-				rw := s.counters[j*s.w+s.fam.Hash(j, key)].(*window.RW)
-				rw.AddID(t, id)
-			}
+		s.addRW(key, t, n)
+		return
+	}
+	k := hashing.Fold(key)
+	if s.eh != nil {
+		for j := 0; j < s.d; j++ {
+			s.eh.AddN(j*s.w+s.fam.HashFolded(j, k), t, n)
 		}
 		return
 	}
 	for j := 0; j < s.d; j++ {
-		s.counters[j*s.w+s.fam.Hash(j, key)].AddN(t, n)
+		s.counters[j*s.w+s.fam.HashFolded(j, k)].AddN(t, n)
+	}
+}
+
+// addRW inserts n unit arrivals with fresh identifiers into the d
+// randomized-wave counters owning key; callers maintain s.now and s.count.
+func (s *Sketch) addRW(key uint64, t Tick, n uint64) {
+	k := hashing.Fold(key)
+	for u := uint64(0); u < n; u++ {
+		s.seq++
+		id := hashing.Mix64(s.salt ^ s.seq)
+		for j := 0; j < s.d; j++ {
+			rw := s.counters[j*s.w+s.fam.HashFolded(j, k)].(*window.RW)
+			rw.AddID(t, id)
+		}
 	}
 }
 
@@ -210,21 +240,47 @@ func (s *Sketch) Advance(t Tick) {
 	if t > s.now {
 		s.now = t
 	}
+	if s.eh != nil {
+		s.eh.AdvanceAll(t)
+		return
+	}
 	for _, c := range s.counters {
 		c.Advance(t)
 	}
 }
 
+// cellEstimateRange evaluates counter idx over the last r ticks. Counters
+// are only advanced on their own arrivals; the helper first aligns them with
+// the sketch clock so expired content does not linger.
+func (s *Sketch) cellEstimateRange(idx int, r Tick) float64 {
+	if s.eh != nil {
+		s.eh.Advance(idx, s.now)
+		return s.eh.EstimateRange(idx, r)
+	}
+	c := s.counters[idx]
+	c.Advance(s.now)
+	return c.EstimateRange(r)
+}
+
+// cellEstimateSince evaluates counter idx for ticks > since, aligning the
+// counter with the sketch clock first.
+func (s *Sketch) cellEstimateSince(idx int, since Tick) float64 {
+	if s.eh != nil {
+		s.eh.Advance(idx, s.now)
+		return s.eh.EstimateSince(idx, since)
+	}
+	c := s.counters[idx]
+	c.Advance(s.now)
+	return c.EstimateSince(since)
+}
+
 // Estimate answers the point query (key, r): the estimated frequency of the
 // item within the last r ticks, as min_j E(h_j(key), j, r).
 func (s *Sketch) Estimate(key uint64, r Tick) float64 {
+	k := hashing.Fold(key)
 	est := math.Inf(1)
 	for j := 0; j < s.d; j++ {
-		c := s.counters[j*s.w+s.fam.Hash(j, key)]
-		// Counters are only advanced on their own arrivals; align them with
-		// the sketch clock so expired content does not linger.
-		c.Advance(s.now)
-		if v := c.EstimateRange(r); v < est {
+		if v := s.cellEstimateRange(j*s.w+s.fam.HashFolded(j, k), r); v < est {
 			est = v
 		}
 	}
@@ -244,11 +300,11 @@ func (s *Sketch) EstimateInterval(key uint64, from, to Tick) float64 {
 	if to <= from {
 		return 0
 	}
+	k := hashing.Fold(key)
 	est := math.Inf(1)
 	for j := 0; j < s.d; j++ {
-		c := s.counters[j*s.w+s.fam.Hash(j, key)]
-		c.Advance(s.now)
-		v := c.EstimateSince(from) - c.EstimateSince(to)
+		idx := j*s.w + s.fam.HashFolded(j, k)
+		v := s.cellEstimateSince(idx, from) - s.cellEstimateSince(idx, to)
 		if v < 0 {
 			v = 0
 		}
@@ -275,15 +331,12 @@ func (s *Sketch) InnerProduct(o *Sketch, r Tick) (float64, error) {
 	for j := 0; j < s.d; j++ {
 		var sum float64
 		for i := 0; i < s.w; i++ {
-			a := s.counters[j*s.w+i]
-			b := o.counters[j*s.w+i]
-			a.Advance(s.now)
-			b.Advance(o.now)
-			ea := a.EstimateRange(r)
+			idx := j*s.w + i
+			ea := s.cellEstimateRange(idx, r)
 			if ea == 0 {
 				continue
 			}
-			sum += ea * b.EstimateRange(r)
+			sum += ea * o.cellEstimateRange(idx, r)
 		}
 		if sum < best {
 			best = sum
@@ -316,9 +369,8 @@ func (s *Sketch) Compatible(o *Sketch) bool {
 // monitoring method (Section 6.2) does linear algebra on.
 func (s *Sketch) ExtractVector(r Tick) *cm.Vector {
 	v := cm.NewVector(s.d, s.w)
-	for i, c := range s.counters {
-		c.Advance(s.now)
-		v.Cells[i] = c.EstimateRange(r)
+	for i := range v.Cells {
+		v.Cells[i] = s.cellEstimateRange(i, r)
 	}
 	return v
 }
@@ -332,9 +384,7 @@ func (s *Sketch) EstimateTotal(r Tick) float64 {
 	for j := 0; j < s.d; j++ {
 		var sum float64
 		for i := 0; i < s.w; i++ {
-			c := s.counters[j*s.w+i]
-			c.Advance(s.now)
-			sum += c.EstimateRange(r)
+			sum += s.cellEstimateRange(j*s.w+i, r)
 		}
 		if sum < best {
 			best = sum
@@ -346,17 +396,25 @@ func (s *Sketch) EstimateTotal(r Tick) float64 {
 	return best
 }
 
-// MemoryBytes reports the heap footprint of the sketch.
+// MemoryBytes reports the heap footprint of the sketch. The flat engine
+// reports the arena slabs directly; per-object engines sum their counters.
 func (s *Sketch) MemoryBytes() int {
 	n := 128
+	if s.eh != nil {
+		return n + s.eh.MemoryBytes()
+	}
 	for _, c := range s.counters {
 		n += c.MemoryBytes()
 	}
 	return n
 }
 
-// Reset empties every counter, keeping the configuration.
+// Reset empties every counter, keeping the configuration (and, for the flat
+// engine, the arena capacity).
 func (s *Sketch) Reset() {
+	if s.eh != nil {
+		s.eh.Reset()
+	}
 	for _, c := range s.counters {
 		c.Reset()
 	}
@@ -364,6 +422,3 @@ func (s *Sketch) Reset() {
 	s.count = 0
 	s.seq = 0
 }
-
-// counterAt exposes a counter for white-box tests and serialization.
-func (s *Sketch) counterAt(j, i int) window.Counter { return s.counters[j*s.w+i] }

@@ -45,14 +45,26 @@ func (s *Sketch) Marshal() []byte {
 	putU(s.count)
 	putU(s.salt)
 	putU(s.seq)
+	if s.eh != nil {
+		// Flat engine: encode each cell straight out of the arena into one
+		// reusable scratch buffer. The bytes are identical to what a
+		// per-object EH holding the same content would write.
+		var cell []byte
+		for i := 0; i < s.d*s.w; i++ {
+			cell = s.eh.AppendMarshalCell(cell[:0], i)
+			putU(uint64(len(cell)))
+			buf.Write(cell)
+		}
+		return buf.Bytes()
+	}
 	for _, c := range s.counters {
 		var enc []byte
 		switch cc := c.(type) {
-		case *window.EH:
-			enc = cc.Marshal()
 		case *window.DW:
 			enc = cc.Marshal()
 		case *window.RW:
+			enc = cc.Marshal()
+		case *window.EH:
 			enc = cc.Marshal()
 		default:
 			// Exact counters are test-only and not serialized.
@@ -169,7 +181,7 @@ func Unmarshal(b []byte) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range s.counters {
+	for i := 0; i < int(du)*int(wu); i++ {
 		ln, err := getU()
 		if err != nil {
 			return nil, err
@@ -181,11 +193,11 @@ func Unmarshal(b []byte) (*Sketch, error) {
 		off += int(ln)
 		switch p.Algorithm {
 		case window.AlgoEH:
-			c, err := window.UnmarshalEH(enc)
-			if err != nil {
+			// Decode straight into the flat arena; cross-version encodings
+			// from the per-object engine restore identically.
+			if err := s.eh.UnmarshalCell(i, enc); err != nil {
 				return nil, fmt.Errorf("core: counter %d: %w", i, err)
 			}
-			s.counters[i] = c
 		case window.AlgoDW:
 			c, err := window.UnmarshalDW(enc)
 			if err != nil {

@@ -46,20 +46,24 @@ func Merge(inputs ...*Sketch) (*Sketch, error) {
 		}
 		count += in.count
 	}
+	if first.params.Algorithm == window.AlgoEH {
+		// Flat engine: replay every input cell's buckets (Theorem 4
+		// half/half split, tick-ordered) straight into the output arena —
+		// the same replay MergeEH performs for per-object histograms.
+		lists := make([][]window.Bucket, len(inputs))
+		for idx := 0; idx < first.d*first.w; idx++ {
+			for k, in := range inputs {
+				lists[k] = in.eh.AppendBuckets(lists[k][:0], idx)
+			}
+			out.eh.MergeCell(idx, now, lists)
+		}
+		out.now = now
+		out.count = count
+		out.Advance(now)
+		return out, nil
+	}
 	cells := make([]window.Counter, len(first.counters))
 	switch first.params.Algorithm {
-	case window.AlgoEH:
-		for idx := range cells {
-			ins := make([]*window.EH, len(inputs))
-			for k, in := range inputs {
-				ins[k] = in.counters[idx].(*window.EH)
-			}
-			m, err := window.MergeEH(first.wcfg, ins...)
-			if err != nil {
-				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
-			}
-			cells[idx] = m
-		}
 	case window.AlgoDW:
 		for idx := range cells {
 			ins := make([]*window.DW, len(inputs))

@@ -25,6 +25,11 @@ const mersennePrime31 = (1 << 31) - 1
 type PairwiseFunc struct {
 	a, b  uint64
 	width uint64
+	// magic is ⌈2^64/width⌉ (wrapping), precomputed for the exact
+	// multiply-based remainder in HashFolded (Lemire's fastmod): hash paths
+	// run d reductions per arrival, and a 128-bit multiply is several times
+	// cheaper than a hardware divide.
+	magic uint64
 }
 
 // NewPairwiseFunc derives the i-th hash function of width w from a seed.
@@ -43,20 +48,32 @@ func NewPairwiseFunc(seed uint64, i int, w int) (PairwiseFunc, error) {
 	b := Mix64(seed ^ (0xbf58476d1ce4e5b9 * uint64(i+7)))
 	a = a%(mersennePrime31-1) + 1 // a in [1, p-1]
 	b = b % mersennePrime31       // b in [0, p-1]
-	return PairwiseFunc{a: a, b: b, width: uint64(w)}, nil
+	return PairwiseFunc{a: a, b: b, width: uint64(w), magic: ^uint64(0)/uint64(w) + 1}, nil
 }
 
 // Hash maps a 64-bit key to a bucket in [0, width).
 func (f PairwiseFunc) Hash(key uint64) int {
-	// Fold the 64-bit key into the 31-bit field first; the fold itself is a
-	// fixed permutation-then-xor so distinct keys rarely collide before the
-	// universal stage.
+	return f.HashFolded(Fold(key))
+}
+
+// Fold compresses a 64-bit key into the 31-bit hash field. The fold is a
+// fixed permutation-then-reduce shared by every function of every family, so
+// ingest paths that hash one key with d row functions (an ECM-sketch update)
+// pay the mix once and reuse the folded key via HashFolded.
+func Fold(key uint64) uint64 {
 	x := Mix64(key)
 	lo := x & mersennePrime31
 	hi := x >> 31
-	k := (lo + hi) % mersennePrime31
+	return (lo + hi) % mersennePrime31
+}
+
+// HashFolded maps an already-folded key (see Fold) to a bucket in
+// [0, width). Hash(key) == HashFolded(Fold(key)) for every key.
+func (f PairwiseFunc) HashFolded(k uint64) int {
 	h := (f.a*k + f.b) % mersennePrime31
-	return int(h % f.width)
+	// h % width via fastmod: exact for h, width < 2^32.
+	mod, _ := bits.Mul64(f.magic*h, f.width)
+	return int(mod)
 }
 
 // Width reports the range size of the function.
@@ -96,6 +113,9 @@ func (fam *Family) Seed() uint64 { return fam.seed }
 
 // Hash maps a key with the i-th function of the family.
 func (fam *Family) Hash(i int, key uint64) int { return fam.funcs[i].Hash(key) }
+
+// HashFolded maps an already-folded key (see Fold) with the i-th function.
+func (fam *Family) HashFolded(i int, k uint64) int { return fam.funcs[i].HashFolded(k) }
 
 // Compatible reports whether two families were derived identically and hence
 // hash every key to the same cells. Sketches may only be merged when their

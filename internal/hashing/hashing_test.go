@@ -164,3 +164,47 @@ func TestGeometricLevelDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestHashFoldedMatchesDivision pins the fastmod reduction in HashFolded to
+// the plain % operator it replaced, across widths (including 1 and primes)
+// and the full folded-key range boundaries.
+func TestHashFoldedMatchesDivision(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 55, 109, 544, 1 << 20, (1 << 31) - 2} {
+		f, err := NewPairwiseFunc(12345, 3, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []uint64{0, 1, 2, 1000003, mersennePrime31 - 1} {
+			h := (f.a*k + f.b) % mersennePrime31
+			want := int(h % f.width)
+			if got := f.HashFolded(k); got != want {
+				t.Fatalf("w=%d k=%d: fastmod %d, division %d", w, k, got, want)
+			}
+		}
+		rng := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 20000; i++ {
+			rng = Mix64(rng + uint64(i))
+			k := rng % mersennePrime31
+			h := (f.a*k + f.b) % mersennePrime31
+			want := int(h % f.width)
+			if got := f.HashFolded(k); got != want {
+				t.Fatalf("w=%d k=%d: fastmod %d, division %d", w, k, got, want)
+			}
+		}
+	}
+}
+
+// TestHashEqualsHashFolded pins the two-step fold+reduce path to the
+// original one-shot Hash for random keys.
+func TestHashEqualsHashFolded(t *testing.T) {
+	f, err := NewPairwiseFunc(99, 1, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		key := Mix64(i * 0x9e3779b97f4a7c15)
+		if f.Hash(key) != f.HashFolded(Fold(key)) {
+			t.Fatalf("key %d: Hash %d != HashFolded(Fold) %d", key, f.Hash(key), f.HashFolded(Fold(key)))
+		}
+	}
+}

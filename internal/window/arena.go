@@ -1,0 +1,518 @@
+package window
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the flat-memory exponential-histogram engine: a bank
+// of EH counters whose buckets all live in one contiguous arena instead of
+// one growable deque per (cell, level).
+//
+// The per-object layout (type EH) allocates a []bucket ring per size class of
+// every counter — for a d×w ECM-sketch that is thousands of tiny heap
+// objects, and every Add chases counter pointer → level slice → ring buffer
+// before touching a bucket. The bank replaces all of that with three slabs:
+//
+//	cells []ehCell  — one fixed-size record per counter (clock, total, #levels)
+//	dirs  []ehLevel — the level directories: cell i's levels are the
+//	                  fixed-stride run dirs[i*maxLv : i*maxLv+nLv]
+//	slab  []bucket  — ring storage, carved into fixed-size chunks of
+//	                  stride = capPerLv+1 buckets, one chunk per live level
+//
+// A level's ring can never outgrow its chunk: the EH cascade fires as soon as
+// a size class exceeds capPerLv buckets, so occupancy peaks at capPerLv+1 —
+// exactly the chunk size. Chunks are handed out from the end of the slab and
+// never freed (an empty level keeps its chunk for refills, matching the old
+// deques, which never shrank either).
+//
+// The algorithm is deliberately identical to type EH — same insert cascade,
+// same expiry, same estimate arithmetic in the same order — so a bank cell
+// and an EH fed the same stream return bit-identical answers and marshal to
+// byte-identical encodings. Tests assert both.
+
+// ehCell is the per-counter header of a bank.
+type ehCell struct {
+	total   uint64 // sum of live bucket sizes
+	now     Tick   // latest tick observed by this cell
+	oldEnd  Tick   // cached end of the globally oldest bucket; emptyOldEnd when none
+	oldLv   int16  // cached level holding that bucket (highest non-empty)
+	nLv     int16  // live size classes; levels [0, nLv) of the directory
+	started bool
+}
+
+// emptyOldEnd marks an empty cell's oldEnd cache: no bucket can ever expire
+// against it, so the expiry fast path short-circuits. The zero value (a
+// fresh or Reset cell) conservatively forces a recompute instead.
+const emptyOldEnd = ^Tick(0)
+
+// ehLevel locates one size class's ring inside the slab.
+type ehLevel struct {
+	off  int32  // ring storage: slab[off : off+stride]
+	head uint16 // offset of the oldest bucket within the ring
+	n    uint16 // live buckets in the ring
+}
+
+// EHBank is a bank of n exponential-histogram counters backed by one
+// contiguous bucket arena. Cells are addressed by index; an ECM-sketch lays
+// its d×w counters out row-major and addresses cell j*w+i.
+//
+// EHBank is not safe for concurrent use.
+type EHBank struct {
+	cfg      Config
+	capPerLv int // merge threshold per size class: ⌈k/2⌉+2
+	stride   int // ring capacity per level chunk: capPerLv+1
+	maxLv    int // directory stride; grows (rarely) when any cell exceeds it
+	cells    []ehCell
+	dirs     []ehLevel
+	slab     []bucket
+	mscratch []Bucket // reusable bucket snapshot for AppendMarshalCell
+}
+
+// NewEHBank constructs a bank of n empty exponential histograms, each with
+// relative error cfg.Epsilon over a window of cfg.Length ticks.
+func NewEHBank(cfg Config, n int) (*EHBank, error) {
+	if err := cfg.Validate(AlgoEH); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("window: bank size must be positive, got %d", n)
+	}
+	k := int(math.Ceil(1 / cfg.Epsilon))
+	capPerLv := (k+1)/2 + 2
+	const initialMaxLv = 4
+	return &EHBank{
+		cfg:      cfg,
+		capPerLv: capPerLv,
+		stride:   capPerLv + 1,
+		maxLv:    initialMaxLv,
+		cells:    make([]ehCell, n),
+		dirs:     make([]ehLevel, n*initialMaxLv),
+	}, nil
+}
+
+// Config returns the shared configuration of the bank's cells.
+func (b *EHBank) Config() Config { return b.cfg }
+
+// Len reports the number of cells.
+func (b *EHBank) Len() int { return len(b.cells) }
+
+// level returns the lv-th size class of cell i; it must exist.
+func (b *EHBank) level(i, lv int) *ehLevel { return &b.dirs[i*b.maxLv+lv] }
+
+// at returns the j-th bucket (from the oldest) of a level's ring.
+func (b *EHBank) at(d *ehLevel, j int) bucket {
+	p := int(d.head) + j
+	if p >= b.stride {
+		p -= b.stride
+	}
+	return b.slab[int(d.off)+p]
+}
+
+func (b *EHBank) pushBack(d *ehLevel, bk bucket) {
+	p := int(d.head) + int(d.n)
+	if p >= b.stride {
+		p -= b.stride
+	}
+	b.slab[int(d.off)+p] = bk
+	d.n++
+}
+
+func (b *EHBank) popFront(d *ehLevel) bucket {
+	bk := b.slab[int(d.off)+int(d.head)]
+	d.head++
+	if int(d.head) == b.stride {
+		d.head = 0
+	}
+	d.n--
+	return bk
+}
+
+// front returns the oldest bucket of a level's ring.
+func (b *EHBank) front(d *ehLevel) bucket {
+	return b.slab[int(d.off)+int(d.head)]
+}
+
+// searchEndAfter returns the index (from the front) of the oldest bucket of
+// the level with end > s, or d.n if none.
+func (b *EHBank) searchEndAfter(d *ehLevel, s Tick) int {
+	lo, hi := 0, int(d.n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.at(d, mid).end > s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// addLevel appends one size class to cell i, carving a fresh chunk from the
+// end of the slab.
+func (b *EHBank) addLevel(i int) {
+	c := &b.cells[i]
+	if int(c.nLv) == b.maxLv {
+		b.growDirs()
+	}
+	need := len(b.slab) + b.stride
+	if cap(b.slab) >= need {
+		// Reslicing may expose stale buckets from before a Reset; harmless,
+		// since ring entries are always written before they are read.
+		b.slab = b.slab[:need]
+	} else {
+		grown := make([]bucket, need, need*2)
+		copy(grown, b.slab)
+		b.slab = grown
+	}
+	b.dirs[i*b.maxLv+int(c.nLv)] = ehLevel{off: int32(need - b.stride)}
+	c.nLv++
+}
+
+// growDirs doubles the per-cell directory stride, re-laying the directory
+// slab out. This happens O(log log total) times over a bank's lifetime.
+func (b *EHBank) growDirs() {
+	newMax := b.maxLv * 2
+	nd := make([]ehLevel, len(b.cells)*newMax)
+	for i := range b.cells {
+		copy(nd[i*newMax:], b.dirs[i*b.maxLv:i*b.maxLv+int(b.cells[i].nLv)])
+	}
+	b.dirs = nd
+	b.maxLv = newMax
+}
+
+// Add registers one arrival at tick t in cell i.
+func (b *EHBank) Add(i int, t Tick) { b.AddN(i, t, 1) }
+
+// AddN registers n simultaneous arrivals at tick t in cell i. The semantics
+// mirror EH.AddN exactly: ticks are 1-based, slight regressions are clamped
+// to the cell's clock, and the n arrivals insert as n unit buckets with
+// cascading merges.
+func (b *EHBank) AddN(i int, t Tick, n uint64) {
+	if n == 0 {
+		b.Advance(i, t)
+		return
+	}
+	c := &b.cells[i]
+	if t == 0 {
+		t = 1 // ticks are 1-based; tick 0 means "before the stream"
+	}
+	if t < c.now {
+		t = c.now // clamp slight out-of-order arrivals
+	}
+	c.now = t
+	if !c.started || c.total == 0 {
+		c.started = true
+		// The unit about to be inserted becomes the globally oldest bucket.
+		c.oldEnd = t
+		c.oldLv = 0
+	}
+	if c.nLv == 0 {
+		b.addLevel(i)
+	}
+	for u := uint64(0); u < n; u++ {
+		// Inlined unit insert into level 0; the cascade fires only when the
+		// class actually overflows (roughly every other insert).
+		d := &b.dirs[i*b.maxLv]
+		p := int(d.head) + int(d.n)
+		if p >= b.stride {
+			p -= b.stride
+		}
+		b.slab[int(d.off)+p] = bucket{start: t, end: t}
+		d.n++
+		c.total++
+		if int(d.n) > b.capPerLv {
+			b.cascade(i, c, 0)
+		}
+	}
+	b.expire(c, i)
+}
+
+// AddBatchRow applies one row of a validated batch: event e inserts ns[e]
+// arrivals at ticks[e] into cell base+pos[e]. Ticks must already be
+// non-decreasing and ≥ 1 (the engine-level batch validation guarantees
+// this, making AddN's own clamp checks predictable no-ops); keeping the
+// loop inside the bank spares a cross-package call per event.
+func (b *EHBank) AddBatchRow(base int, pos []int32, ticks []Tick, ns []uint64) {
+	for e, p := range pos {
+		b.AddN(base+int(p), ticks[e], ns[e])
+	}
+}
+
+// cascade merges the two oldest buckets of any size class exceeding its
+// budget into one bucket of the next class, starting at level from.
+func (b *EHBank) cascade(i int, c *ehCell, from int) {
+	for lv := from; lv < int(c.nLv); lv++ {
+		if int(b.level(i, lv).n) <= b.capPerLv {
+			break
+		}
+		if lv+1 == int(c.nLv) {
+			b.addLevel(i)
+		}
+		b.ensureRoom(i, c, lv+1)
+		d := b.level(i, lv) // resolve after addLevel/ensureRoom, which may move the directory
+		// Pop the two oldest buckets with one ring adjustment.
+		p0 := int(d.head)
+		p1 := p0 + 1
+		if p1 >= b.stride {
+			p1 -= b.stride
+		}
+		older := b.slab[int(d.off)+p0]
+		newer := b.slab[int(d.off)+p1]
+		h := p1 + 1
+		if h >= b.stride {
+			h -= b.stride
+		}
+		d.head = uint16(h)
+		d.n -= 2
+		b.pushBack(b.level(i, lv+1), bucket{start: older.start, end: newer.end})
+		if lv+1 > int(c.oldLv) {
+			// The merge consumed the two globally oldest buckets (lv was the
+			// oldest level) and their union, just pushed into the previously
+			// empty level above, is the new globally oldest bucket.
+			c.oldLv = int16(lv + 1)
+			c.oldEnd = newer.end
+		}
+	}
+}
+
+// ensureRoom guarantees level lv of cell i can absorb one push. Levels are
+// full only while restoring corrupt encodings (normal cascades peak at
+// exactly the ring capacity after their push); room is made the same way a
+// cascade would, merging the two oldest buckets upward.
+func (b *EHBank) ensureRoom(i int, c *ehCell, lv int) {
+	if int(b.level(i, lv).n) < b.stride {
+		return
+	}
+	if lv+1 == int(c.nLv) {
+		b.addLevel(i)
+	}
+	b.ensureRoom(i, c, lv+1)
+	d := b.level(i, lv)
+	older := b.popFront(d)
+	newer := b.popFront(d)
+	b.pushBack(b.level(i, lv+1), bucket{start: older.start, end: newer.end})
+}
+
+// expire drops buckets of cell i whose newest arrival left the window. The
+// cached (oldLv, oldEnd) pair short-circuits the common case — nothing to
+// expire — without touching the level directory or the slab.
+func (b *EHBank) expire(c *ehCell, i int) {
+	if c.now < b.cfg.Length {
+		return
+	}
+	cut := c.now - b.cfg.Length // ticks ≤ cut are outside the window
+	if c.oldEnd > cut {
+		return
+	}
+	for {
+		lv := b.oldestLevel(i, c)
+		if lv < 0 {
+			c.oldLv = 0
+			c.oldEnd = emptyOldEnd
+			return
+		}
+		c.oldLv = int16(lv)
+		d := b.level(i, lv)
+		f := b.front(d)
+		if f.end > cut {
+			c.oldEnd = f.end
+			return
+		}
+		b.popFront(d)
+		c.total -= uint64(1) << uint(lv)
+	}
+}
+
+// oldestLevel returns the highest non-empty level of cell i, which holds
+// the globally oldest bucket, or -1 when the cell is empty. The cached
+// oldLv bounds the scan: levels above it are always empty.
+func (b *EHBank) oldestLevel(i int, c *ehCell) int {
+	for lv := int(c.oldLv); lv >= 0; lv-- {
+		if b.level(i, lv).n > 0 {
+			return lv
+		}
+	}
+	return -1
+}
+
+// Advance moves cell i's window to tick t, expiring old buckets.
+func (b *EHBank) Advance(i int, t Tick) {
+	c := &b.cells[i]
+	if t > c.now {
+		c.now = t
+	}
+	b.expire(c, i)
+}
+
+// AdvanceAll moves every cell's window to tick t.
+func (b *EHBank) AdvanceAll(t Tick) {
+	for i := range b.cells {
+		b.Advance(i, t)
+	}
+}
+
+// Now reports the latest tick observed by cell i.
+func (b *EHBank) Now(i int) Tick { return b.cells[i].now }
+
+// Total reports the exact sum of cell i's live bucket sizes.
+func (b *EHBank) Total(i int) uint64 { return b.cells[i].total }
+
+// EstimateSince estimates the number of arrivals in cell i with tick >
+// since; the arithmetic matches EH.EstimateSince operation for operation.
+func (b *EHBank) EstimateSince(i int, since Tick) float64 {
+	c := &b.cells[i]
+	if c.total == 0 {
+		return 0
+	}
+	// Clamp the query to the window.
+	if c.now >= b.cfg.Length {
+		if ws := c.now - b.cfg.Length; since < ws {
+			since = ws
+		}
+	}
+	est := 0.0
+	straddleResolved := false
+	for lv := int(c.nLv) - 1; lv >= 0; lv-- {
+		d := b.level(i, lv)
+		idx := b.searchEndAfter(d, since)
+		cnt := int(d.n) - idx
+		if cnt == 0 {
+			continue
+		}
+		size := float64(uint64(1) << uint(lv))
+		if !straddleResolved {
+			// The globally oldest bucket with end > since lives in the
+			// highest level that has one; only it can straddle the boundary.
+			straddleResolved = true
+			if b.at(d, idx).start <= since {
+				est += size / 2
+				cnt--
+			}
+		}
+		est += float64(cnt) * size
+	}
+	return est
+}
+
+// EstimateRange estimates arrivals in cell i within the last r ticks.
+func (b *EHBank) EstimateRange(i int, r Tick) float64 {
+	r = clampRange(r, b.cfg.Length)
+	return b.EstimateSince(i, rangeToSince(b.cells[i].now, r))
+}
+
+// EstimateWindow estimates arrivals in cell i within the whole window.
+func (b *EHBank) EstimateWindow(i int) float64 { return b.EstimateRange(i, b.cfg.Length) }
+
+// NumBuckets reports the number of live buckets in cell i.
+func (b *EHBank) NumBuckets(i int) int {
+	c := &b.cells[i]
+	n := 0
+	for lv := 0; lv < int(c.nLv); lv++ {
+		n += int(b.level(i, lv).n)
+	}
+	return n
+}
+
+// AppendBuckets appends cell i's live buckets, ordered oldest to newest, to
+// dst and returns the extended slice.
+func (b *EHBank) AppendBuckets(dst []Bucket, i int) []Bucket {
+	c := &b.cells[i]
+	for lv := int(c.nLv) - 1; lv >= 0; lv-- {
+		d := b.level(i, lv)
+		size := uint64(1) << uint(lv)
+		for j := 0; j < int(d.n); j++ {
+			bk := b.at(d, j)
+			dst = append(dst, Bucket{Start: bk.start, End: bk.end, Size: size})
+		}
+	}
+	return dst
+}
+
+// Buckets returns a snapshot of cell i's live buckets, oldest to newest.
+func (b *EHBank) Buckets(i int) []Bucket {
+	return b.AppendBuckets(make([]Bucket, 0, b.NumBuckets(i)), i)
+}
+
+// RestoreBucket appends a decoded bucket into cell i's size class directly,
+// bypassing the cascade; callers feed buckets oldest to newest and finish
+// with NormalizeRestored, mirroring the EH restore path. Inputs decoded from
+// valid encodings never overflow a ring; a corrupt overfull class is repaired
+// by cascading before the insert.
+func (b *EHBank) RestoreBucket(i int, bk Bucket) {
+	c := &b.cells[i]
+	lv := 0
+	for s := bk.Size; s > 1; s >>= 1 {
+		lv++
+	}
+	for int(c.nLv) <= lv {
+		b.addLevel(i)
+	}
+	b.ensureRoom(i, c, lv)
+	b.pushBack(b.level(i, lv), bucket{start: bk.Start, end: bk.End})
+	c.total += uint64(1) << uint(lv)
+	if bk.End > c.now {
+		c.now = bk.End
+	}
+	c.started = true
+}
+
+// NormalizeRestored re-checks cell i's class budgets after a restore;
+// decoded histograms are already canonical, so for valid inputs this is a
+// no-op walk that repairs corrupt inputs instead of violating invariants.
+// It also rebuilds the expiry cache, which restores leave stale.
+func (b *EHBank) NormalizeRestored(i int) {
+	c := &b.cells[i]
+	for lv := 0; lv < int(c.nLv); lv++ {
+		if int(b.level(i, lv).n) > b.capPerLv {
+			b.cascade(i, c, lv)
+		}
+	}
+	c.oldLv = int16(int(c.nLv) - 1)
+	if c.oldLv < 0 {
+		c.oldLv = 0
+	}
+	if lv := b.oldestLevel(i, c); lv >= 0 {
+		c.oldLv = int16(lv)
+		c.oldEnd = b.front(b.level(i, lv)).end
+	} else {
+		c.oldLv = 0
+		c.oldEnd = emptyOldEnd
+	}
+}
+
+// MergeCell replays the order-preserving aggregation of Section 5.1
+// (Theorem 4) into cell i: each input bucket list contributes ⌈s/2⌉ arrivals
+// at its start tick and ⌊s/2⌋ at its end tick, replayed in global tick
+// order, exactly as MergeEH does for the per-object engine. Cell i must be
+// empty. now advances the cell's clock to the inputs' high-water tick.
+func (b *EHBank) MergeCell(i int, now Tick, inputs [][]Bucket) {
+	for _, ev := range replayEventsFromBuckets(inputs, splitHalfHalf) {
+		b.AddN(i, ev.t, ev.n)
+	}
+	b.Advance(i, now)
+}
+
+// MemoryBytes reports the heap footprint of the whole bank: the flat slabs,
+// plus a small fixed header. Unlike the per-object engine there is no
+// per-level allocator overhead to account for.
+func (b *EHBank) MemoryBytes() int {
+	const (
+		cellBytes   = 32 // ehCell: 3×8-byte words + packed level indices/flag
+		levelBytes  = 8  // ehLevel: off + head + n
+		bucketBytes = 16 // two 8-byte ticks; size implied by the level
+	)
+	return 96 + len(b.cells)*cellBytes + len(b.dirs)*levelBytes + cap(b.slab)*bucketBytes
+}
+
+// Reset empties every cell, keeping the configuration and retaining the
+// arena's capacity for refills.
+func (b *EHBank) Reset() {
+	for i := range b.cells {
+		b.cells[i] = ehCell{}
+	}
+	for i := range b.dirs {
+		b.dirs[i] = ehLevel{}
+	}
+	b.slab = b.slab[:0]
+}

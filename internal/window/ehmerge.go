@@ -71,13 +71,24 @@ func splitHalfHalf(b Bucket) (uint64, uint64) {
 func splitEndpoint(b Bucket) (uint64, uint64) { return 0, b.Size }
 
 func gatherReplayEvents(inputs []*EH, split splitFunc) []replayEvent {
+	lists := make([][]Bucket, len(inputs))
+	for k, in := range inputs {
+		lists[k] = in.Buckets()
+	}
+	return replayEventsFromBuckets(lists, split)
+}
+
+// replayEventsFromBuckets lowers bucket lists (one per input synopsis,
+// oldest → newest) into the tick-ordered arrival replay of Theorem 4. It is
+// the shared core of MergeEH and EHBank.MergeCell.
+func replayEventsFromBuckets(inputs [][]Bucket, split splitFunc) []replayEvent {
 	total := 0
 	for _, in := range inputs {
-		total += in.numBuckets()
+		total += len(in)
 	}
 	events := make([]replayEvent, 0, 2*total)
 	for _, in := range inputs {
-		for _, b := range in.Buckets() {
+		for _, b := range in {
 			s, e := split(b)
 			if b.Start == b.End {
 				if b.Size > 0 {

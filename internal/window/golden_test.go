@@ -1,0 +1,82 @@
+package window
+
+import (
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// Golden-vector tests: the hex blobs below were produced by the per-object
+// bucket-deque encoder that predates the flat arena engine. They pin the wire
+// format across the layout refactor — serialized histograms from earlier
+// commits must keep decoding, answering queries identically, and merging.
+
+const (
+	// ehGoldenHex encodes an ε=0.05, N=2^14 histogram fed 5000 bursty AddN
+	// calls (deterministic stream, see the assertions for its fingerprint).
+	ehGoldenHex = "e1008080019a9999999999a93f0000000000000000808001009b9c016c8118fd078004008608800400f6078004048308800400fe078004008504800200f903800202ff038002008304800200ff03800201fd038002008104800200fe03800207fb03800200ff03800200fd038002068004800200fc01800102ff018001008002800100fc0180010582028001008302800100fc01800101fe01800100ff01800100fc0180010481028001007e4002820140007d40007f40077a40008301400079400580014000820140007a4003860140003920023f20004320003f20013d20004120003e20073b20003f20003d20064020001c10021f10002010001c10052210002310001c10011e10001f10001c10042110002210000d08000f08070a08001308000908051008001208000a08031608000a08001208010e08000604070304000704000504060804000504000404050d04000304000304040b04000002070102000202000002030402000502000002060702000102000002020302000402000001000001050001060001000001070001000001000001010001020001000001"
+	// ehSmallGoldenHex encodes an ε=0.1, N=1000 histogram holding 20 unit
+	// buckets — small enough that no size-class merges have happened.
+	ehSmallGoldenHex = "e100e8079a9999999999b93f0000000000000000e807003c0d030302030302030302030302030302030302030302030001030001030001030001030001030001"
+)
+
+func mustGolden(t *testing.T, h string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(h)
+	if err != nil {
+		t.Fatalf("corrupt golden hex: %v", err)
+	}
+	return b
+}
+
+func TestGoldenEHDecode(t *testing.T) {
+	h, err := UnmarshalEH(mustGolden(t, ehGoldenHex))
+	if err != nil {
+		t.Fatalf("decoding golden EH: %v", err)
+	}
+	if got := h.Now(); got != 19995 {
+		t.Errorf("Now = %d, want 19995", got)
+	}
+	if got := h.Total(); got != 8463 {
+		t.Errorf("Total = %d, want 8463", got)
+	}
+	if got := h.NumBuckets(); got != 108 {
+		t.Errorf("NumBuckets = %d, want 108", got)
+	}
+	if got := h.EstimateWindow(); math.Abs(got-8207) > 1e-9 {
+		t.Errorf("EstimateWindow = %v, want 8207", got)
+	}
+	if got := h.EstimateSince(1000); math.Abs(got-8207) > 1e-9 {
+		t.Errorf("EstimateSince(1000) = %v, want 8207", got)
+	}
+	// Re-encoding a decoded histogram must reproduce the golden bytes: the
+	// flat engine writes the same wire format the deque engine wrote.
+	if got := hex.EncodeToString(h.Marshal()); got != ehGoldenHex {
+		t.Error("re-encoded golden EH differs from original bytes")
+	}
+}
+
+func TestGoldenEHSmallDecodeAndMerge(t *testing.T) {
+	h, err := UnmarshalEH(mustGolden(t, ehSmallGoldenHex))
+	if err != nil {
+		t.Fatalf("decoding golden EH: %v", err)
+	}
+	if got := h.EstimateWindow(); got != 20 {
+		t.Errorf("EstimateWindow = %v, want 20", got)
+	}
+	// Golden histograms must keep participating in Theorem 4 merges.
+	other, err := NewEH(Config{Length: 1000, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := Tick(1); i <= 20; i++ {
+		other.Add(i*3 + 1)
+	}
+	m, err := MergeEH(Config{Length: 1000, Epsilon: 0.1}, h, other)
+	if err != nil {
+		t.Fatalf("merging golden EH: %v", err)
+	}
+	if got := m.EstimateWindow(); got != 40 {
+		t.Errorf("merged EstimateWindow = %v, want 40", got)
+	}
+}

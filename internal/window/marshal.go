@@ -70,12 +70,7 @@ func (r *wireReader) f64() (float64, error) {
 }
 
 func (w *wireWriter) config(c Config) {
-	w.byte1(byte(c.Model))
-	w.uvarint(c.Length)
-	w.f64(c.Epsilon)
-	w.f64(c.Delta)
-	w.uvarint(c.UpperBound)
-	w.uvarint(c.Seed)
+	w.buf.Write(appendConfig(nil, c))
 }
 
 func (r *wireReader) config() (Config, error) {
@@ -103,23 +98,121 @@ func (r *wireReader) config() (Config, error) {
 	return c, nil
 }
 
-// Marshal encodes the histogram. Bucket boundaries are delta-encoded in
+// configEqual compares configurations field by field, with floats compared
+// bitwise so that NaN-carrying (corrupt but decodable) configurations still
+// compare equal to themselves after a round-trip.
+func configEqual(a, b Config) bool {
+	return a.Model == b.Model && a.Length == b.Length &&
+		math.Float64bits(a.Epsilon) == math.Float64bits(b.Epsilon) &&
+		math.Float64bits(a.Delta) == math.Float64bits(b.Delta) &&
+		a.UpperBound == b.UpperBound && a.Seed == b.Seed
+}
+
+// appendConfig appends the Config wire encoding to dst. It is the single
+// Config encoder (wireWriter.config delegates here); wireReader.config is
+// its inverse.
+func appendConfig(dst []byte, c Config) []byte {
+	var tmp [8]byte
+	dst = append(dst, byte(c.Model))
+	dst = binary.AppendUvarint(dst, c.Length)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c.Epsilon))
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(c.Delta))
+	dst = append(dst, tmp[:]...)
+	dst = binary.AppendUvarint(dst, c.UpperBound)
+	dst = binary.AppendUvarint(dst, c.Seed)
+	return dst
+}
+
+// appendEHBuckets appends the delta-encoded bucket payload shared by the
+// per-object and flat-bank EH encoders: boundaries are delta-encoded in
 // arrival order, so a typical bucket costs a handful of bytes.
-func (h *EH) Marshal() []byte {
-	var w wireWriter
-	w.byte1(wireEH)
-	w.config(h.cfg)
-	w.uvarint(h.now)
-	bs := h.Buckets() // oldest → newest, ticks non-decreasing
-	w.uvarint(uint64(len(bs)))
+func appendEHBuckets(dst []byte, bs []Bucket) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(bs)))
 	var prev Tick
 	for _, b := range bs {
-		w.uvarint(b.Start - prev)
-		w.uvarint(b.End - b.Start)
-		w.uvarint(b.Size)
+		dst = binary.AppendUvarint(dst, b.Start-prev)
+		dst = binary.AppendUvarint(dst, b.End-b.Start)
+		dst = binary.AppendUvarint(dst, b.Size)
 		prev = b.End
 	}
-	return w.buf.Bytes()
+	return dst
+}
+
+// Marshal encodes the histogram.
+func (h *EH) Marshal() []byte {
+	dst := []byte{wireEH}
+	dst = appendConfig(dst, h.cfg)
+	dst = binary.AppendUvarint(dst, h.now)
+	return appendEHBuckets(dst, h.Buckets()) // oldest → newest, ticks non-decreasing
+}
+
+// AppendMarshalCell appends cell i's encoding to dst. A bank cell and an EH
+// holding the same content encode to byte-identical output — both funnel
+// through appendEHBuckets — so flat sketches serialize onto the exact wire
+// format of the per-object engine.
+func (b *EHBank) AppendMarshalCell(dst []byte, i int) []byte {
+	dst = append(dst, wireEH)
+	dst = appendConfig(dst, b.cfg)
+	dst = binary.AppendUvarint(dst, b.cells[i].now)
+	b.mscratch = b.AppendBuckets(b.mscratch[:0], i)
+	return appendEHBuckets(dst, b.mscratch)
+}
+
+// UnmarshalCell decodes an EH encoding (as written by EH.Marshal or
+// AppendMarshalCell) into cell i, which must be empty. The embedded
+// configuration must match the bank's: bank cells share one Config by
+// construction, so a mismatch means the encoding belongs to a different
+// synopsis.
+func (b *EHBank) UnmarshalCell(i int, enc []byte) error {
+	r := wireReader{b: enc}
+	tag, err := r.byte1()
+	if err != nil {
+		return err
+	}
+	if tag != wireEH {
+		return fmt.Errorf("window: expected EH encoding, got tag 0x%02x", tag)
+	}
+	cfg, err := r.config()
+	if err != nil {
+		return err
+	}
+	if !configEqual(cfg, b.cfg) {
+		return fmt.Errorf("window: EH encoding config %+v does not match bank config %+v", cfg, b.cfg)
+	}
+	now, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(enc)) { // cheap corruption guard: ≥1 byte per bucket
+		return errors.New("window: corrupt EH encoding")
+	}
+	var prev Tick
+	for j := uint64(0); j < n; j++ {
+		ds, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		de, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		size, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		start := prev + ds
+		end := start + de
+		prev = end
+		b.RestoreBucket(i, Bucket{Start: start, End: end, Size: size})
+	}
+	b.NormalizeRestored(i)
+	b.Advance(i, now)
+	return nil
 }
 
 // UnmarshalEH reconstructs a histogram from Marshal output. The

@@ -133,10 +133,8 @@ func (c *Config) Validate(algo Algorithm) error {
 // number of arrivals inside any suffix of the window with bounded relative
 // error.
 //
-// Ticks passed to Add/AddN/Advance must be non-decreasing; implementations
-// clamp regressions to the current tick rather than failing, because merged
-// streams from loosely synchronized sites may interleave slightly out of
-// order.
+// Ticks passed to Add/AddN/Advance must be non-decreasing; regressions are
+// clamped, per the tick clamping contract documented on ecmsketch.Ingestor.
 type Counter interface {
 	// Add registers one arrival at tick t.
 	Add(t Tick)

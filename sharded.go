@@ -146,9 +146,12 @@ func (sh *Sharded) AddString(key string, t Tick) { sh.AddN(KeyString(key), t, 1)
 
 // AddBatch registers a slice of arrivals, grouping them per stripe so each
 // shard lock is taken at most once for the whole batch. Events are applied
-// in slice order within each stripe. Grouping threads index chains through
-// a scratch slice instead of materializing per-stripe buckets, so a batch
-// costs three small allocations regardless of stripe count.
+// in slice order within each stripe, with ticks validated once per batch
+// against the engine clock (see Ingestor for the clamping contract), so
+// every stripe applies the same non-decreasing tick sequence a single
+// sketch would. Grouping threads index chains through pooled scratch
+// slices instead of materializing per-stripe buckets, so steady-state
+// batch ingest allocates nothing.
 func (sh *Sharded) AddBatch(events []Event) {
 	// Chain indices are int32; chunk absurdly large batches.
 	const maxChunk = 1 << 30
@@ -160,27 +163,28 @@ func (sh *Sharded) AddBatch(events []Event) {
 		return
 	}
 	if len(sh.shards) == 1 {
-		var maxTick Tick
-		for _, ev := range events {
-			if ev.Tick > maxTick {
-				maxTick = ev.Tick
-			}
-		}
-		sh.observe(maxTick)
+		// The lone stripe's sketch clock tracks the engine clock exactly, so
+		// its own batch validation is the engine-level one.
 		s := &sh.shards[0]
 		s.mu.Lock()
 		s.sk.AddBatch(events)
+		maxTick := s.sk.Now()
 		s.version.Add(1)
 		s.mu.Unlock()
+		sh.observe(maxTick)
 		return
 	}
-	heads := make([]int32, len(sh.shards))
-	tails := make([]int32, len(sh.shards))
+	sc := batchScratchPool.Get().(*shardedBatchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.resize(len(sh.shards), len(events))
+	heads, tails, next, ticks := sc.heads, sc.tails, sc.next, sc.ticks
 	for i := range heads {
 		heads[i] = -1
 	}
-	next := make([]int32, len(events))
-	var maxTick Tick
+	lo := sh.now.Load()
+	if lo == 0 {
+		lo = 1 // ticks are 1-based
+	}
 	for i, ev := range events {
 		idx := hashing.Mix64(ev.Key) & sh.mask
 		if heads[idx] < 0 {
@@ -190,28 +194,64 @@ func (sh *Sharded) AddBatch(events []Event) {
 		}
 		tails[idx] = int32(i)
 		next[i] = -1
-		if ev.Tick > maxTick {
-			maxTick = ev.Tick
+		if ev.Tick > lo {
+			lo = ev.Tick
 		}
+		ticks[i] = lo
 	}
-	sh.observe(maxTick)
+	sh.observe(lo)
+	// Gather each stripe's chain into one scratch sub-batch and hand it to
+	// the sketch's own batch pipeline (row-major arena sweep for EH), so
+	// striping does not forfeit the devirtualized hot path. The engine-level
+	// ticks are already clamped, so the per-sketch validation is a no-op
+	// pass over an in-order sequence.
 	for si := range sh.shards {
 		i := heads[si]
 		if i < 0 {
 			continue
 		}
-		s := &sh.shards[si]
-		s.mu.Lock()
+		sub := sc.sub[:0]
 		for ; i >= 0; i = next[i] {
 			ev := events[i]
-			n := ev.N
-			if n == 0 {
-				n = 1
-			}
-			s.sk.AddN(ev.Key, ev.Tick, n)
+			ev.Tick = ticks[i]
+			sub = append(sub, ev)
 		}
+		s := &sh.shards[si]
+		s.mu.Lock()
+		s.sk.AddBatch(sub)
 		s.version.Add(1)
 		s.mu.Unlock()
+		sc.sub = sub[:0] // retain any growth for the next stripe
+	}
+}
+
+// shardedBatchScratch is the pooled working memory of Sharded.AddBatch:
+// per-stripe chain heads/tails, per-event links and validated ticks, and
+// the sub-batch buffer handed to each stripe's sketch.
+type shardedBatchScratch struct {
+	heads, tails []int32
+	next         []int32
+	ticks        []Tick
+	sub          []Event
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(shardedBatchScratch) }}
+
+func (sc *shardedBatchScratch) resize(stripes, events int) {
+	if cap(sc.heads) < stripes {
+		sc.heads = make([]int32, stripes)
+		sc.tails = make([]int32, stripes)
+	}
+	sc.heads = sc.heads[:stripes]
+	sc.tails = sc.tails[:stripes]
+	if cap(sc.next) < events {
+		sc.next = make([]int32, events)
+		sc.ticks = make([]Tick, events)
+	}
+	sc.next = sc.next[:events]
+	sc.ticks = sc.ticks[:events]
+	if cap(sc.sub) < events {
+		sc.sub = make([]Event, 0, events)
 	}
 }
 
