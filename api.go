@@ -73,6 +73,37 @@ type Querier interface {
 	Now() Tick
 }
 
+// QueryBatch is a multi-key sliding-window query request — the read-side
+// counterpart of the Event batch on ingest: point estimates for every key in
+// Keys plus an optional total count and self-join size, all answered from
+// one consistent cut of the stream over the same window suffix.
+//
+// Consistency is the point. On a concurrent engine, a sequence of single-key
+// Estimate calls interleaves with writers and each call may observe a
+// different stream state; a QueryBatch is evaluated against one snapshot.
+// On the Sharded engine every answer in the batch — including the point
+// estimates — comes from the Theorem-4 merged view, so point answers carry
+// the view's (slightly inflated) merge error in exchange for the consistent
+// cut; latency-insensitive single-key lookups that prefer the zero-merge-
+// error path should keep using Estimate, which routes to the key's stripe.
+type QueryBatch = core.QueryBatch
+
+// QueryResult answers a QueryBatch: per-key estimates in request order, the
+// optional aggregates, and the engine clock (Now) the cut was taken at.
+type QueryResult = core.QueryResult
+
+// BatchQuerier is the batched read side: multi-key point queries plus
+// optional aggregates answered from one consistent snapshot. Implemented by
+// every sketch front end — Sketch, SafeSketch, Sharded, and the remote
+// ecmclient.Client (which answers via one POST /v1/query round trip).
+type BatchQuerier interface {
+	// QueryBatch answers a multi-key query from one consistent cut. The
+	// error is always nil on local single-sketch backends; the sharded
+	// engine reports merged-view build failures and the remote client
+	// reports transport failures.
+	QueryBatch(q QueryBatch) (QueryResult, error)
+}
+
 // Snapshotter produces merge-ready summaries: the wire encoding consumed by
 // Unmarshal/Merge, and a decoded independent copy. A Sharded engine and a
 // remote Client synthesize their snapshot by merging (resp. fetching) on
@@ -84,12 +115,13 @@ type Snapshotter interface {
 	Snapshot() (*Sketch, error)
 }
 
-// Engine is the full contract of an ECM-sketch backend — ingest, query and
-// snapshot. Local sketches, the sharded engine and the remote HTTP client
-// are interchangeable behind it.
+// Engine is the full contract of an ECM-sketch backend — ingest, single-key
+// and batched query, and snapshot. Local sketches, the sharded engine and
+// the remote HTTP client are interchangeable behind it.
 type Engine interface {
 	Ingestor
 	Querier
+	BatchQuerier
 	Snapshotter
 }
 
@@ -110,6 +142,10 @@ var (
 	_ Querier = (*Sketch)(nil)
 	_ Querier = (*SafeSketch)(nil)
 	_ Querier = (*Sharded)(nil)
+
+	_ BatchQuerier = (*Sketch)(nil)
+	_ BatchQuerier = (*SafeSketch)(nil)
+	_ BatchQuerier = (*Sharded)(nil)
 
 	_ Engine = (*Sketch)(nil)
 	_ Engine = (*SafeSketch)(nil)

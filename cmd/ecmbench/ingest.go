@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"testing"
 
@@ -158,22 +156,5 @@ func runIngestBench(label, out string) error {
 				res.Engine, res.Mode, res.Goroutines, res.NsPerEvent, res.BytesPerOp, res.AllocsPerOp, res.EventsPerSec)
 		}
 	}
-	return appendIngestRun(out, run)
-}
-
-// appendIngestRun appends the run to the JSON array in path, creating it if
-// absent, so before/after invocations accumulate in one committed file.
-func appendIngestRun(path string, run IngestRun) error {
-	var runs []IngestRun
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &runs); err != nil {
-			return fmt.Errorf("existing %s is not an ingest-run array: %w", path, err)
-		}
-	}
-	runs = append(runs, run)
-	data, err := json.MarshalIndent(runs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return appendRun(out, "ingest", run)
 }

@@ -29,12 +29,28 @@ func main() {
 		dataset = flag.String("dataset", "both", "dataset: wc98|snmp|both")
 		events  = flag.Int("events", experiments.DefaultScale, "stream length per dataset")
 		ingest  = flag.Bool("ingest", false, "measure engine ingest throughput and append JSON results to -out instead of running paper experiments")
-		label   = flag.String("label", "dev", "label recorded with -ingest results")
-		out     = flag.String("out", "BENCH_ingest.json", "output file for -ingest results")
+		query   = flag.Bool("query", false, "measure merged-view query latency under concurrent readers/writers and append JSON results to -out")
+		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
+		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
 	flag.Parse()
 	if *ingest {
-		if err := runIngestBench(*label, *out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_ingest.json"
+		}
+		if err := runIngestBench(*label, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *query {
+		path := *out
+		if path == "" {
+			path = "BENCH_query.json"
+		}
+		if err := runQueryBench(*label, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

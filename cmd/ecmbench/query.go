@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecmsketch"
+)
+
+// The -query mode measures the read side of the Sharded engine under
+// contention: global (merged-view) queries at 1, 4 and 16 concurrent
+// readers while writers keep the stream moving, plus the stripe-routed
+// point-query path for reference. It writes machine-readable results, so
+// read-path changes leave a recorded perf trajectory in the repo
+// (BENCH_query.json) next to the ingest one.
+//
+// Usage:
+//
+//	ecmbench -query -label mutex-full-merge -out BENCH_query.json
+//	ecmbench -query -label snapshot-engine  -out BENCH_query.json  # appends
+//
+// All figures are per query. The operating point: 16 stripes, EH counters,
+// ε=0.05, δ=0.05, 2^20-tick window, ~260k preloaded events, MergeTTL 5ms
+// (a dashboard-style staleness budget: the merged view is rebuilt
+// continuously while readers poll), 2 writers streaming batches of 256.
+//
+// This file deliberately restricts itself to the API surface that predates
+// the snapshot query engine (NewSharded/AddBatch/SelfJoin/EstimateTotal/
+// Estimate), so paired before/after rounds can copy it unchanged into a
+// baseline worktree and build it there.
+
+// QueryBenchResult is one mode measurement of the -query mode.
+type QueryBenchResult struct {
+	Mode          string  `json:"mode"` // selfjoin | total | point
+	Readers       int     `json:"readers"`
+	Writers       int     `json:"writers"`
+	NsPerQuery    float64 `json:"ns_per_query"` // wall-clock ns per answered query
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// ViewRebuilds counts merged-view builds during the timed run; 0 when
+	// the engine predates rebuild accounting (the baseline).
+	ViewRebuilds uint64 `json:"view_rebuilds,omitempty"`
+}
+
+// QueryBenchRun is one labelled invocation of the -query mode.
+type QueryBenchRun struct {
+	Label   string             `json:"label"`
+	Results []QueryBenchResult `json:"results"`
+}
+
+// rebuildCounter probes (structurally, so the baseline still compiles) for
+// the snapshot engine's rebuild accounting.
+type rebuildCounter interface{ ViewRebuilds() uint64 }
+
+const (
+	queryBenchShards  = 16
+	queryBenchTTL     = 5 * time.Millisecond
+	queryBenchPreload = 1 << 18
+	queryBenchKeys    = 4096
+	queryBenchWriters = 2
+)
+
+func queryBenchParams() ecmsketch.Params {
+	return ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20}
+}
+
+// newQueryEngine builds and preloads the engine under test, returning it
+// with the tick clock to continue writing from.
+func newQueryEngine() (*ecmsketch.Sharded, uint64, error) {
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params: queryBenchParams(), Shards: queryBenchShards, MergeTTL: queryBenchTTL,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := make([]ecmsketch.Event, 0, 256)
+	tick := uint64(0)
+	for i := 0; i < queryBenchPreload; i++ {
+		tick++
+		batch = append(batch, ecmsketch.Event{Key: uint64(i % queryBenchKeys), Tick: tick})
+		if len(batch) == cap(batch) {
+			sh.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	sh.AddBatch(batch)
+	return sh, tick, nil
+}
+
+// runQueryOnce drives one engine with `readers` goroutines splitting the
+// b.N query budget while `writers` un-metered goroutines stream batches of
+// 256 events with advancing ticks. query answers one query; its results
+// feed a sink so the calls cannot be elided. rebuildsOut receives the
+// engine's merged-view rebuild count for the run (0 on engines without
+// rebuild accounting); testing.Benchmark invokes the closure repeatedly
+// while calibrating, so the value left behind is the full-length run's.
+func runQueryOnce(readers int, query func(sh *ecmsketch.Sharded, key uint64) float64, rebuildsOut *uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		sh, startTick, err := newQueryEngine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tick atomic.Uint64
+		tick.Store(startTick)
+		stop := make(chan struct{})
+		var writersWG sync.WaitGroup
+		for w := 0; w < queryBenchWriters; w++ {
+			writersWG.Add(1)
+			go func(w int) {
+				defer writersWG.Done()
+				batch := make([]ecmsketch.Event, 256)
+				n := uint64(0)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t := tick.Add(1)
+					for i := range batch {
+						n++
+						batch[i] = ecmsketch.Event{Key: (n*uint64(w+1) + n) % queryBenchKeys, Tick: t}
+					}
+					sh.AddBatch(batch)
+				}
+			}(w)
+		}
+		b.ResetTimer()
+		var readersWG sync.WaitGroup
+		per := b.N/readers + 1
+		var sink atomic.Uint64
+		for g := 0; g < readers; g++ {
+			readersWG.Add(1)
+			go func(g int) {
+				defer readersWG.Done()
+				var acc float64
+				for i := 0; i < per; i++ {
+					acc += query(sh, uint64((g*per+i)%queryBenchKeys))
+				}
+				sink.Add(uint64(acc))
+			}(g)
+		}
+		readersWG.Wait()
+		b.StopTimer()
+		close(stop)
+		writersWG.Wait()
+		if sink.Load() == 0 {
+			b.Fatal("queries returned nothing; engine degenerate")
+		}
+		*rebuildsOut = 0
+		if rc, ok := any(sh).(rebuildCounter); ok {
+			*rebuildsOut = rc.ViewRebuilds()
+		}
+	}
+}
+
+func runQueryBench(label, out string) error {
+	window := queryBenchParams().WindowLength
+	queries := map[string]func(sh *ecmsketch.Sharded, key uint64) float64{
+		"selfjoin": func(sh *ecmsketch.Sharded, _ uint64) float64 { return sh.SelfJoin(window / 2) },
+		"total":    func(sh *ecmsketch.Sharded, _ uint64) float64 { return sh.EstimateTotal(window / 2) },
+		"point":    func(sh *ecmsketch.Sharded, key uint64) float64 { return sh.Estimate(key, window/2) },
+	}
+	modes := []struct {
+		mode    string
+		readers int
+	}{
+		{"selfjoin", 1},
+		{"selfjoin", 4},
+		{"selfjoin", 16},
+		{"total", 16},
+		{"point", 16},
+	}
+	run := QueryBenchRun{Label: label}
+	for _, m := range modes {
+		var rebuilds uint64
+		r := testing.Benchmark(runQueryOnce(m.readers, queries[m.mode], &rebuilds))
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := QueryBenchResult{
+			Mode:          m.mode,
+			Readers:       m.readers,
+			Writers:       queryBenchWriters,
+			NsPerQuery:    ns,
+			QueriesPerSec: 1e9 / ns,
+			ViewRebuilds:  rebuilds,
+		}
+		run.Results = append(run.Results, res)
+		fmt.Printf("%-10s readers=%-3d writers=%d  %12.1f ns/query  %12.0f queries/s\n",
+			res.Mode, res.Readers, res.Writers, res.NsPerQuery, res.QueriesPerSec)
+	}
+	return appendRun(out, "query", run)
+}
+
+// appendRun appends the run to the JSON array of like-shaped runs in path,
+// creating it if absent, so before/after invocations of a bench mode
+// accumulate in one committed file. Shared by the -ingest and -query modes;
+// it lives in this file so paired baseline rounds can copy query.go (plus
+// main.go) into an older checkout and still build.
+func appendRun[T any](path, kind string, run T) error {
+	var runs []T
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			return fmt.Errorf("existing %s is not a %s-run array: %w", path, kind, err)
+		}
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

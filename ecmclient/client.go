@@ -8,7 +8,7 @@
 //
 // Two method families coexist:
 //
-//   - Explicit, error-returning calls (AddEvents, PointEstimate,
+//   - Explicit, error-returning calls (AddEvents, Query, PointEstimate,
 //     SelfJoinEstimate, FetchSketch, Stats, TopK, ...) for callers that
 //     handle transport failures per request.
 //   - The interface methods (Add, AddBatch, Estimate, SelfJoin, ...),
@@ -188,6 +188,50 @@ func (c *Client) AddEvents(events []ecmsketch.Event) error {
 	return c.post("/v1/events", nil, bytes.NewReader(body), "application/json", nil)
 }
 
+// Query answers a multi-key query in one POST /v1/query round trip: point
+// estimates for every key plus the optional aggregates, all evaluated by
+// the server against one consistent cut of its stream. Keys are shipped as
+// decimal digests; pre-digest string keys with ecmsketch.KeyString (the
+// same digest the server applies to its own string keys).
+func (c *Client) Query(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
+	type wireKey struct {
+		IKey string `json:"ikey"`
+	}
+	req := struct {
+		Keys     []wireKey `json:"keys,omitempty"`
+		Range    uint64    `json:"range,omitempty"`
+		Total    bool      `json:"total,omitempty"`
+		SelfJoin bool      `json:"selfJoin,omitempty"`
+	}{Range: q.Range, Total: q.Total, SelfJoin: q.SelfJoin}
+	if len(q.Keys) > 0 {
+		req.Keys = make([]wireKey, len(q.Keys))
+		for i, k := range q.Keys {
+			req.Keys[i] = wireKey{IKey: strconv.FormatUint(k, 10)}
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ecmsketch.QueryResult{}, err
+	}
+	var out struct {
+		Estimates []float64 `json:"estimates"`
+		Total     float64   `json:"total"`
+		SelfJoin  float64   `json:"selfJoin"`
+		Now       uint64    `json:"now"`
+		Range     uint64    `json:"range"`
+	}
+	if err := c.post("/v1/query", nil, bytes.NewReader(body), "application/json", &out); err != nil {
+		return ecmsketch.QueryResult{}, err
+	}
+	return ecmsketch.QueryResult{
+		Estimates: out.Estimates,
+		Total:     out.Total,
+		SelfJoin:  out.SelfJoin,
+		Now:       out.Now,
+		Range:     out.Range,
+	}, nil
+}
+
 // AdvanceTo moves the server's window clock forward without an arrival.
 func (c *Client) AdvanceTo(t ecmsketch.Tick) error {
 	return c.post("/v1/advance", url.Values{"t": {strconv.FormatUint(t, 10)}}, nil, "", nil)
@@ -279,17 +323,18 @@ func (c *Client) FetchSketch() (*ecmsketch.Sketch, error) {
 
 // Stats is the server's engine accounting.
 type Stats struct {
-	Width       int            `json:"width"`
-	Depth       int            `json:"depth"`
-	Shards      int            `json:"shards"`
-	Now         ecmsketch.Tick `json:"now"`
-	Count       uint64         `json:"count"`
-	MemoryBytes int            `json:"memoryBytes"`
-	Epsilon     float64        `json:"epsilon"`
-	Delta       float64        `json:"delta"`
-	Window      uint64         `json:"window"`
-	Algorithm   string         `json:"algorithm"`
-	APIVersion  string         `json:"apiVersion"`
+	Width        int            `json:"width"`
+	Depth        int            `json:"depth"`
+	Shards       int            `json:"shards"`
+	Now          ecmsketch.Tick `json:"now"`
+	Count        uint64         `json:"count"`
+	MemoryBytes  int            `json:"memoryBytes"`
+	ViewRebuilds uint64         `json:"viewRebuilds"`
+	Epsilon      float64        `json:"epsilon"`
+	Delta        float64        `json:"delta"`
+	Window       uint64         `json:"window"`
+	Algorithm    string         `json:"algorithm"`
+	APIVersion   string         `json:"apiVersion"`
 }
 
 // FetchStats reports engine dimensions, clock and footprint.
@@ -378,6 +423,16 @@ func (c *Client) EstimateTotal(r ecmsketch.Tick) float64 {
 	v, err := c.TotalEstimate(r)
 	c.record(err)
 	return v
+}
+
+// QueryBatch answers a multi-key query from one consistent server-side cut,
+// in one round trip. It is Query with the transport failure additionally
+// recorded in the sticky error, completing the ecmsketch.BatchQuerier
+// contract.
+func (c *Client) QueryBatch(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
+	res, err := c.Query(q)
+	c.record(err)
+	return res, err
 }
 
 // Now reports the server's latest observed tick.

@@ -222,6 +222,87 @@ func TestClientStickyError(t *testing.T) {
 	}
 }
 
+// TestClientQueryBatch round-trips a batched query and checks the wire
+// answers are exactly — bit for bit, surviving the JSON float encoding —
+// the answers a local Sharded engine with identical configuration and
+// stream produces.
+func TestClientQueryBatch(t *testing.T) {
+	_, c := startServer(t, 0)
+	local, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params: ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, Seed: 7},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := make([]ecmsketch.Event, 0, 3000)
+	for i := 1; i <= 3000; i++ {
+		events = append(events, ecmsketch.Event{Key: uint64(i % 97), Tick: ecmsketch.Tick(i)})
+	}
+	if err := c.AddEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	local.AddBatch(events)
+
+	q := ecmsketch.QueryBatch{
+		Keys:     []uint64{1, 5, 96, 1234},
+		Range:    10000,
+		Total:    true,
+		SelfJoin: true,
+	}
+	want, err := local.QueryBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Estimates) != len(want.Estimates) {
+		t.Fatalf("estimates: %d entries, want %d", len(got.Estimates), len(want.Estimates))
+	}
+	for i := range want.Estimates {
+		if got.Estimates[i] != want.Estimates[i] {
+			t.Errorf("key %d: remote estimate %v != local %v", q.Keys[i], got.Estimates[i], want.Estimates[i])
+		}
+	}
+	if got.Total != want.Total {
+		t.Errorf("remote total %v != local %v", got.Total, want.Total)
+	}
+	if got.SelfJoin != want.SelfJoin {
+		t.Errorf("remote selfJoin %v != local %v", got.SelfJoin, want.SelfJoin)
+	}
+	if got.Now != want.Now || got.Range != want.Range {
+		t.Errorf("remote cut (now=%d, range=%d) != local (now=%d, range=%d)",
+			got.Now, got.Range, want.Now, want.Range)
+	}
+
+	// The interface-shaped method matches the explicit one and records
+	// transport failures in the sticky error.
+	ifres, err := c.QueryBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifres.Total != want.Total {
+		t.Errorf("QueryBatch total %v != local %v", ifres.Total, want.Total)
+	}
+	if c.Err() != nil {
+		t.Errorf("sticky error after successful QueryBatch: %v", c.Err())
+	}
+}
+
+func TestClientQueryBatchStickyError(t *testing.T) {
+	ts, c := startServer(t, 0)
+	ts.Close()
+	if _, err := c.QueryBatch(ecmsketch.QueryBatch{Total: true}); err == nil {
+		t.Fatal("QueryBatch against dead server must error")
+	}
+	if c.Err() == nil {
+		t.Error("QueryBatch transport failure not recorded in sticky error")
+	}
+}
+
 func TestClientBadRequestSurfacesServerError(t *testing.T) {
 	_, c := startServer(t, 0)
 	// Tick 0 is rejected server-side; the error body must surface.

@@ -96,8 +96,10 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET", "/stats", s.handleStats)
 	s.route("GET", "/sketch", s.handleSketch)
 	s.route("POST", "/advance", s.handleAdvance)
-	// JSON batch ingest exists only under the versioned prefix.
+	// JSON batch ingest and batched queries exist only under the versioned
+	// prefix.
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return s, nil
 }
 
@@ -350,6 +352,142 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	respond(w, map[string]any{"accepted": accepted})
 }
 
+// maxQueryKeys bounds the per-request key count of POST /v1/query. A batch
+// of point queries is answered (and its result buffered) in full, so unlike
+// the chunk-flushed ingest endpoints the request size itself must be capped;
+// oversized batches are rejected with 400 before their tail is even parsed.
+const maxQueryKeys = 4096
+
+// WireQueryKey identifies one queried item on POST /v1/query, mirroring
+// WireEvent: exactly one of Key (string, digested server-side) or IKey
+// (decimal uint64, kept as a string so >2^53 digests survive non-Go JSON
+// stacks).
+type WireQueryKey struct {
+	Key  string `json:"key,omitempty"`
+	IKey string `json:"ikey,omitempty"`
+}
+
+// WireQueryResult is the JSON reply of POST /v1/query: one estimate per
+// requested key in request order, the aggregates if requested, and the
+// engine clock the consistent cut was taken at.
+type WireQueryResult struct {
+	Estimates []float64 `json:"estimates"`
+	Total     *float64  `json:"total,omitempty"`
+	SelfJoin  *float64  `json:"selfJoin,omitempty"`
+	Now       uint64    `json:"now"`
+	Range     uint64    `json:"range"`
+}
+
+// handleQuery answers a batched multi-key query from one consistent cut of
+// the engine's merged view: POST /v1/query with body
+//
+//	{"keys":[{"key":"/home"},{"ikey":"17446744073709551615"}],
+//	 "range":60000,"total":true,"selfJoin":true}
+//
+// Like /v1/events, the body is decoded token by token with the keys array
+// consumed element-wise, so request memory stays bounded: batches beyond
+// maxQueryKeys are rejected mid-stream, and unknown fields are rejected
+// rather than buffered. An omitted or zero range means the whole window.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: want a JSON object"))
+		return
+	}
+	var q ecmsketch.QueryBatch
+	seen := map[string]bool{}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %v", err))
+			return
+		}
+		field, _ := tok.(string)
+		if seen[field] {
+			// Rejecting duplicates keeps the parse strict (last-wins would
+			// mask client bugs) and stops repeated keys arrays from evading
+			// the per-query cap.
+			httpError(w, http.StatusBadRequest, fmt.Errorf("duplicate query field %q", field))
+			return
+		}
+		seen[field] = true
+		switch field {
+		case "keys":
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: keys must be an array"))
+				return
+			}
+			for dec.More() {
+				if len(q.Keys) == maxQueryKeys {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("too many keys: at most %d per query", maxQueryKeys))
+					return
+				}
+				var wk WireQueryKey
+				if err := dec.Decode(&wk); err != nil {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: %v", len(q.Keys), err))
+					return
+				}
+				switch {
+				case wk.Key != "":
+					q.Keys = append(q.Keys, ecmsketch.KeyString(wk.Key))
+				case wk.IKey != "":
+					v, err := strconv.ParseUint(wk.IKey, 10, 64)
+					if err != nil {
+						httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err))
+						return
+					}
+					q.Keys = append(q.Keys, v)
+				default:
+					httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: missing key or ikey", len(q.Keys)))
+					return
+				}
+			}
+			if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: unterminated keys array"))
+				return
+			}
+		case "range":
+			if err := dec.Decode(&q.Range); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad range: %v", err))
+				return
+			}
+		case "total":
+			if err := dec.Decode(&q.Total); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad total: %v", err))
+				return
+			}
+		case "selfJoin":
+			if err := dec.Decode(&q.SelfJoin); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad selfJoin: %v", err))
+				return
+			}
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown query field %q", field))
+			return
+		}
+	}
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: unterminated object"))
+		return
+	}
+	res, err := s.engine.QueryBatch(q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := WireQueryResult{Estimates: res.Estimates, Now: res.Now, Range: res.Range}
+	if out.Estimates == nil {
+		out.Estimates = []float64{} // aggregate-only queries still reply with an array
+	}
+	if q.Total {
+		out.Total = &res.Total
+	}
+	if q.SelfJoin {
+		out.SelfJoin = &res.SelfJoin
+	}
+	respond(w, out)
+}
+
 // handleEstimate answers a point query: GET /v1/estimate?key=/home&range=60000.
 // Key-hash routing answers from the single shard owning the key.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -413,17 +551,18 @@ func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
 // handleStats reports engine dimensions, clock and footprint.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	respond(w, map[string]any{
-		"width":       s.engine.Width(),
-		"depth":       s.engine.Depth(),
-		"shards":      s.engine.Shards(),
-		"now":         s.engine.Now(),
-		"count":       s.engine.Count(),
-		"memoryBytes": s.engine.MemoryBytes(),
-		"epsilon":     s.cfg.Epsilon,
-		"delta":       s.cfg.Delta,
-		"window":      s.cfg.WindowLength,
-		"algorithm":   s.cfg.Algorithm,
-		"apiVersion":  "v1",
+		"width":        s.engine.Width(),
+		"depth":        s.engine.Depth(),
+		"shards":       s.engine.Shards(),
+		"now":          s.engine.Now(),
+		"count":        s.engine.Count(),
+		"memoryBytes":  s.engine.MemoryBytes(),
+		"viewRebuilds": s.engine.ViewRebuilds(),
+		"epsilon":      s.cfg.Epsilon,
+		"delta":        s.cfg.Delta,
+		"window":       s.cfg.WindowLength,
+		"algorithm":    s.cfg.Algorithm,
+		"apiVersion":   "v1",
 	})
 }
 

@@ -370,3 +370,113 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Error("/events served without version prefix")
 	}
 }
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	code, out := doJSON(t, srv, "POST", "/v1/events",
+		`[{"key":"/home","t":1,"n":6},{"key":"/cart","t":2,"n":3},{"ikey":"42","t":3}]`)
+	if code != http.StatusOK {
+		t.Fatalf("seeding events returned %d: %v", code, out)
+	}
+
+	// Happy path: string and integer keys, aggregates, explicit range.
+	code, out = doJSON(t, srv, "POST", "/v1/query",
+		`{"keys":[{"key":"/home"},{"key":"/cart"},{"ikey":"42"}],"range":10000,"total":true,"selfJoin":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/query returned %d: %v", code, out)
+	}
+	ests, ok := out["estimates"].([]any)
+	if !ok || len(ests) != 3 {
+		t.Fatalf("estimates = %v, want 3 entries", out["estimates"])
+	}
+	if v := ests[0].(float64); v < 6 {
+		t.Errorf("/home estimate = %v, want ≥6", v)
+	}
+	if v := ests[2].(float64); v < 1 {
+		t.Errorf("ikey 42 estimate = %v, want ≥1", v)
+	}
+	if v := out["total"].(float64); v < 9 {
+		t.Errorf("total = %v, want ≥9", v)
+	}
+	if _, ok := out["selfJoin"].(float64); !ok {
+		t.Errorf("selfJoin missing from reply: %v", out)
+	}
+	if v := out["now"].(float64); v != 3 {
+		t.Errorf("now = %v, want 3", v)
+	}
+
+	// Batch answers must exactly match the engine's own consistent cut.
+	res, err := srv.Engine().QueryBatch(ecmsketch.QueryBatch{
+		Keys: []uint64{ecmsketch.KeyString("/home")}, Range: 10000, Total: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out = doJSON(t, srv, "POST", "/v1/query", `{"keys":[{"key":"/home"}],"range":10000,"total":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/query returned %d: %v", code, out)
+	}
+	if got := out["estimates"].([]any)[0].(float64); got != res.Estimates[0] {
+		t.Errorf("wire estimate %v != engine estimate %v", got, res.Estimates[0])
+	}
+	if got := out["total"].(float64); got != res.Total {
+		t.Errorf("wire total %v != engine total %v", got, res.Total)
+	}
+	// An unrequested aggregate is omitted from the reply, not zero-filled.
+	if _, present := out["selfJoin"]; present {
+		t.Errorf("selfJoin present though not requested: %v", out)
+	}
+
+	// Aggregate-only query: an empty keys array is legal and estimates is
+	// still an array.
+	code, out = doJSON(t, srv, "POST", "/v1/query", `{"total":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("aggregate-only query returned %d: %v", code, out)
+	}
+	if _, ok := out["estimates"].([]any); !ok {
+		t.Errorf("aggregate-only reply estimates = %v, want []", out["estimates"])
+	}
+
+	// Malformed bodies are rejected with 400.
+	for _, bad := range []string{
+		`not json`,
+		`[]`,                        // array, not object
+		`{"keys":[{}]}`,             // key entry without key or ikey
+		`{"keys":[{"ikey":"zzz"}]}`, // bad ikey
+		`{"keys":{"key":"/home"}}`,  // keys not an array
+		`{"range":"soon"}`,          // bad range type
+		`{"bogus":1}`,               // unknown field
+		`{"keys":[{"key":"/home"}]`, // truncated body
+		`{"keys":[{"ikey":"1"}],"keys":[{"ikey":"2"}]}`, // duplicate field (cap evasion)
+		`{"range":100,"range":200}`,                     // duplicate scalar
+	} {
+		code, _ := doJSON(t, srv, "POST", "/v1/query", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %q returned %d, want 400", bad, code)
+		}
+	}
+
+	// Oversized batches are rejected without buffering the tail.
+	var big strings.Builder
+	big.WriteString(`{"keys":[`)
+	for i := 0; i <= 4096; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		fmt.Fprintf(&big, `{"ikey":"%d"}`, i)
+	}
+	big.WriteString(`]}`)
+	code, out = doJSON(t, srv, "POST", "/v1/query", big.String())
+	if code != http.StatusBadRequest {
+		t.Errorf("oversized batch returned %d, want 400", code)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "too many keys") {
+		t.Errorf("oversized batch error = %q, want a too-many-keys rejection", msg)
+	}
+
+	// The query route has no legacy alias.
+	code, _ = doJSON(t, srv, "POST", "/query", `{"total":true}`)
+	if code == http.StatusOK {
+		t.Error("/query served without version prefix")
+	}
+}

@@ -14,16 +14,19 @@
 //
 // # Interface-first API
 //
-// Every sketch front end satisfies the same three small interfaces —
+// Every sketch front end satisfies the same four small interfaces —
 // Ingestor (Add/AddN/AddBatch/Advance), Querier (Estimate/InnerProduct/
-// SelfJoin/EstimateTotal over window suffixes) and Snapshotter
-// (Marshal/Snapshot, merge-ready) — collectively Engine:
+// SelfJoin/EstimateTotal over window suffixes), BatchQuerier (QueryBatch:
+// multi-key point queries plus optional aggregates from one consistent
+// snapshot) and Snapshotter (Marshal/Snapshot, merge-ready) — collectively
+// Engine:
 //
 //   - *Sketch: the plain single-goroutine ECM-sketch.
 //   - *SafeSketch: one sketch behind one mutex, for modest concurrency.
 //   - *Sharded: a lock-striped engine of P mergeable per-shard sketches,
-//     key-hash routed; point queries hit one stripe, global queries merge
-//     on demand (Theorem 4 applied inside one process for throughput).
+//     key-hash routed; point queries hit one stripe, global queries read an
+//     immutable snapshot-merged view lock-free (Theorem 4 applied inside
+//     one process for throughput, on both the write and the read path).
 //   - ecmclient.Client: a remote ecmserve instance behind the same
 //     interfaces, over the versioned /v1 HTTP API served by ecmserver.
 //

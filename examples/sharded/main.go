@@ -34,11 +34,23 @@ func ingest(in ecmsketch.Ingestor, events []ecmsketch.Event) {
 	}
 }
 
-// report is the shared query side: everything it needs is the Querier
-// contract.
-func report(name string, q ecmsketch.Querier, hot uint64) {
+// report is the shared query side: one QueryBatch answers the hot-key
+// estimate, the total and the self-join from a single consistent cut of
+// the stream — one stripe-merge on the sharded engine, one HTTP round trip
+// on the remote client — where three single calls could each observe a
+// different state (and cost three round trips).
+func report(name string, eng ecmsketch.Engine, hot uint64) {
+	res, err := eng.QueryBatch(ecmsketch.QueryBatch{
+		Keys:     []uint64{hot},
+		Range:    window,
+		Total:    true,
+		SelfJoin: true,
+	})
+	if err != nil {
+		log.Fatal(name, ": ", err)
+	}
 	fmt.Printf("%-8s  now=%-9d  hot=%-9.0f  total=%-9.0f  F2=%.3g\n",
-		name, q.Now(), q.Estimate(hot, window), q.EstimateTotal(window), q.SelfJoin(window))
+		name, res.Now, res.Estimates[0], res.Total, res.SelfJoin)
 }
 
 func main() {
@@ -97,7 +109,7 @@ func main() {
 	// The same pipeline, three backends.
 	for _, backend := range []struct {
 		name string
-		eng  ecmsketch.IngestQuerier
+		eng  ecmsketch.Engine
 	}{
 		{"sketch", local},
 		{"sharded", sharded},

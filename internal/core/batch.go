@@ -121,6 +121,20 @@ func (s *Sketch) AddBatch(events []Event) {
 	}
 }
 
-// Snapshot returns an independent copy of the sketch (serialize + decode),
-// safe to query, merge or ship elsewhere while the original keeps ingesting.
-func (s *Sketch) Snapshot() (*Sketch, error) { return Unmarshal(s.Marshal()) }
+// Snapshot returns an independent copy of the sketch, safe to query, merge
+// or ship elsewhere while the original keeps ingesting.
+//
+// For the flat exponential-histogram engine the copy is an arena clone —
+// three slab memcpys plus a fixed header, no per-counter walking — which is
+// what makes copy-on-read stripe snapshots cheap enough for the sharded
+// engine to take under a stripe lock. Wave engines fall back to a
+// serialize + decode round trip.
+func (s *Sketch) Snapshot() (*Sketch, error) {
+	if s.eh == nil {
+		return Unmarshal(s.Marshal())
+	}
+	c := *s
+	c.eh = s.eh.Clone()
+	c.batch = batchScratch{} // scratch is per-owner working memory
+	return &c, nil
+}

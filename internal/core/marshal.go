@@ -46,12 +46,15 @@ func (s *Sketch) Marshal() []byte {
 	putU(s.salt)
 	putU(s.seq)
 	if s.eh != nil {
-		// Flat engine: encode each cell straight out of the arena into one
-		// reusable scratch buffer. The bytes are identical to what a
-		// per-object EH holding the same content would write.
+		// Flat engine: encode each cell straight out of the arena through
+		// call-local scratch buffers — the arena itself is only read, so
+		// frozen sketches (the sharded engine's published views) marshal
+		// concurrently without coordination. The bytes are identical to what
+		// a per-object EH holding the same content would write.
 		var cell []byte
+		var scratch []window.Bucket
 		for i := 0; i < s.d*s.w; i++ {
-			cell = s.eh.AppendMarshalCell(cell[:0], i)
+			cell, scratch = s.eh.AppendMarshalCell(cell[:0], i, scratch)
 			putU(uint64(len(cell)))
 			buf.Write(cell)
 		}

@@ -66,7 +66,6 @@ type EHBank struct {
 	cells    []ehCell
 	dirs     []ehLevel
 	slab     []bucket
-	mscratch []Bucket // reusable bucket snapshot for AppendMarshalCell
 }
 
 // NewEHBank constructs a bank of n empty exponential histograms, each with
@@ -491,6 +490,31 @@ func (b *EHBank) MergeCell(i int, now Tick, inputs [][]Bucket) {
 		b.AddN(i, ev.t, ev.n)
 	}
 	b.Advance(i, now)
+}
+
+// Clone returns an independent deep copy of the bank: three slab memcpys
+// plus the fixed header, with no per-counter walking. This is what makes
+// copy-on-read snapshots of a whole ECM-sketch cheap enough to take inside
+// a stripe lock — cost is proportional to the arena footprint, not to the
+// number of counters or buckets.
+//
+// The clone owns its slabs outright (no aliasing with the source), so
+// source and clone may afterwards be used from different goroutines without
+// coordination.
+func (b *EHBank) Clone() *EHBank {
+	c := &EHBank{
+		cfg:      b.cfg,
+		capPerLv: b.capPerLv,
+		stride:   b.stride,
+		maxLv:    b.maxLv,
+		cells:    make([]ehCell, len(b.cells)),
+		dirs:     make([]ehLevel, len(b.dirs)),
+		slab:     make([]bucket, len(b.slab)),
+	}
+	copy(c.cells, b.cells)
+	copy(c.dirs, b.dirs)
+	copy(c.slab, b.slab)
+	return c
 }
 
 // MemoryBytes reports the heap footprint of the whole bank: the flat slabs,

@@ -57,7 +57,7 @@ func checkCellEqualsEH(t *testing.T, b *EHBank, i int, h *EH) {
 	if got, want := b.EstimateWindow(i), h.EstimateWindow(); got != want {
 		t.Fatalf("EstimateWindow: bank %v, EH %v", got, want)
 	}
-	if got, want := b.AppendMarshalCell(nil, i), h.Marshal(); !bytes.Equal(got, want) {
+	if got, want := func() []byte { enc, _ := b.AppendMarshalCell(nil, i, nil); return enc }(), h.Marshal(); !bytes.Equal(got, want) {
 		t.Fatalf("encodings differ: bank %d bytes, EH %d bytes", len(got), len(want))
 	}
 }

@@ -147,16 +147,21 @@ func (h *EH) Marshal() []byte {
 	return appendEHBuckets(dst, h.Buckets()) // oldest → newest, ticks non-decreasing
 }
 
-// AppendMarshalCell appends cell i's encoding to dst. A bank cell and an EH
-// holding the same content encode to byte-identical output — both funnel
-// through appendEHBuckets — so flat sketches serialize onto the exact wire
-// format of the per-object engine.
-func (b *EHBank) AppendMarshalCell(dst []byte, i int) []byte {
+// AppendMarshalCell appends cell i's encoding to dst, snapshotting the
+// cell's buckets into scratch (grown as needed and returned for reuse
+// across cells). A bank cell and an EH holding the same content encode to
+// byte-identical output — both funnel through appendEHBuckets — so flat
+// sketches serialize onto the exact wire format of the per-object engine.
+//
+// The bank itself is only read: with a caller-owned scratch, concurrent
+// marshals of a frozen bank (the sharded engine's published views) need no
+// coordination.
+func (b *EHBank) AppendMarshalCell(dst []byte, i int, scratch []Bucket) ([]byte, []Bucket) {
 	dst = append(dst, wireEH)
 	dst = appendConfig(dst, b.cfg)
 	dst = binary.AppendUvarint(dst, b.cells[i].now)
-	b.mscratch = b.AppendBuckets(b.mscratch[:0], i)
-	return appendEHBuckets(dst, b.mscratch)
+	scratch = b.AppendBuckets(scratch[:0], i)
+	return appendEHBuckets(dst, scratch), scratch
 }
 
 // UnmarshalCell decodes an EH encoding (as written by EH.Marshal or

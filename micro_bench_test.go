@@ -215,6 +215,46 @@ func BenchmarkIngestSafeVsSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryBatchVsSingles compares one QueryBatch of 16 keys plus both
+// aggregates against the equivalent sequence of 18 single queries, on a
+// quiesced Sharded engine (cache-hit reads — the contended-read trajectory
+// lives in BENCH_query.json via cmd/ecmbench -query).
+func BenchmarkQueryBatchVsSingles(b *testing.B) {
+	params := ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20}
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: params, Shards: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([]ecmsketch.Event, 1<<16)
+	for i := range events {
+		events[i] = ecmsketch.Event{Key: uint64(i % 4096), Tick: ecmsketch.Tick(i + 1)}
+	}
+	sh.AddBatch(events)
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i * 17)
+	}
+	r := params.WindowLength / 2
+	b.Run("batch16+aggregates", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sh.QueryBatch(ecmsketch.QueryBatch{Keys: keys, Range: r, Total: true, SelfJoin: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("singles16+aggregates", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				sh.Estimate(k, r)
+			}
+			sh.EstimateTotal(r)
+			sh.SelfJoin(r)
+		}
+	})
+}
+
 func BenchmarkSafeSketchAddParallel(b *testing.B) {
 	ss, err := ecmsketch.NewSafe(ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20})
 	if err != nil {

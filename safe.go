@@ -100,6 +100,15 @@ func (ss *SafeSketch) EstimateTotal(r Tick) float64 {
 	return ss.s.EstimateTotal(r)
 }
 
+// QueryBatch answers a multi-key query from one consistent cut: the whole
+// batch — point estimates plus optional aggregates — is evaluated under a
+// single lock acquisition, so no writer can interleave between the answers.
+func (ss *SafeSketch) QueryBatch(q QueryBatch) (QueryResult, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.QueryBatch(q)
+}
+
 // Marshal serializes the sketch.
 func (ss *SafeSketch) Marshal() []byte {
 	ss.mu.Lock()

@@ -10,19 +10,33 @@ import (
 	"ecmsketch/internal/hashing"
 )
 
-// Sharded is a lock-striped ECM-sketch engine for write-heavy concurrent
-// workloads. Ingest is partitioned across P per-shard sketches by key hash,
-// so concurrent writers contend only when they hit the same stripe — the
+// Sharded is a lock-striped ECM-sketch engine for concurrent workloads.
+// Ingest is partitioned across P per-shard sketches by key hash, so
+// concurrent writers contend only when they hit the same stripe — the
 // paper's Theorem 4 mergeability applied *inside* one process for
 // throughput, not just across distributed sites.
 //
 // Because routing is by key, every arrival of a key lands in exactly one
-// shard: point queries (Estimate, EstimateString) touch a single stripe and
-// pay no merge error at all. Global queries (SelfJoin, EstimateTotal,
-// InnerProduct, Marshal, Snapshot) merge the shards on demand into a view
-// of the combined stream — with the order-preserving ⊕ of Section 5.3 and
-// its bounded error inflation — and cache that view for MergeTTL, so
-// dashboards polling global statistics do not re-merge on every request.
+// shard: single-key point queries (Estimate, EstimateString,
+// EstimateInterval) touch a single stripe and pay no merge error at all.
+//
+// Global queries (SelfJoin, EstimateTotal, InnerProduct, QueryBatch,
+// Marshal, Snapshot) are served by a snapshot-based query engine layered
+// over the stripes:
+//
+//   - Each stripe carries a version counter bumped on every mutation.
+//     Rebuilding the global view snapshots only the stripes whose version
+//     changed since the last build — an arena clone taken under the stripe
+//     lock (three slab memcpys, see Sketch.Snapshot) — and reuses the
+//     cached snapshot of every unchanged stripe without touching its lock.
+//   - The snapshots are merged (the order-preserving ⊕ of Section 5.3,
+//     with its bounded error inflation) into an immutable *view* published
+//     by atomic pointer swap. A view is frozen at build time — advanced to
+//     the engine clock, expiry caches settled — so any number of readers
+//     can query it concurrently without locks.
+//   - Rebuilds are single-flight: when the view expires (MergeTTL) under a
+//     reader stampede, exactly one reader pays the merge; the others are
+//     served the previous view lock-free until the new one is published.
 //
 // All methods are safe for concurrent use.
 type Sharded struct {
@@ -35,25 +49,48 @@ type Sharded struct {
 	// the touched shard to it so expiry is aligned engine-wide.
 	now atomic.Uint64
 
-	merged struct {
+	// view is the current immutable merged view, swapped whole on rebuild;
+	// nil until the first global query. Readers Load and query it with no
+	// locking at all.
+	view atomic.Pointer[shardedView]
+
+	// rebuild is the single-flight guard of view rebuilds and owns the
+	// per-stripe snapshot cache that makes rebuilds incremental. Only the
+	// goroutine holding the mutex touches parts/versions.
+	rebuild struct {
 		sync.Mutex
-		view    *Sketch
-		version uint64
-		builtAt time.Time
+		parts    []*Sketch // cached per-stripe snapshots, advanced to the view clock
+		versions []uint64  // stripe version each cached part reflects
 	}
+
+	// rebuilds counts completed merged-view builds (see ViewRebuilds).
+	rebuilds atomic.Uint64
+}
+
+// shardedView is one immutable published state of the merged query engine.
+// sk is frozen: it was advanced to its own clock when built and its clock
+// never moves again, which makes every query on it — even the lazily
+// expiring sliding-window reads — a pure read. The -race stress tests
+// assert this.
+type shardedView struct {
+	sk      *Sketch
+	version uint64 // sum of per-stripe versions the parts were snapshotted at
+	builtAt time.Time
 }
 
 // shard pads each stripe to its own cache lines so neighboring locks don't
 // false-share under heavy concurrent ingest. version counts the stripe's
-// mutations — written while holding mu (so the bump is uncontended), read
-// lock-free by the merged-view cache check.
+// mutations and count caches sk.Count() — both written while holding mu (so
+// the update is uncontended), read lock-free by the view cache check and
+// Sharded.Count respectively.
 type shard struct {
 	mu      sync.Mutex
 	sk      *Sketch
 	version atomic.Uint64
-	// Fields above total 24 bytes; pad the stride to two cache lines so no
+	count   atomic.Uint64
+	// Fields above total 32 bytes; pad the stride to two cache lines so no
 	// two stripes ever share one.
-	_ [128 - 24]byte
+	_ [128 - 32]byte
 }
 
 // ShardedConfig configures a Sharded engine.
@@ -69,9 +106,13 @@ type ShardedConfig struct {
 	// merged view for global queries.
 	Shards int
 	// MergeTTL bounds the staleness of the cached merged view serving
-	// global queries. 0 means the cache is only reused while no new
-	// arrivals have been ingested — always-fresh answers at the cost of a
-	// re-merge after every write burst.
+	// global queries. 0 means strict freshness: a global query never
+	// returns answers older than the stripes at call time, re-merging (and
+	// briefly serializing readers) after every write burst. A positive TTL
+	// lets readers run lock-free against the published view; while a
+	// TTL-expired view is being rebuilt, concurrent readers are served the
+	// previous view, so the worst-case staleness is MergeTTL plus one
+	// rebuild duration.
 	MergeTTL time.Duration
 }
 
@@ -103,7 +144,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		// Distinct identifier salts keep randomized-wave event identifiers
 		// globally unique across stripes (as NewCluster does across sites).
 		s.SetIDSalt(0x9e37_79b9_7f4a_7c15 * uint64(i+1))
-		sh.shards[i] = shard{sk: s}
+		sh.shards[i].sk = s
 	}
 	return sh, nil
 }
@@ -128,6 +169,14 @@ func (sh *Sharded) observe(t Tick) {
 	}
 }
 
+// noteMutation publishes a stripe's post-mutation state: the version bump
+// invalidates its cached snapshot, the count cache feeds lock-free
+// Sharded.Count reads. Callers must hold s.mu.
+func (s *shard) noteMutation() {
+	s.count.Store(s.sk.Count())
+	s.version.Add(1)
+}
+
 // Add registers one arrival of key at tick t.
 func (sh *Sharded) Add(key uint64, t Tick) { sh.AddN(key, t, 1) }
 
@@ -137,7 +186,7 @@ func (sh *Sharded) AddN(key uint64, t Tick, n uint64) {
 	s := sh.shardFor(key)
 	s.mu.Lock()
 	s.sk.AddN(key, t, n)
-	s.version.Add(1)
+	s.noteMutation()
 	s.mu.Unlock()
 }
 
@@ -169,7 +218,7 @@ func (sh *Sharded) AddBatch(events []Event) {
 		s.mu.Lock()
 		s.sk.AddBatch(events)
 		maxTick := s.sk.Now()
-		s.version.Add(1)
+		s.noteMutation()
 		s.mu.Unlock()
 		sh.observe(maxTick)
 		return
@@ -219,7 +268,7 @@ func (sh *Sharded) AddBatch(events []Event) {
 		s := &sh.shards[si]
 		s.mu.Lock()
 		s.sk.AddBatch(sub)
-		s.version.Add(1)
+		s.noteMutation()
 		s.mu.Unlock()
 		sc.sub = sub[:0] // retain any growth for the next stripe
 	}
@@ -262,7 +311,7 @@ func (sh *Sharded) Advance(t Tick) {
 		s := &sh.shards[i]
 		s.mu.Lock()
 		s.sk.Advance(t)
-		s.version.Add(1)
+		s.noteMutation()
 		s.mu.Unlock()
 	}
 }
@@ -270,7 +319,8 @@ func (sh *Sharded) Advance(t Tick) {
 // Estimate answers a point query over the last r ticks. Key-hash routing
 // means the answer comes from the single stripe owning the key, with no
 // merge error; the stripe is first advanced to the engine-wide clock so
-// expiry matches a single-sketch deployment.
+// expiry matches a single-sketch deployment. For multi-key reads, or when
+// the answers must come from one consistent cut, use QueryBatch.
 func (sh *Sharded) Estimate(key uint64, r Tick) float64 {
 	now := sh.now.Load()
 	s := sh.shardFor(key)
@@ -302,9 +352,7 @@ func (sh *Sharded) EstimateInterval(key uint64, from, to Tick) float64 {
 
 // SelfJoin estimates F₂ over the last r ticks from the merged view.
 func (sh *Sharded) SelfJoin(r Tick) float64 {
-	sh.merged.Lock()
-	defer sh.merged.Unlock()
-	view, err := sh.mergedViewLocked()
+	view, err := sh.queryView()
 	if err != nil {
 		return 0
 	}
@@ -313,9 +361,7 @@ func (sh *Sharded) SelfJoin(r Tick) float64 {
 
 // EstimateTotal estimates ‖a_r‖₁ over the last r ticks from the merged view.
 func (sh *Sharded) EstimateTotal(r Tick) float64 {
-	sh.merged.Lock()
-	defer sh.merged.Unlock()
-	view, err := sh.mergedViewLocked()
+	view, err := sh.queryView()
 	if err != nil {
 		return 0
 	}
@@ -323,31 +369,60 @@ func (sh *Sharded) EstimateTotal(r Tick) float64 {
 }
 
 // InnerProduct estimates the inner product between this engine's combined
-// stream and another sketch's stream over the last r ticks.
+// stream and another sketch's stream over the last r ticks. Sliding-window
+// queries expire lazily — evaluating a sketch mutates it — so the query
+// runs against a private snapshot of other: the caller's sketch is never
+// written, and concurrent InnerProduct calls sharing one reference sketch
+// stay race-free.
 func (sh *Sharded) InnerProduct(other *Sketch, r Tick) (float64, error) {
-	sh.merged.Lock()
-	defer sh.merged.Unlock()
-	view, err := sh.mergedViewLocked()
+	view, err := sh.queryView()
 	if err != nil {
 		return 0, err
 	}
-	return view.InnerProduct(other, r)
+	o := other
+	if other != nil {
+		if o, err = other.Snapshot(); err != nil {
+			return 0, err
+		}
+	}
+	return view.InnerProduct(o, r)
+}
+
+// QueryBatch answers a multi-key query — point estimates for every key plus
+// the optional total and self-join aggregates — from one frozen merged
+// view, so all answers in the batch describe the same consistent cut of the
+// combined stream. Unlike single-key Estimate calls (which route to the
+// key's stripe and pay no merge error), batched point answers carry the
+// merged view's bounded error inflation; that is the price of consistency.
+func (sh *Sharded) QueryBatch(q QueryBatch) (QueryResult, error) {
+	view, err := sh.queryView()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return view.QueryBatch(q)
 }
 
 // Now reports the engine-wide high-water tick.
 func (sh *Sharded) Now() Tick { return sh.now.Load() }
 
-// Count reports total arrivals across all stripes since stream start.
+// Count reports total arrivals across all stripes since stream start. The
+// read is lock-free: each stripe caches its sketch's count under the stripe
+// lock on every mutation, and Count sums the caches, so monitoring endpoints
+// polling it never stall ingest (and never race with it).
 func (sh *Sharded) Count() uint64 {
 	var total uint64
 	for i := range sh.shards {
-		s := &sh.shards[i]
-		s.mu.Lock()
-		total += s.sk.Count()
-		s.mu.Unlock()
+		total += sh.shards[i].count.Load()
 	}
 	return total
 }
+
+// ViewRebuilds reports how many merged-view builds the engine has performed
+// since construction. Each build snapshots the stripes that changed since
+// the previous build and re-merges; a well-tuned MergeTTL shows rebuild
+// counts far below global-query counts. Exposed for observability (the
+// ecmserver /v1/stats endpoint reports it) and for the single-flight tests.
+func (sh *Sharded) ViewRebuilds() uint64 { return sh.rebuilds.Load() }
 
 // Width reports the Count-Min width shared by every stripe.
 func (sh *Sharded) Width() int { return sh.shards[0].sk.Width() }
@@ -355,7 +430,9 @@ func (sh *Sharded) Width() int { return sh.shards[0].sk.Width() }
 // Depth reports the Count-Min depth shared by every stripe.
 func (sh *Sharded) Depth() int { return sh.shards[0].sk.Depth() }
 
-// MemoryBytes reports the summed footprint of all stripes.
+// MemoryBytes reports the summed footprint of all stripes. The snapshot
+// cache and published view of the query engine add up to roughly one extra
+// stripe-set on top of this while global queries are in use.
 func (sh *Sharded) MemoryBytes() int {
 	var total int
 	for i := range sh.shards {
@@ -369,12 +446,11 @@ func (sh *Sharded) MemoryBytes() int {
 
 // Marshal serializes the merged view of the combined stream — the same wire
 // format as Sketch.Marshal, so coordinators can pull and Merge it with other
-// sites' summaries. Returns nil if the merge fails (only possible with
-// corrupted state).
+// sites' summaries. Serialization is a pure read of the frozen view (scratch
+// is call-local), so concurrent pulls need no coordination. Returns nil if
+// the merge fails (only possible with corrupted state).
 func (sh *Sharded) Marshal() []byte {
-	sh.merged.Lock()
-	defer sh.merged.Unlock()
-	view, err := sh.mergedViewLocked()
+	view, err := sh.queryView()
 	if err != nil {
 		return nil
 	}
@@ -382,60 +458,108 @@ func (sh *Sharded) Marshal() []byte {
 }
 
 // Snapshot returns an independent single-sketch copy of the combined
-// stream, built by merging the stripes.
+// stream: the current merged view, cloned (an arena copy for the default
+// exponential-histogram engine — see Sketch.Snapshot).
 func (sh *Sharded) Snapshot() (*Sketch, error) {
-	sh.merged.Lock()
-	defer sh.merged.Unlock()
-	view, err := sh.mergedViewLocked()
+	view, err := sh.queryView()
 	if err != nil {
 		return nil, err
 	}
 	return view.Snapshot()
 }
 
-// mergedViewLocked returns a sketch summarizing the union of all stripes;
-// sh.merged must be held, and stays held while the caller queries the view
-// (sliding-window queries expire counters lazily, so even reads mutate).
-// The view is cached: it is reused while no mutation has happened since it
-// was built, or — when a MergeTTL is configured — while it is younger than
-// the TTL. Stripes are snapshotted under their own locks one at a time
-// (brief pauses per stripe), and the merge itself runs on the copies
-// without blocking ingest.
-func (sh *Sharded) mergedViewLocked() (*Sketch, error) {
+// versionSum folds the per-stripe version counters into the freshness token
+// the view cache compares against. Versions only grow, so two equal sums
+// imply every stripe is unchanged.
+func (sh *Sharded) versionSum() uint64 {
 	var v uint64
 	for i := range sh.shards {
 		v += sh.shards[i].version.Load()
 	}
-	if sh.merged.view != nil {
-		if sh.merged.version == v {
-			return sh.merged.view, nil
-		}
-		if sh.ttl > 0 && time.Since(sh.merged.builtAt) < sh.ttl {
-			return sh.merged.view, nil
-		}
+	return v
+}
+
+// viewFresh reports whether a published view may serve global queries
+// without a rebuild: either no stripe has mutated since it was built, or a
+// MergeTTL is configured and has not lapsed.
+func (sh *Sharded) viewFresh(v *shardedView) bool {
+	if v.version == sh.versionSum() {
+		return true
 	}
+	return sh.ttl > 0 && time.Since(v.builtAt) < sh.ttl
+}
+
+// queryView returns the sketch global queries are answered from. The fast
+// path is entirely lock-free: load the published view, check freshness
+// (atomic version sum or TTL), query it. When a rebuild is needed it is
+// single-flight; with a MergeTTL configured, readers that lose the race are
+// served the previous view instead of blocking behind the merge.
+func (sh *Sharded) queryView() (*Sketch, error) {
+	v := sh.view.Load()
+	if v != nil && sh.viewFresh(v) {
+		return v.sk, nil
+	}
+	if v != nil && sh.ttl > 0 {
+		// Stale view, staleness tolerated: exactly one reader rebuilds,
+		// everyone else keeps reading the previous view lock-free.
+		if !sh.rebuild.TryLock() {
+			return v.sk, nil
+		}
+	} else {
+		// First global query (nothing to serve yet) or strict-freshness
+		// mode (MergeTTL == 0): block until a fresh view exists.
+		sh.rebuild.Lock()
+	}
+	defer sh.rebuild.Unlock()
+	// Re-check under the lock: the rebuild we queued behind may have
+	// published exactly the view we need.
+	if v := sh.view.Load(); v != nil && sh.viewFresh(v) {
+		return v.sk, nil
+	}
+	return sh.rebuildLocked()
+}
+
+// rebuildLocked builds and publishes a fresh merged view; sh.rebuild must
+// be held. The build is incremental: only stripes whose version moved since
+// their cached snapshot was taken are re-snapshotted (an arena clone under
+// the stripe lock); unchanged stripes contribute their cached snapshot
+// without touching their lock at all. The merge itself runs on the
+// snapshots, never blocking ingest.
+func (sh *Sharded) rebuildLocked() (*Sketch, error) {
 	now := sh.now.Load()
-	parts := make([]*Sketch, len(sh.shards))
+	if sh.rebuild.parts == nil {
+		sh.rebuild.parts = make([]*Sketch, len(sh.shards))
+		sh.rebuild.versions = make([]uint64, len(sh.shards))
+	}
+	var vsum uint64
 	for i := range sh.shards {
 		s := &sh.shards[i]
-		s.mu.Lock()
-		if now > s.sk.Now() {
-			s.sk.Advance(now)
+		ver := s.version.Load()
+		if sh.rebuild.parts[i] == nil || sh.rebuild.versions[i] != ver {
+			s.mu.Lock()
+			ver = s.version.Load() // stable while mu is held
+			part, err := s.sk.Snapshot()
+			s.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("ecmsketch: snapshotting shard %d: %w", i, err)
+			}
+			sh.rebuild.parts[i] = part
+			sh.rebuild.versions[i] = ver
 		}
-		enc := s.sk.Marshal()
-		s.mu.Unlock()
-		part, err := Unmarshal(enc)
-		if err != nil {
-			return nil, fmt.Errorf("ecmsketch: decoding shard %d snapshot: %w", i, err)
+		// Align every part — cached or fresh — with the engine clock, so
+		// the merge sees the same expiry frontier a single sketch would.
+		if now > sh.rebuild.parts[i].Now() {
+			sh.rebuild.parts[i].Advance(now)
 		}
-		parts[i] = part
+		vsum += ver
 	}
-	view, err := Merge(parts...)
+	view, err := Merge(sh.rebuild.parts...)
 	if err != nil {
 		return nil, fmt.Errorf("ecmsketch: merging shards: %w", err)
 	}
-	sh.merged.view = view
-	sh.merged.version = v
-	sh.merged.builtAt = time.Now()
+	// Merge advanced the view to the engine clock; from here on its clock
+	// never moves, so concurrent queries on it are pure reads.
+	sh.view.Store(&shardedView{sk: view, version: vsum, builtAt: time.Now()})
+	sh.rebuilds.Add(1)
 	return view, nil
 }

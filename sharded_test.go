@@ -223,11 +223,23 @@ func TestShardedConcurrentStress(t *testing.T) {
 				switch {
 				case i%97 == 0:
 					sh.Estimate(key, p.WindowLength)
+				case i%151 == 0:
+					if _, err := sh.QueryBatch(ecmsketch.QueryBatch{
+						Keys: []uint64{key, key + 1}, Total: true, SelfJoin: true,
+					}); err != nil {
+						t.Errorf("goroutine %d: QueryBatch: %v", g, err)
+					}
 				case i%251 == 0:
 					sh.SelfJoin(p.WindowLength)
 				case i%509 == 0:
 					sh.EstimateTotal(p.WindowLength)
 					sh.Now()
+				case i%701 == 0:
+					// Serialization is a pure read of the frozen view;
+					// concurrent pulls must not race.
+					if b := sh.Marshal(); len(b) == 0 {
+						t.Errorf("goroutine %d: empty Marshal", g)
+					}
 				}
 			}
 			sh.AddBatch(batch)
@@ -240,11 +252,158 @@ func TestShardedConcurrentStress(t *testing.T) {
 	if got := sh.Count(); got != goroutines*perG {
 		t.Errorf("Count = %d, want %d", got, goroutines*perG)
 	}
+	// Global queries may serve a view up to MergeTTL (plus one rebuild) old;
+	// wait out the TTL so the final query must rebuild and see every write.
+	time.Sleep(5 * time.Millisecond)
 	if got := sh.EstimateTotal(p.WindowLength); got < float64(goroutines*perG)*0.8 {
 		t.Errorf("EstimateTotal = %v, want ≈%d", got, goroutines*perG)
 	}
 	if sh.MemoryBytes() <= 0 || sh.Width() <= 0 || sh.Depth() <= 0 {
 		t.Error("degenerate engine accounting")
+	}
+}
+
+// TestShardedCountStress hammers Count (and the other lock-free accounting
+// reads) from dedicated readers while batched writers run. Count reads the
+// per-stripe atomic caches without taking stripe locks, so under -race this
+// is the certificate that the lock-free path is sound; the final sum must
+// still be exact.
+func TestShardedCountStress(t *testing.T) {
+	p := shardedParams()
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perW = 5000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c := sh.Count()
+				if c < last {
+					t.Errorf("Count went backwards: %d after %d", c, last)
+					return
+				}
+				last = c
+				sh.Now()
+				sh.ViewRebuilds()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			batch := make([]ecmsketch.Event, 0, 32)
+			for i := 1; i <= perW; i++ {
+				batch = append(batch, ecmsketch.Event{Key: uint64(g*perW + i), Tick: ecmsketch.Tick(i)})
+				if len(batch) == cap(batch) {
+					sh.AddBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			sh.AddBatch(batch)
+		}(g)
+	}
+	ww.Wait()
+	close(done)
+	wg.Wait()
+	if got := sh.Count(); got != writers*perW {
+		t.Errorf("Count = %d, want %d", got, writers*perW)
+	}
+}
+
+// TestQueryBatchFrontEnds pins the QueryBatch contract on every local front
+// end: answers align with the request's key order, a zero Range resolves to
+// the whole window, and the combined total+self-join sweep is bit-identical
+// to the separate single-query calls.
+func TestQueryBatchFrontEnds(t *testing.T) {
+	p := shardedParams()
+	keys := []uint64{1, 2, 3, 500, 9999}
+	stream := func(ing ecmsketch.Ingestor) {
+		batch := make([]ecmsketch.Event, 0, 128)
+		for i := 1; i <= 20000; i++ {
+			batch = append(batch, ecmsketch.Event{Key: uint64(i % 700), Tick: ecmsketch.Tick(i)})
+			if len(batch) == cap(batch) {
+				ing.AddBatch(batch)
+				batch = batch[:0]
+			}
+		}
+		ing.AddBatch(batch)
+	}
+
+	sk, err := ecmsketch.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ecmsketch.NewSafe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []ecmsketch.Engine{sk, ss, sh} {
+		stream(eng)
+		res, err := eng.QueryBatch(ecmsketch.QueryBatch{Keys: keys, Total: true, SelfJoin: true})
+		if err != nil {
+			t.Fatalf("%T: QueryBatch: %v", eng, err)
+		}
+		if len(res.Estimates) != len(keys) {
+			t.Fatalf("%T: %d estimates for %d keys", eng, len(res.Estimates), len(keys))
+		}
+		if res.Range != p.WindowLength {
+			t.Errorf("%T: zero Range resolved to %d, want window %d", eng, res.Range, p.WindowLength)
+		}
+		if res.Now != 20000 {
+			t.Errorf("%T: Now = %d, want 20000", eng, res.Now)
+		}
+		// The batch aggregates must match the engine's own single-query
+		// answers bit for bit (for Sharded both come from the merged view).
+		if want := eng.EstimateTotal(p.WindowLength); res.Total != want {
+			t.Errorf("%T: batch Total %v != EstimateTotal %v", eng, res.Total, want)
+		}
+		if want := eng.SelfJoin(p.WindowLength); res.SelfJoin != want {
+			t.Errorf("%T: batch SelfJoin %v != SelfJoin %v", eng, res.SelfJoin, want)
+		}
+	}
+
+	// Single-sketch batch point answers are exactly the Estimate answers.
+	res, err := sk.QueryBatch(ecmsketch.QueryBatch{Keys: keys, Range: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if want := sk.Estimate(k, 5000); res.Estimates[i] != want {
+			t.Errorf("key %d: batch estimate %v != Estimate %v", k, res.Estimates[i], want)
+		}
+	}
+	// Sharded batch point answers come from the merged view — the price of
+	// the consistent cut — and must match querying its Snapshot directly.
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shRes, err := sh.QueryBatch(ecmsketch.QueryBatch{Keys: keys, Range: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if want := snap.Estimate(k, 5000); shRes.Estimates[i] != want {
+			t.Errorf("key %d: sharded batch estimate %v != merged-view estimate %v", k, shRes.Estimates[i], want)
+		}
 	}
 }
 
