@@ -108,6 +108,10 @@ type BatchQuerier interface {
 // Unmarshal/Merge, and a decoded independent copy. A Sharded engine and a
 // remote Client synthesize their snapshot by merging (resp. fetching) on
 // demand, so Snapshot can be more expensive than on a plain Sketch.
+//
+// Every Snapshotter is also a valid in-process coordinator site: wrap it
+// with NewLocalSite and a Coordinator will aggregate its snapshots with
+// those of other sites — local or networked — over one shared merge path.
 type Snapshotter interface {
 	// Marshal serializes the (merged) sketch state.
 	Marshal() []byte
@@ -150,4 +154,9 @@ var (
 	_ Engine = (*Sketch)(nil)
 	_ Engine = (*SafeSketch)(nil)
 	_ Engine = (*Sharded)(nil)
+
+	// Every local front end can serve as an in-process coordinator site.
+	_ SnapshotSource = (*Sketch)(nil)
+	_ SnapshotSource = (*SafeSketch)(nil)
+	_ SnapshotSource = (*Sharded)(nil)
 )

@@ -1,6 +1,9 @@
 package ecmsketch
 
 import (
+	"net/http"
+
+	"ecmsketch/internal/coord"
 	"ecmsketch/internal/distrib"
 	"ecmsketch/internal/workload"
 )
@@ -8,12 +11,47 @@ import (
 // Cluster simulates a set of distributed sites, each summarizing its local
 // sub-stream in an ECM-sketch, plus the balanced-binary-tree aggregation
 // path of the paper's distributed experiments. Sites run as goroutines;
-// every aggregation edge ships a serialized sketch whose size is charged to
-// the cluster's Network accounting.
+// every aggregation edge ships a sketch summary whose wire size is charged
+// to the cluster's Network accounting. Aggregation runs on the same
+// coordinator core as networked deployments (see Coordinator), so the
+// simulation's merged result is bit-identical to a real coordinator's over
+// the same event log.
 type Cluster = distrib.Cluster
 
-// Network is the communication-cost accounting of a Cluster.
-type Network = distrib.Network
+// Network is the communication-cost accounting of a Cluster or Coordinator.
+type Network = coord.Network
+
+// Site is one summary source behind a coordinator transport: it produces a
+// frozen snapshot of a site's stream plus the wire size shipping it costs,
+// measured at the transport boundary. NewLocalSite adapts any in-process
+// engine; NewHTTPSite pulls a remote ecmserve deployment.
+type Site = coord.Site
+
+// Coordinator aggregates a set of sites' summaries — in-process, networked,
+// or a mix — into one sketch of the combined stream, with the paper's
+// balanced-binary-tree accounting. See cmd/ecmcoord for the deployable
+// coordinator server built on it.
+type Coordinator = coord.Coordinator
+
+// SnapshotSource is what an in-process coordinator site needs from its
+// engine: Sketch, SafeSketch, Sharded and ecmclient.Client all satisfy it
+// (it is the snapshot half of the Snapshotter interface).
+type SnapshotSource = coord.SnapshotSource
+
+// NewCoordinator builds a coordinator over the given sites with fresh
+// network accounting.
+func NewCoordinator(sites ...Site) *Coordinator { return coord.New(sites...) }
+
+// NewLocalSite adapts an in-process engine as a coordinator site named
+// name. Its snapshots are arena clones (no marshal+decode round trip) and
+// its transfers are charged at the exact wire size the encoding would have.
+func NewLocalSite(name string, src SnapshotSource) Site { return coord.NewLocalSite(name, src) }
+
+// NewHTTPSite builds a coordinator site pulling GET /v1/snapshot from the
+// ecmserve deployment at baseURL (legacy /sketch deployments are supported
+// via fallback). A nil client uses http.DefaultClient; pass one with a
+// Timeout for production pulls.
+func NewHTTPSite(baseURL string, hc *http.Client) Site { return coord.NewHTTPSite(baseURL, hc) }
 
 // StreamEvent is one synthetic-workload arrival routed to a site (key,
 // time, site). It is distinct from the batch-ingest Event type of the

@@ -195,19 +195,25 @@ func runQueryBench(label, out string) error {
 	return appendRun(out, "query", run)
 }
 
-// appendRun appends the run to the JSON array of like-shaped runs in path,
-// creating it if absent, so before/after invocations of a bench mode
-// accumulate in one committed file. Shared by the -ingest and -query modes;
-// it lives in this file so paired baseline rounds can copy query.go (plus
-// main.go) into an older checkout and still build.
-func appendRun[T any](path, kind string, run T) error {
-	var runs []T
+// appendRun appends the run to the JSON array in path, creating it if
+// absent, so before/after invocations of a bench mode accumulate in one
+// committed file. Existing entries are carried over as raw JSON, so runs of
+// a different shape sharing the file (engine -query vs wire -querywire)
+// keep every field verbatim. Shared by the -ingest, -query and -querywire
+// modes; it lives in this file so paired baseline rounds can copy query.go
+// (plus main.go) into an older checkout and still build.
+func appendRun(path, kind string, run any) error {
+	var runs []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &runs); err != nil {
 			return fmt.Errorf("existing %s is not a %s-run array: %w", path, kind, err)
 		}
 	}
-	runs = append(runs, run)
+	enc, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	runs = append(runs, enc)
 	data, err := json.MarshalIndent(runs, "", "  ")
 	if err != nil {
 		return err

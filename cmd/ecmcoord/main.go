@@ -1,20 +1,28 @@
 // Command ecmcoord is the coordinator half of an ecmserve deployment: it
-// pulls the serialized ECM-sketch of every site (GET /sketch), aggregates
-// them with the order-preserving merge, and answers queries about the global
-// stream — the network-monitoring workflow of the paper's introduction.
+// pulls every site's frozen snapshot (GET /v1/snapshot, with a fallback to
+// the legacy /sketch route), aggregates them over the shared coordinator
+// core — the same balanced-binary-tree merge path the in-process simulation
+// uses, so the merged summary is bit-identical to what a single-process
+// deployment of the same event log computes — and answers queries about the
+// global stream.
 //
-// Usage:
+// One-shot mode answers a single query and exits:
 //
 //	ecmcoord -sites http://a:8080,http://b:8080 -key /index.html -range 3600000
 //	ecmcoord -sites ... -selfjoin -range 3600000
 //	ecmcoord -sites ... -total               # ||a||_1 of the whole window
 //	ecmcoord -sites ... -out merged.sketch   # persist the merged summary
+//
+// Server mode re-pulls the sites on an interval and serves the /v1 query
+// API over the latest merged sketch, making the coordinator itself a
+// queryable — and pullable — site, so coordinators stack hierarchically:
+//
+//	ecmcoord -sites http://a:8080,http://b:8080 -serve :9090 -interval 5s
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -34,6 +42,8 @@ func main() {
 		total    = flag.Bool("total", false, "estimate total arrivals in range")
 		out      = flag.String("out", "", "write the merged sketch to this file")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
+		serve    = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
+		interval = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
@@ -42,13 +52,22 @@ func main() {
 		os.Exit(2)
 	}
 	client := &http.Client{Timeout: *timeout}
-	merged, transferred, err := PullAndMerge(client, urls)
+	co := newCoordinator(client, urls)
+	if *serve != "" {
+		if *interval <= 0 {
+			fmt.Fprintln(os.Stderr, "ecmcoord: -interval must be positive in server mode")
+			os.Exit(2)
+		}
+		runServe(co, *serve, *interval)
+		return
+	}
+	merged, height, err := co.AggregateTree()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmcoord:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("merged %d site sketches (%d bytes pulled, global count %d, clock %d)\n",
-		len(urls), transferred, merged.Count(), merged.Now())
+	fmt.Printf("merged %d site sketches over a height-%d tree (%d bytes pulled, global count %d, clock %d)\n",
+		len(urls), height, co.PulledBytes(), merged.Count(), merged.Now())
 	queryRange := *rng
 	if queryRange == 0 {
 		queryRange = merged.Params().WindowLength
@@ -74,6 +93,15 @@ func main() {
 	}
 }
 
+// newCoordinator builds the shared coordinator core over HTTP sites.
+func newCoordinator(client *http.Client, siteURLs []string) *ecmsketch.Coordinator {
+	sites := make([]ecmsketch.Site, len(siteURLs))
+	for i, u := range siteURLs {
+		sites[i] = ecmsketch.NewHTTPSite(u, client)
+	}
+	return ecmsketch.NewCoordinator(sites...)
+}
+
 func splitSites(s string) []string {
 	var out []string
 	for _, u := range strings.Split(s, ",") {
@@ -85,38 +113,17 @@ func splitSites(s string) []string {
 	return out
 }
 
-// PullAndMerge fetches /sketch from every site and merges the results. It
-// returns the merged sketch and the total bytes transferred.
+// PullAndMerge aggregates the sites' snapshots through the shared
+// coordinator core and reports the snapshot payload bytes actually pulled
+// (the aggregation-tree model's accounting, which also charges internal
+// edges, stays on the coordinator's Network). Kept as the programmatic
+// one-shot entry point (and for its tests); the CLI drives the same path
+// via newCoordinator.
 func PullAndMerge(client *http.Client, siteURLs []string) (*ecmsketch.Sketch, int, error) {
-	sketches := make([]*ecmsketch.Sketch, 0, len(siteURLs))
-	transferred := 0
-	for _, u := range siteURLs {
-		enc, err := fetchSketch(client, u)
-		if err != nil {
-			return nil, 0, fmt.Errorf("site %s: %w", u, err)
-		}
-		transferred += len(enc)
-		sk, err := ecmsketch.Unmarshal(enc)
-		if err != nil {
-			return nil, 0, fmt.Errorf("site %s: decoding sketch: %w", u, err)
-		}
-		sketches = append(sketches, sk)
-	}
-	merged, err := ecmsketch.Merge(sketches...)
+	co := newCoordinator(client, siteURLs)
+	merged, _, err := co.AggregateTree()
 	if err != nil {
-		return nil, 0, fmt.Errorf("merging: %w", err)
+		return nil, 0, err
 	}
-	return merged, transferred, nil
-}
-
-func fetchSketch(client *http.Client, baseURL string) ([]byte, error) {
-	resp, err := client.Get(baseURL + "/sketch")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /sketch returned %s", resp.Status)
-	}
-	return io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	return merged, int(co.PulledBytes()), nil
 }

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"ecmsketch"
+	"ecmsketch/ecmserver"
 )
 
 // fakeSite serves a marshaled site sketch the way ecmserve does.
@@ -88,6 +93,198 @@ func TestPullAndMergeHTTPErrors(t *testing.T) {
 	}
 	if _, _, err := PullAndMerge(http.DefaultClient, []string{"http://127.0.0.1:1"}); err == nil {
 		t.Fatal("connection failure not surfaced")
+	}
+}
+
+// newEcmserverSites starts n real ecmserver sites with identical
+// configuration, each fed a distinct deterministic stream and advanced to a
+// shared clock, and returns the servers.
+func newEcmserverSites(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	out := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := ecmserver.New(ecmserver.Config{
+			Epsilon: 0.1, Delta: 0.1, WindowLength: 10000, Seed: 21, Shards: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []ecmsketch.Event
+		for e := 0; e < 3000; e++ {
+			batch = append(batch, ecmsketch.Event{Key: uint64(e%61) + uint64(i)*500, Tick: uint64(e/3 + 1)})
+		}
+		srv.Engine().AddBatch(batch)
+		srv.Engine().Advance(2000)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		out[i] = ts
+	}
+	return out
+}
+
+// TestEcmcoordMergesBitIdenticallyToInProcess is the CI smoke for the
+// shared coordinator core: ecmcoord's networked pull-and-merge of two
+// ecmserver sites must produce byte-for-byte the summary an in-process
+// coordinator over the same engines computes.
+func TestEcmcoordMergesBitIdenticallyToInProcess(t *testing.T) {
+	sites := newEcmserverSites(t, 2)
+	merged, transferred, err := PullAndMerge(http.DefaultClient, []string{sites[0].URL, sites[1].URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transferred <= 0 {
+		t.Error("no transfer accounted")
+	}
+	local := make([]ecmsketch.Site, len(sites))
+	for i, ts := range sites {
+		local[i] = ecmsketch.NewLocalSite(fmt.Sprintf("site-%d", i),
+			ts.Config.Handler.(*ecmserver.Server).Engine())
+	}
+	inproc, _, err := ecmsketch.NewCoordinator(local...).AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Marshal(), inproc.Marshal()) {
+		t.Fatal("networked ecmcoord merge differs from in-process merge over the same engines")
+	}
+	if merged.Count() == 0 {
+		t.Error("merged summary is empty; equivalence is vacuous")
+	}
+}
+
+// TestCoordServer drives the server mode end to end: refresh, point and
+// batch queries, stats provenance, snapshot re-pull (a coordinator is
+// itself a site), and the 503 surface before any successful pull.
+func TestCoordServer(t *testing.T) {
+	sites := newEcmserverSites(t, 2)
+	co := newCoordinator(http.DefaultClient, []string{sites[0].URL, sites[1].URL})
+	cs := newCoordServer(co, 0) // loop not started; refreshes are explicit
+	defer cs.Close()
+	if err := cs.refresh(); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(cs)
+	defer front.Close()
+
+	getJSON := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Key 0 appears in site 0's stream ~50 times per full window.
+	est := getJSON("/v1/estimate?ikey=0&range=10000")["estimate"].(float64)
+	if est < 25 || est > 200 {
+		t.Errorf("estimate = %v, want ≈50", est)
+	}
+	if tot := getJSON("/v1/total?range=10000")["total"].(float64); tot < 5000 || tot > 7000 {
+		t.Errorf("total = %v, want ≈6000", tot)
+	}
+	if sj := getJSON("/v1/selfjoin?range=10000")["selfJoin"].(float64); sj <= 0 {
+		t.Errorf("selfJoin = %v, want > 0", sj)
+	}
+
+	stats := getJSON("/v1/stats")
+	if stats["role"] != "coordinator" || stats["sites"].(float64) != 2 {
+		t.Errorf("stats = %v", stats)
+	}
+	if stats["count"].(float64) != 6000 {
+		t.Errorf("stats count = %v, want 6000", stats["count"])
+	}
+	strStats := getJSON("/v1/stats?strings=1")
+	if _, ok := strStats["count"].(string); !ok {
+		t.Errorf("stats?strings=1 count = %T, want string", strStats["count"])
+	}
+
+	// Batched query from one consistent cut.
+	resp, err := http.Post(front.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"keys":[{"ikey":"0"},{"ikey":"500"}],"range":10000,"total":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Estimates []float64 `json:"estimates"`
+		Total     float64   `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Estimates) != 2 || qr.Estimates[0] <= 0 || qr.Estimates[1] <= 0 {
+		t.Errorf("query estimates = %v", qr.Estimates)
+	}
+	if qr.Total < 5000 || qr.Total > 7000 {
+		t.Errorf("query total = %v", qr.Total)
+	}
+
+	// The coordinator shares ecmserver's strict parser: unknown fields are
+	// rejected identically on both tiers.
+	bad, err := http.Post(front.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"keys":[{"ikey":"0"}],"rnage":10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown query field accepted: %s", bad.Status)
+	}
+
+	// A coordinator is itself pullable: merging "the coordinator" as a
+	// single site reproduces its merged summary bit-identically.
+	repulled, _, err := PullAndMerge(http.DefaultClient, []string{front.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repulled.Marshal(), cs.merged.Load().sk.Marshal()) {
+		t.Error("re-pulled coordinator snapshot differs from its merged view")
+	}
+
+	// Refresh on demand keeps working after site ingest.
+	sites[0].Config.Handler.(*ecmserver.Server).Engine().Add(12345, 2001)
+	rr, err := http.Post(front.URL+"/v1/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if got := cs.merged.Load().sk.Count(); got != 6001 {
+		t.Errorf("post-refresh count = %d, want 6001", got)
+	}
+}
+
+// TestCoordServerNotReady pins the 503 surface of a coordinator that has
+// never pulled successfully.
+func TestCoordServerNotReady(t *testing.T) {
+	co := newCoordinator(http.DefaultClient, []string{"http://127.0.0.1:1"})
+	cs := newCoordServer(co, 0)
+	defer cs.Close()
+	front := httptest.NewServer(cs)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/v1/total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %s, want 503", resp.Status)
+	}
+	rr, err := http.Post(front.URL+"/v1/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusBadGateway {
+		t.Errorf("refresh against dead sites = %s, want 502", rr.Status)
 	}
 }
 

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecmsketch"
+	"ecmsketch/ecmserver"
+)
+
+// coordServer is the server mode of ecmcoord: it re-pulls and re-merges the
+// sites on an interval and serves a read-only /v1 query surface over the
+// latest merged sketch. The merged sketch is frozen at merge time (its
+// clock was advanced by the final ⊕ and never moves again), so any number
+// of concurrent queries on it are pure reads — the same immutable-view
+// discipline the Sharded engine's query path uses, applied one level up.
+//
+// Because the surface includes GET /v1/snapshot and /v1/sketch, a running
+// coordinator is itself a valid pull target: coordinators compose into the
+// multi-level hierarchies of Section 5.1, each level re-summarizing the one
+// below.
+type coordServer struct {
+	co       *ecmsketch.Coordinator
+	interval time.Duration
+	mux      *http.ServeMux
+
+	// refreshMu serializes refresh calls (the ticker loop and POST
+	// /v1/refresh): without it, a slow periodic pull finishing after a
+	// forced refresh would publish the older view over the newer one.
+	refreshMu sync.Mutex
+
+	merged   atomic.Pointer[mergedView]
+	pulls    atomic.Uint64
+	pullErrs atomic.Uint64
+	lastErr  atomic.Pointer[string]
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// mergedView is one published coordinator state: an immutable merged sketch
+// plus its provenance.
+type mergedView struct {
+	sk       *ecmsketch.Sketch
+	height   int
+	pulledAt time.Time
+}
+
+func newCoordServer(co *ecmsketch.Coordinator, interval time.Duration) *coordServer {
+	cs := &coordServer{
+		co:       co,
+		interval: interval,
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	cs.mux.HandleFunc("GET /v1/estimate", cs.handleEstimate)
+	cs.mux.HandleFunc("GET /v1/selfjoin", cs.handleSelfJoin)
+	cs.mux.HandleFunc("GET /v1/total", cs.handleTotal)
+	cs.mux.HandleFunc("POST /v1/query", cs.handleQuery)
+	cs.mux.HandleFunc("GET /v1/stats", cs.handleStats)
+	cs.mux.HandleFunc("GET /v1/sketch", cs.handleSnapshot)
+	cs.mux.HandleFunc("GET /v1/snapshot", cs.handleSnapshot)
+	cs.mux.HandleFunc("POST /v1/refresh", cs.handleRefresh)
+	return cs
+}
+
+func (cs *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { cs.mux.ServeHTTP(w, r) }
+
+// refresh pulls and re-merges the sites once, publishing the new view on
+// success and keeping the previous one (recording the error) on failure —
+// a flaky site degrades freshness, never availability. Refreshes are
+// serialized so views publish in pull order.
+func (cs *coordServer) refresh() error {
+	cs.refreshMu.Lock()
+	defer cs.refreshMu.Unlock()
+	root, height, err := cs.co.AggregateTree()
+	if err != nil {
+		cs.pullErrs.Add(1)
+		msg := err.Error()
+		cs.lastErr.Store(&msg)
+		return err
+	}
+	// The final merge advanced root to the sites' high-water tick; settle it
+	// explicitly so every later query is a pure read no matter which site
+	// shapes arrived.
+	root.Advance(root.Now())
+	cs.merged.Store(&mergedView{sk: root, height: height, pulledAt: time.Now()})
+	cs.pulls.Add(1)
+	cs.lastErr.Store(nil)
+	return nil
+}
+
+// run re-pulls on the configured interval until Close. A non-positive
+// interval (tests construct the server without a loop) is clamped so a
+// stray run call cannot panic the ticker.
+func (cs *coordServer) run() {
+	interval := cs.interval
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cs.stop:
+			return
+		case <-t.C:
+			if err := cs.refresh(); err != nil {
+				log.Printf("ecmcoord: pull failed (serving previous view): %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the re-pull loop (a no-op if it was never started).
+// Idempotent; in-flight refreshes finish on their own.
+func (cs *coordServer) Close() {
+	cs.stopOnce.Do(func() { close(cs.stop) })
+}
+
+// runServe is the CLI entry of server mode.
+func runServe(co *ecmsketch.Coordinator, addr string, interval time.Duration) {
+	cs := newCoordServer(co, interval)
+	if err := cs.refresh(); err != nil {
+		// Sites may simply not be up yet; the loop keeps retrying.
+		log.Printf("ecmcoord: initial pull failed (will retry every %v): %v", interval, err)
+	}
+	go cs.run()
+	log.Printf("ecmcoord serving merged view of %d sites on %s (re-pull every %v)",
+		len(co.Sites()), addr, interval)
+	log.Fatal(http.ListenAndServe(addr, cs))
+}
+
+// view returns the current merged view, or nil (and a 503) before the first
+// successful pull.
+func (cs *coordServer) view(w http.ResponseWriter) *mergedView {
+	v := cs.merged.Load()
+	if v == nil {
+		msg := "no merged view yet (no successful site pull)"
+		if e := cs.lastErr.Load(); e != nil {
+			msg += ": last error: " + *e
+		}
+		coordError(w, http.StatusServiceUnavailable, msg)
+		return nil
+	}
+	return v
+}
+
+func coordError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func coordRespond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// coordKey resolves ?key= (string, digested) or ?ikey= (decimal uint64).
+func coordKey(r *http.Request) (uint64, error) {
+	if k := r.URL.Query().Get("key"); k != "" {
+		return ecmsketch.KeyString(k), nil
+	}
+	if k := r.URL.Query().Get("ikey"); k != "" {
+		v, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad ikey: %v", err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("missing key or ikey parameter")
+}
+
+func coordRange(r *http.Request, v *mergedView) (uint64, error) {
+	raw := r.URL.Query().Get("range")
+	if raw == "" {
+		return v.sk.Params().WindowLength, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad range: %v", err)
+	}
+	if n == 0 {
+		return v.sk.Params().WindowLength, nil
+	}
+	return n, nil
+}
+
+func (cs *coordServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	key, err := coordKey(r)
+	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rng, err := coordRange(r, v)
+	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	coordRespond(w, map[string]any{"estimate": v.sk.Estimate(key, rng), "range": rng})
+}
+
+func (cs *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	rng, err := coordRange(r, v)
+	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	coordRespond(w, map[string]any{"selfJoin": v.sk.SelfJoin(rng), "range": rng})
+}
+
+func (cs *coordServer) handleTotal(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	rng, err := coordRange(r, v)
+	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	coordRespond(w, map[string]any{"total": v.sk.EstimateTotal(rng), "range": rng})
+}
+
+// handleQuery answers a batched multi-key query from the merged view, with
+// the exact request semantics of ecmserver's POST /v1/query (shared strict
+// parser: bounded token-streamed keys, duplicate/unknown fields rejected).
+// The whole batch is evaluated against one published view, so the answers
+// form a consistent cut of the merged stream as of the last pull.
+func (cs *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	q, err := ecmserver.ParseQueryBody(r.Body)
+	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := v.sk.QueryBatch(q)
+	if err != nil {
+		coordError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := map[string]any{"now": res.Now, "range": res.Range}
+	if res.Estimates == nil {
+		res.Estimates = []float64{}
+	}
+	out["estimates"] = res.Estimates
+	if q.Total {
+		out["total"] = res.Total
+	}
+	if q.SelfJoin {
+		out["selfJoin"] = res.SelfJoin
+	}
+	if r.URL.Query().Get("strings") == "1" {
+		out["now"] = strconv.FormatUint(res.Now, 10)
+		out["range"] = strconv.FormatUint(res.Range, 10)
+	}
+	coordRespond(w, out)
+}
+
+// handleStats reports coordinator provenance: site count, tree height,
+// merged clock/count, pull and network accounting. ?strings=1 encodes the
+// 64-bit tick/count fields as decimal strings, as on ecmserver.
+func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	asStrings := r.URL.Query().Get("strings") == "1"
+	u64 := func(v uint64) any {
+		if asStrings {
+			return strconv.FormatUint(v, 10)
+		}
+		return v
+	}
+	out := map[string]any{
+		"role":        "coordinator",
+		"sites":       len(cs.co.Sites()),
+		"pulls":       u64(cs.pulls.Load()),
+		"pullErrors":  u64(cs.pullErrs.Load()),
+		"netBytes":    u64(uint64(cs.co.Network().Bytes())),
+		"netMessages": u64(uint64(cs.co.Network().Messages())),
+		"pulledBytes": u64(uint64(cs.co.PulledBytes())),
+		"apiVersion":  "v1",
+	}
+	if e := cs.lastErr.Load(); e != nil {
+		out["lastError"] = *e
+	}
+	if v := cs.merged.Load(); v != nil {
+		out["height"] = v.height
+		out["now"] = u64(v.sk.Now())
+		out["count"] = u64(v.sk.Count())
+		out["window"] = u64(v.sk.Params().WindowLength)
+		out["pulledAtUnixMs"] = u64(uint64(v.pulledAt.UnixMilli()))
+	}
+	coordRespond(w, out)
+}
+
+// handleSnapshot ships the merged view's bytes, making the coordinator
+// pullable by a higher-level coordinator (or persistable with curl).
+func (cs *coordServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	enc := v.sk.Marshal()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Header().Set("X-Ecm-Now", strconv.FormatUint(v.sk.Now(), 10))
+	w.Header().Set("X-Ecm-Count", strconv.FormatUint(v.sk.Count(), 10))
+	w.Write(enc)
+}
+
+// handleRefresh forces an immediate re-pull: POST /v1/refresh. Deployments
+// use it after known site catch-ups; tests use it for determinism.
+func (cs *coordServer) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if err := cs.refresh(); err != nil {
+		coordError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	v := cs.merged.Load()
+	coordRespond(w, map[string]any{"ok": true, "count": v.sk.Count(), "now": v.sk.Now()})
+}

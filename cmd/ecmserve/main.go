@@ -37,18 +37,20 @@ func main() {
 		topk    = flag.Int("topk", 0, "track the N hottest keys and serve GET /v1/topk (0 = off)")
 		shards  = flag.Int("shards", 0, "ingest lock stripes (0 = GOMAXPROCS)")
 		ttl     = flag.Duration("merge-ttl", 250*time.Millisecond, "staleness bound of cached global-query view (0 = always fresh)")
+		refresh = flag.Duration("refresh", 0, "background merged-view refresh period (0 = rebuild on the reader that trips merge-ttl)")
 	)
 	flag.Parse()
 	srv, err := ecmserver.New(ecmserver.Config{
-		Epsilon:      *epsilon,
-		Delta:        *delta,
-		WindowLength: *window,
-		Algorithm:    *algo,
-		UpperBound:   *ubound,
-		Seed:         *seed,
-		TopK:         *topk,
-		Shards:       *shards,
-		MergeTTL:     *ttl,
+		Epsilon:         *epsilon,
+		Delta:           *delta,
+		WindowLength:    *window,
+		Algorithm:       *algo,
+		UpperBound:      *ubound,
+		Seed:            *seed,
+		TopK:            *topk,
+		Shards:          *shards,
+		MergeTTL:        *ttl,
+		RefreshInterval: *refresh,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmserve:", err)

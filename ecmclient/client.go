@@ -20,6 +20,7 @@ package ecmclient
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -111,6 +112,15 @@ func (c *Client) get(path string, q url.Values, out any) error {
 	return c.do(req, out)
 }
 
+// statusError is a non-200 reply, preserving the status code so callers
+// can branch (e.g. the 404 fallback of FetchSnapshotBytes).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -123,9 +133,9 @@ func (c *Client) do(req *http.Request, out any) error {
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		if json.Unmarshal(msg, &remote) == nil && remote.Error != "" {
-			return fmt.Errorf("ecmclient: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, remote.Error)
+			return &statusError{resp.StatusCode, fmt.Sprintf("ecmclient: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, remote.Error)}
 		}
-		return fmt.Errorf("ecmclient: %s %s: %s", req.Method, req.URL.Path, resp.Status)
+		return &statusError{resp.StatusCode, fmt.Sprintf("ecmclient: %s %s: %s", req.Method, req.URL.Path, resp.Status)}
 	}
 	if out == nil {
 		return nil
@@ -321,6 +331,24 @@ func (c *Client) FetchSketch() (*ecmsketch.Sketch, error) {
 	return ecmsketch.Unmarshal(raw)
 }
 
+// FetchSnapshotBytes pulls the server's frozen merged view via the
+// coordinator snapshot route (GET /v1/snapshot), falling back to /v1/sketch
+// against servers predating it. The payload is identical; the snapshot
+// route additionally carries X-Ecm-Now/X-Ecm-Count staleness headers for
+// pullers that want them.
+func (c *Client) FetchSnapshotBytes() ([]byte, error) {
+	var raw []byte
+	err := c.get("/v1/snapshot", nil, &raw)
+	var se *statusError
+	if errors.As(err, &se) && se.code == http.StatusNotFound {
+		return c.FetchSketchBytes()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Stats is the server's engine accounting.
 type Stats struct {
 	Width        int            `json:"width"`
@@ -450,5 +478,13 @@ func (c *Client) Marshal() []byte {
 	return raw
 }
 
-// Snapshot pulls and decodes the server's merged sketch.
-func (c *Client) Snapshot() (*ecmsketch.Sketch, error) { return c.FetchSketch() }
+// Snapshot pulls and decodes the server's merged sketch via the snapshot
+// route — the client half of the coordinator transport, so a Client wrapped
+// in NewLocalSite aggregates like any other engine.
+func (c *Client) Snapshot() (*ecmsketch.Sketch, error) {
+	raw, err := c.FetchSnapshotBytes()
+	if err != nil {
+		return nil, err
+	}
+	return ecmsketch.Unmarshal(raw)
+}

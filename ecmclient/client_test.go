@@ -1,6 +1,7 @@
 package ecmclient_test
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -312,5 +313,78 @@ func TestClientBadRequestSurfacesServerError(t *testing.T) {
 	// TopK is not enabled on this server.
 	if _, err := c.TopK(10000); err == nil {
 		t.Fatal("topk on a server without -topk must error")
+	}
+}
+
+// TestClientSnapshotRoute pins that Snapshot pulls the /v1/snapshot route
+// (and that the result matches the engine), and that servers predating the
+// route are still served via the /v1/sketch fallback.
+func TestClientSnapshotRoute(t *testing.T) {
+	ts, client := startServer(t, 0)
+	srv := ts.Config.Handler.(*ecmserver.Server)
+	srv.Engine().Add(7, 100)
+
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count() != 1 || snap.Now() != 100 {
+		t.Errorf("snapshot count=%d now=%d, want 1/100", snap.Count(), snap.Now())
+	}
+
+	// A legacy deployment: /v1/snapshot 404s, /v1/sketch answers.
+	enc := snap.Marshal()
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sketch" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(enc)
+	}))
+	defer legacy.Close()
+	old := ecmclient.New(legacy.URL)
+	fb, err := old.Snapshot()
+	if err != nil {
+		t.Fatalf("fallback snapshot: %v", err)
+	}
+	if fb.Count() != 1 {
+		t.Errorf("fallback snapshot count = %d, want 1", fb.Count())
+	}
+}
+
+// TestClientAsCoordinatorSite wires a remote server into an in-process
+// coordinator through the client: the Engine interfaces make a remote site
+// and a local engine interchangeable leaves of one aggregation tree.
+func TestClientAsCoordinatorSite(t *testing.T) {
+	ts, client := startServer(t, 0)
+	srv := ts.Config.Handler.(*ecmserver.Server)
+	for i := uint64(1); i <= 300; i++ {
+		srv.Engine().Add(i%7, i)
+	}
+	local, err := ecmsketch.New(ecmsketch.Params{
+		Epsilon: 0.05, Delta: 0.05, WindowLength: 10000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 300; i++ {
+		local.Add(i%5+100, i)
+	}
+	co := ecmsketch.NewCoordinator(
+		ecmsketch.NewLocalSite("remote-via-client", client),
+		ecmsketch.NewLocalSite("local", local),
+	)
+	root, height, err := co.AggregateTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if height != 1 {
+		t.Errorf("height = %d, want 1", height)
+	}
+	if root.Count() != 600 {
+		t.Errorf("root count = %d, want 600", root.Count())
+	}
+	if co.Network().Messages() != 2 {
+		t.Errorf("messages = %d, want 2", co.Network().Messages())
 	}
 }

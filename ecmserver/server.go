@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -40,6 +41,11 @@ type Config struct {
 	// sketch pulls) served from the engine's cached merged view; 0 means
 	// always fresh.
 	MergeTTL time.Duration
+	// RefreshInterval, when positive, rebuilds stale merged views in a
+	// background goroutine instead of on the tail of whichever reader trips
+	// the TTL; set it at or below MergeTTL. Servers configured with it
+	// should be Closed on shutdown.
+	RefreshInterval time.Duration
 }
 
 // Server is an HTTP front end over a sharded ECM-sketch engine. All
@@ -71,9 +77,10 @@ func New(cfg Config) (*Server, error) {
 		Seed:         cfg.Seed,
 	}
 	engine, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
-		Params:   params,
-		Shards:   cfg.Shards,
-		MergeTTL: cfg.MergeTTL,
+		Params:          params,
+		Shards:          cfg.Shards,
+		MergeTTL:        cfg.MergeTTL,
+		RefreshInterval: cfg.RefreshInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -96,12 +103,17 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET", "/stats", s.handleStats)
 	s.route("GET", "/sketch", s.handleSketch)
 	s.route("POST", "/advance", s.handleAdvance)
-	// JSON batch ingest and batched queries exist only under the versioned
-	// prefix.
+	// JSON batch ingest, batched queries and coordinator snapshot pulls
+	// exist only under the versioned prefix.
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	return s, nil
 }
+
+// Close releases server-held background resources (the engine's view
+// refresher when RefreshInterval is configured). Idempotent.
+func (s *Server) Close() error { return s.engine.Close() }
 
 // route registers a handler under the versioned /v1 prefix and the legacy
 // unversioned path.
@@ -369,7 +381,9 @@ type WireQueryKey struct {
 
 // WireQueryResult is the JSON reply of POST /v1/query: one estimate per
 // requested key in request order, the aggregates if requested, and the
-// engine clock the consistent cut was taken at.
+// engine clock the consistent cut was taken at. Now and Range are 64-bit
+// ticks; requests carrying ?strings=1 receive them as decimal strings
+// (see wantStrings) via wireQueryResultStrings instead.
 type WireQueryResult struct {
 	Estimates []float64 `json:"estimates"`
 	Total     *float64  `json:"total,omitempty"`
@@ -378,54 +392,55 @@ type WireQueryResult struct {
 	Range     uint64    `json:"range"`
 }
 
-// handleQuery answers a batched multi-key query from one consistent cut of
-// the engine's merged view: POST /v1/query with body
-//
-//	{"keys":[{"key":"/home"},{"ikey":"17446744073709551615"}],
-//	 "range":60000,"total":true,"selfJoin":true}
-//
-// Like /v1/events, the body is decoded token by token with the keys array
-// consumed element-wise, so request memory stays bounded: batches beyond
-// maxQueryKeys are rejected mid-stream, and unknown fields are rejected
-// rather than buffered. An omitted or zero range means the whole window.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
-	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: want a JSON object"))
-		return
-	}
+// wireQueryResultStrings is WireQueryResult with the 64-bit tick fields
+// encoded as decimal strings, the ?strings=1 reply shape.
+type wireQueryResultStrings struct {
+	Estimates []float64 `json:"estimates"`
+	Total     *float64  `json:"total,omitempty"`
+	SelfJoin  *float64  `json:"selfJoin,omitempty"`
+	Now       string    `json:"now"`
+	Range     string    `json:"range"`
+}
+
+// ParseQueryBody decodes a POST /v1/query request body into a QueryBatch
+// under the strict wire semantics of the versioned API: the body is decoded
+// token by token with the keys array consumed element-wise, so request
+// memory stays bounded — batches beyond maxQueryKeys are rejected
+// mid-stream, and duplicate or unknown fields are rejected rather than
+// buffered. Exported so every tier serving the route (this site server,
+// the ecmcoord coordinator surface) validates it identically.
+func ParseQueryBody(body io.Reader) (ecmsketch.QueryBatch, error) {
 	var q ecmsketch.QueryBatch
+	dec := json.NewDecoder(body)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return q, fmt.Errorf("bad query body: want a JSON object")
+	}
 	seen := map[string]bool{}
 	for dec.More() {
 		tok, err := dec.Token()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %v", err))
-			return
+			return q, fmt.Errorf("bad query body: %v", err)
 		}
 		field, _ := tok.(string)
 		if seen[field] {
 			// Rejecting duplicates keeps the parse strict (last-wins would
 			// mask client bugs) and stops repeated keys arrays from evading
 			// the per-query cap.
-			httpError(w, http.StatusBadRequest, fmt.Errorf("duplicate query field %q", field))
-			return
+			return q, fmt.Errorf("duplicate query field %q", field)
 		}
 		seen[field] = true
 		switch field {
 		case "keys":
 			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: keys must be an array"))
-				return
+				return q, fmt.Errorf("bad query body: keys must be an array")
 			}
 			for dec.More() {
 				if len(q.Keys) == maxQueryKeys {
-					httpError(w, http.StatusBadRequest, fmt.Errorf("too many keys: at most %d per query", maxQueryKeys))
-					return
+					return q, fmt.Errorf("too many keys: at most %d per query", maxQueryKeys)
 				}
 				var wk WireQueryKey
 				if err := dec.Decode(&wk); err != nil {
-					httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: %v", len(q.Keys), err))
-					return
+					return q, fmt.Errorf("key %d: %v", len(q.Keys), err)
 				}
 				switch {
 				case wk.Key != "":
@@ -433,41 +448,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				case wk.IKey != "":
 					v, err := strconv.ParseUint(wk.IKey, 10, 64)
 					if err != nil {
-						httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err))
-						return
+						return q, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err)
 					}
 					q.Keys = append(q.Keys, v)
 				default:
-					httpError(w, http.StatusBadRequest, fmt.Errorf("key %d: missing key or ikey", len(q.Keys)))
-					return
+					return q, fmt.Errorf("key %d: missing key or ikey", len(q.Keys))
 				}
 			}
 			if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: unterminated keys array"))
-				return
+				return q, fmt.Errorf("bad query body: unterminated keys array")
 			}
 		case "range":
 			if err := dec.Decode(&q.Range); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad range: %v", err))
-				return
+				return q, fmt.Errorf("bad range: %v", err)
 			}
 		case "total":
 			if err := dec.Decode(&q.Total); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad total: %v", err))
-				return
+				return q, fmt.Errorf("bad total: %v", err)
 			}
 		case "selfJoin":
 			if err := dec.Decode(&q.SelfJoin); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad selfJoin: %v", err))
-				return
+				return q, fmt.Errorf("bad selfJoin: %v", err)
 			}
 		default:
-			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown query field %q", field))
-			return
+			return q, fmt.Errorf("unknown query field %q", field)
 		}
 	}
 	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query body: unterminated object"))
+		return q, fmt.Errorf("bad query body: unterminated object")
+	}
+	return q, nil
+}
+
+// handleQuery answers a batched multi-key query from one consistent cut of
+// the engine's merged view: POST /v1/query with body
+//
+//	{"keys":[{"key":"/home"},{"ikey":"17446744073709551615"}],
+//	 "range":60000,"total":true,"selfJoin":true}
+//
+// An omitted or zero range means the whole window; see ParseQueryBody for
+// the strict body semantics.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := ParseQueryBody(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := s.engine.QueryBatch(q)
@@ -484,6 +508,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if q.SelfJoin {
 		out.SelfJoin = &res.SelfJoin
+	}
+	if wantStrings(r) {
+		respond(w, wireQueryResultStrings{
+			Estimates: out.Estimates,
+			Total:     out.Total,
+			SelfJoin:  out.SelfJoin,
+			Now:       strconv.FormatUint(out.Now, 10),
+			Range:     strconv.FormatUint(out.Range, 10),
+		})
+		return
 	}
 	respond(w, out)
 }
@@ -548,19 +582,39 @@ func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
 	respond(w, map[string]any{"total": s.engine.EstimateTotal(rng), "range": rng})
 }
 
-// handleStats reports engine dimensions, clock and footprint.
+// wantStrings reports whether the request opted into string-encoded 64-bit
+// reply fields via ?strings=1. JSON numbers are read as float64 by
+// JavaScript-family clients, which silently rounds integers past 2^53;
+// request-side uint64 keys already travel as decimal strings (ikey), and
+// this opt-in extends the same convention to 64-bit tick/count reply
+// fields. Numeric replies stay the default for compatibility.
+func wantStrings(r *http.Request) bool { return r.URL.Query().Get("strings") == "1" }
+
+// u64field renders a 64-bit tick/count reply field: a decimal string when
+// the request opted in via ?strings=1, a JSON number otherwise.
+func u64field(asStrings bool, v uint64) any {
+	if asStrings {
+		return strconv.FormatUint(v, 10)
+	}
+	return v
+}
+
+// handleStats reports engine dimensions, clock and footprint. With
+// ?strings=1, the 64-bit tick/count fields (now, count, window,
+// viewRebuilds) are encoded as decimal strings.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	asStrings := wantStrings(r)
 	respond(w, map[string]any{
 		"width":        s.engine.Width(),
 		"depth":        s.engine.Depth(),
 		"shards":       s.engine.Shards(),
-		"now":          s.engine.Now(),
-		"count":        s.engine.Count(),
+		"now":          u64field(asStrings, s.engine.Now()),
+		"count":        u64field(asStrings, s.engine.Count()),
 		"memoryBytes":  s.engine.MemoryBytes(),
-		"viewRebuilds": s.engine.ViewRebuilds(),
+		"viewRebuilds": u64field(asStrings, s.engine.ViewRebuilds()),
 		"epsilon":      s.cfg.Epsilon,
 		"delta":        s.cfg.Delta,
-		"window":       s.cfg.WindowLength,
+		"window":       u64field(asStrings, s.cfg.WindowLength),
 		"algorithm":    s.cfg.Algorithm,
 		"apiVersion":   "v1",
 	})
@@ -576,6 +630,27 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc)
+}
+
+// handleSnapshot is the coordinator pull route: GET /v1/snapshot ships the
+// engine's frozen merged-view bytes — the same payload as /v1/sketch, under
+// the name the transport layer (coord.HTTPSite, ecmclient.Snapshot) speaks —
+// plus X-Ecm-Now and X-Ecm-Count headers so pullers can gauge staleness and
+// stream volume without decoding the body. Headers and payload come from
+// one Snapshot of the merged view (not separate engine reads), so they
+// describe exactly the bytes shipped even under concurrent ingest.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sk, err := s.engine.Snapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("merging shards failed: %w", err))
+		return
+	}
+	enc := sk.Marshal()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Header().Set("X-Ecm-Now", strconv.FormatUint(sk.Now(), 10))
+	w.Header().Set("X-Ecm-Count", strconv.FormatUint(sk.Count(), 10))
 	w.Write(enc)
 }
 

@@ -1,10 +1,12 @@
 package ecmserver
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -478,5 +480,114 @@ func TestQueryEndpoint(t *testing.T) {
 	code, _ = doJSON(t, srv, "POST", "/query", `{"total":true}`)
 	if code == http.StatusOK {
 		t.Error("/query served without version prefix")
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	srv := testServer(t)
+	doJSON(t, srv, "POST", "/v1/add?key=alpha&t=100&n=7", "")
+
+	req := httptest.NewRequest("GET", "/v1/snapshot", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /v1/snapshot: %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if rec.Header().Get("X-Ecm-Now") != "100" || rec.Header().Get("X-Ecm-Count") != "7" {
+		t.Errorf("staleness headers = now %q count %q, want 100/7",
+			rec.Header().Get("X-Ecm-Now"), rec.Header().Get("X-Ecm-Count"))
+	}
+	sk, err := ecmsketch.Unmarshal(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("snapshot payload does not decode: %v", err)
+	}
+	if sk.Count() != 7 {
+		t.Errorf("decoded count = %d, want 7", sk.Count())
+	}
+
+	// Same payload as the sketch route.
+	req2 := httptest.NewRequest("GET", "/v1/sketch", nil)
+	rec2 := httptest.NewRecorder()
+	srv.ServeHTTP(rec2, req2)
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Error("/v1/snapshot and /v1/sketch payloads differ")
+	}
+
+	// v1-only: no legacy alias.
+	req3 := httptest.NewRequest("GET", "/snapshot", nil)
+	rec3 := httptest.NewRecorder()
+	srv.ServeHTTP(rec3, req3)
+	if rec3.Code != 404 {
+		t.Errorf("GET /snapshot = %d, want 404 (no legacy alias)", rec3.Code)
+	}
+}
+
+func TestStatsStringsOptIn(t *testing.T) {
+	srv := testServer(t)
+	// A tick past 2^53 would be silently rounded by float64 JSON readers;
+	// the strings=1 reply preserves it digit-for-digit.
+	bigTick := uint64(1)<<60 + 3
+	srv.Engine().Add(1, bigTick)
+
+	code, stats := doJSON(t, srv, "GET", "/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if _, ok := stats["now"].(float64); !ok {
+		t.Errorf("default stats now = %T, want JSON number", stats["now"])
+	}
+
+	code, stats = doJSON(t, srv, "GET", "/v1/stats?strings=1", "")
+	if code != 200 {
+		t.Fatalf("stats?strings=1: %d", code)
+	}
+	if got, ok := stats["now"].(string); !ok || got != strconv.FormatUint(bigTick, 10) {
+		t.Errorf("strings=1 now = %#v, want %q", stats["now"], strconv.FormatUint(bigTick, 10))
+	}
+	if got, ok := stats["count"].(string); !ok || got != "1" {
+		t.Errorf("strings=1 count = %#v, want \"1\"", stats["count"])
+	}
+	if _, ok := stats["window"].(string); !ok {
+		t.Errorf("strings=1 window = %T, want string", stats["window"])
+	}
+	if _, ok := stats["viewRebuilds"].(string); !ok {
+		t.Errorf("strings=1 viewRebuilds = %T, want string", stats["viewRebuilds"])
+	}
+	// Non-64-bit fields stay numeric.
+	if _, ok := stats["shards"].(float64); !ok {
+		t.Errorf("strings=1 shards = %T, want JSON number", stats["shards"])
+	}
+}
+
+func TestQueryStringsOptIn(t *testing.T) {
+	srv := testServer(t)
+	bigTick := uint64(1)<<60 + 3
+	srv.Engine().Add(42, bigTick)
+
+	body := `{"keys":[{"ikey":"42"}],"range":5000,"total":true}`
+	code, out := doJSON(t, srv, "POST", "/v1/query?strings=1", body)
+	if code != 200 {
+		t.Fatalf("query?strings=1: %d (%v)", code, out)
+	}
+	if got, ok := out["now"].(string); !ok || got != strconv.FormatUint(bigTick, 10) {
+		t.Errorf("strings=1 query now = %#v, want %q", out["now"], strconv.FormatUint(bigTick, 10))
+	}
+	if got, ok := out["range"].(string); !ok || got != "5000" {
+		t.Errorf("strings=1 query range = %#v, want \"5000\"", out["range"])
+	}
+	if ests, ok := out["estimates"].([]any); !ok || len(ests) != 1 {
+		t.Errorf("strings=1 query estimates = %#v", out["estimates"])
+	}
+
+	// Default replies stay numeric.
+	code, out = doJSON(t, srv, "POST", "/v1/query", body)
+	if code != 200 {
+		t.Fatalf("query: %d", code)
+	}
+	if _, ok := out["now"].(float64); !ok {
+		t.Errorf("default query now = %T, want JSON number", out["now"])
 	}
 }

@@ -1,0 +1,297 @@
+// Package coord is the transport-abstracted coordinator of the paper's
+// distributed deployments: remote sites summarize their local sub-streams
+// in ECM-sketches, and a coordinator pulls those summaries and aggregates
+// them bottom-up over a balanced binary tree (the topology of Section 7.3)
+// with the order-preserving merge ⊕.
+//
+// The Site interface is the transport seam. Two implementations ship:
+//
+//   - LocalSite wraps any in-process snapshot source (a *core.Sketch, the
+//     sharded engine, anything with Snapshot). Its "transfer" is an arena
+//     clone — Sketch.Snapshot / EHBank.Clone, three slab memcpys — so the
+//     simulated cluster pays no marshal+decode round trip on the merge
+//     path. The wire size it reports (Sketch.WireSize) is exactly what
+//     shipping the summary would cost, computed without encoding it.
+//   - HTTPSite pulls GET /v1/snapshot from an ecmserver deployment (falling
+//     back to the legacy /sketch route) and decodes the payload; the wire
+//     size it reports is the payload length actually transferred.
+//
+// Both transports feed one merge path, Coordinator.AggregateTree, so a
+// simulation and a networked deployment of the same event log produce
+// bit-identical merged summaries and identical Network accounting: sizes
+// are measured at the transport boundary, and the tree model charges one
+// message per aggregation edge regardless of how the leaves arrived.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ecmsketch/internal/core"
+)
+
+// Network accumulates communication-cost accounting across goroutines: the
+// byte and message volume of every aggregation edge, the figure the paper's
+// distributed experiments report as transfer cost.
+type Network struct {
+	bytes    atomic.Int64
+	messages atomic.Int64
+}
+
+// Charge records one message of n payload bytes.
+func (n *Network) Charge(payload int) {
+	n.bytes.Add(int64(payload))
+	n.messages.Add(1)
+}
+
+// Bytes reports the total payload volume transferred.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// Messages reports the number of messages sent.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Site is one summary source behind a transport. Snapshot returns a frozen,
+// independently owned sketch of the site's stream — safe to merge, query or
+// mutate without affecting the site — plus the wire size shipping that
+// summary costs, measured at the transport boundary (actual payload bytes
+// for networked sites, the exact would-be encoding size for in-process
+// ones).
+type Site interface {
+	// Name identifies the site in errors and accounting.
+	Name() string
+	// Snapshot fetches the site's current summary and its transfer size.
+	Snapshot() (*core.Sketch, int, error)
+}
+
+// SnapshotSource is the fragment of the engine contract an in-process site
+// needs: *core.Sketch, the sharded engine and every other local front end
+// satisfy it.
+type SnapshotSource interface {
+	Snapshot() (*core.Sketch, error)
+}
+
+// LocalSite adapts an in-process snapshot source as a coordinator site.
+type LocalSite struct {
+	name string
+	src  SnapshotSource
+}
+
+// NewLocalSite wraps src as a site named name.
+func NewLocalSite(name string, src SnapshotSource) *LocalSite {
+	return &LocalSite{name: name, src: src}
+}
+
+// Name identifies the site.
+func (s *LocalSite) Name() string { return s.name }
+
+// Snapshot clones the source's current state (an arena copy on the default
+// exponential-histogram engine) and reports the exact wire size the summary
+// would cost to ship, without encoding it.
+func (s *LocalSite) Snapshot() (*core.Sketch, int, error) {
+	snap, err := s.src.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, snap.WireSize(), nil
+}
+
+// maxSnapshotBytes bounds a pulled snapshot payload (1 GiB, matching the
+// historical ecmcoord limit) so a misbehaving site cannot exhaust
+// coordinator memory.
+const maxSnapshotBytes = 1 << 30
+
+// HTTPSite pulls summaries from an ecmserver deployment over HTTP.
+type HTTPSite struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPSite builds a site pulling from the ecmserver instance at baseURL
+// (e.g. "http://collector-3:8080"). A nil client uses http.DefaultClient;
+// pass one with a Timeout for production pulls.
+func NewHTTPSite(baseURL string, hc *http.Client) *HTTPSite {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	base := strings.TrimRight(baseURL, "/")
+	return &HTTPSite{name: base, base: base, hc: hc}
+}
+
+// Name identifies the site (its base URL).
+func (s *HTTPSite) Name() string { return s.name }
+
+// Snapshot pulls the site's frozen merged view: GET /v1/snapshot, falling
+// back to the legacy /sketch route on 404 so coordinators can pull from
+// deployments predating the snapshot endpoint. The reported size is the
+// payload length actually transferred.
+func (s *HTTPSite) Snapshot() (*core.Sketch, int, error) {
+	body, status, err := s.fetch("/v1/snapshot")
+	if err == nil && status == http.StatusNotFound {
+		body, status, err = s.fetch("/sketch")
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, 0, fmt.Errorf("snapshot pull returned status %d", status)
+	}
+	sk, err := core.Unmarshal(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("decoding snapshot (%d bytes): %w", len(body), err)
+	}
+	return sk, len(body), nil
+}
+
+func (s *HTTPSite) fetch(path string) ([]byte, int, error) {
+	resp, err := s.hc.Get(s.base + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading snapshot body: %w", err)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// Coordinator aggregates a set of sites' summaries into one sketch of the
+// combined stream. It is safe for concurrent use: concurrent AggregateTree
+// calls each pull their own snapshots and share only the atomic Network
+// counters.
+type Coordinator struct {
+	sites []Site
+	net   *Network
+
+	// pulled counts payload bytes actually fetched from sites (one
+	// snapshot per site per pull), as opposed to the Network's
+	// aggregation-tree model in which internal edges also ship and a
+	// single-site tree ships nothing. Bandwidth monitoring wants this one.
+	pulled atomic.Int64
+}
+
+// New builds a coordinator over the given sites with fresh network
+// accounting.
+func New(sites ...Site) *Coordinator { return NewWithNetwork(new(Network), sites...) }
+
+// NewWithNetwork builds a coordinator charging an existing Network — how
+// the simulated Cluster threads its historical accounting through the
+// shared merge path.
+func NewWithNetwork(net *Network, sites ...Site) *Coordinator {
+	return &Coordinator{sites: sites, net: net}
+}
+
+// Sites exposes the coordinator's site set.
+func (c *Coordinator) Sites() []Site { return c.sites }
+
+// Network exposes the communication accounting of the aggregation-tree
+// model: one message per tree edge, identical across transports.
+func (c *Coordinator) Network() *Network { return c.net }
+
+// PulledBytes reports the total snapshot payload volume fetched from sites
+// across all pulls — the actual transfer bill of a networked deployment
+// (for in-process sites, the exact volume shipping would have cost).
+func (c *Coordinator) PulledBytes() int64 { return c.pulled.Load() }
+
+// pull fetches every site's snapshot concurrently and verifies the
+// summaries are mutually mergeable, naming the offending site on failure.
+// Nothing is charged here: transfer charges are per aggregation edge, in
+// AggregateTree, using the sizes the transports report.
+func (c *Coordinator) pull() ([]*core.Sketch, []int, error) {
+	parts := make([]*core.Sketch, len(c.sites))
+	sizes := make([]int, len(c.sites))
+	errs := make([]error, len(c.sites))
+	var wg sync.WaitGroup
+	for i, site := range c.sites {
+		wg.Add(1)
+		go func(i int, site Site) {
+			defer wg.Done()
+			parts[i], sizes[i], errs[i] = site.Snapshot()
+		}(i, site)
+	}
+	wg.Wait()
+	// Every successfully fetched payload is charged to the pulled counter
+	// even if the pull as a whole fails below: those bytes crossed the
+	// transport regardless of whether a sibling site erred.
+	for i, err := range errs {
+		if err == nil {
+			c.pulled.Add(int64(sizes[i]))
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("coord: site %s: %w", c.sites[i].Name(), err)
+		}
+	}
+	for i := 1; i < len(parts); i++ {
+		if !parts[0].Compatible(parts[i]) {
+			return nil, nil, fmt.Errorf("coord: site %s: sketch parameters incompatible with site %s",
+				c.sites[i].Name(), c.sites[0].Name())
+		}
+	}
+	return parts, sizes, nil
+}
+
+// AggregateTree pulls every site's summary and merges bottom-up over a
+// balanced binary tree of height ⌈log₂ n⌉, as in the paper's distributed
+// experiments: all sites are leaves; each aggregation edge ships the
+// child's summary (charged to the Network at the size the transport
+// reported — the exact encoding size for in-process sites, the transferred
+// payload for networked ones), and each internal node merges its children
+// with the order-preserving ⊕. An odd node out is promoted to the next
+// level, its summary still traveling one hop upward. The root sketch
+// summarizing the union stream is returned with the tree height.
+func (c *Coordinator) AggregateTree() (*core.Sketch, int, error) {
+	if len(c.sites) == 0 {
+		return nil, 0, errors.New("coord: no sites to aggregate")
+	}
+	level, lsz, err := c.pull()
+	if err != nil {
+		return nil, 0, err
+	}
+	height := 0
+	// Internal-node sizes are computed lazily (sentinel -1) at the moment
+	// the node is actually charged for an upward hop: the root never ships
+	// anywhere, so its encoding size — a full throwaway Marshal on wave
+	// engines — is never computed.
+	charge := func(lsz []int, level []*core.Sketch, i int) int {
+		if lsz[i] < 0 {
+			lsz[i] = level[i].WireSize()
+		}
+		c.net.Charge(lsz[i])
+		return lsz[i]
+	}
+	for len(level) > 1 {
+		next := make([]*core.Sketch, 0, (len(level)+1)/2)
+		nsz := make([]int, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				sz := charge(lsz, level, i)
+				next = append(next, level[i])
+				nsz = append(nsz, sz)
+				continue
+			}
+			charge(lsz, level, i)
+			charge(lsz, level, i+1)
+			m, err := core.Merge(level[i], level[i+1])
+			if err != nil {
+				return nil, 0, fmt.Errorf("coord: aggregation at height %d: %w", height, err)
+			}
+			next = append(next, m)
+			nsz = append(nsz, -1)
+		}
+		level, lsz = next, nsz
+		height++
+	}
+	return level[0], height, nil
+}

@@ -79,6 +79,38 @@ func (s *Sketch) Marshal() []byte {
 	return buf.Bytes()
 }
 
+// WireSize reports len(s.Marshal()) without producing the encoding: the
+// fixed header fields are summed directly and, on the flat
+// exponential-histogram engine, each cell's size comes from a bucket-walk
+// that never materializes bytes. This is what lets the coordinator's
+// network accounting charge a snapshot's transfer cost at the transport
+// boundary while the merge path consumes the snapshot itself — no
+// marshal+decode round trip just to know what shipping it would cost.
+// Wave engines (no arena) fall back to encoding and measuring.
+func (s *Sketch) WireSize() int {
+	if s.eh == nil {
+		return len(s.Marshal())
+	}
+	n := 1 + // wireECM tag
+		8 + 8 + // Epsilon, Delta
+		3 + // Query, Algorithm, Model bytes
+		window.UvarintLen(s.params.WindowLength) +
+		window.UvarintLen(s.params.UpperBound) +
+		window.UvarintLen(s.params.Seed) +
+		window.UvarintLen(uint64(s.w)) +
+		window.UvarintLen(uint64(s.d)) +
+		8 + 8 + // split.EpsCM, split.EpsSW
+		window.UvarintLen(s.now) +
+		window.UvarintLen(s.count) +
+		window.UvarintLen(s.salt) +
+		window.UvarintLen(s.seq)
+	for i := 0; i < s.d*s.w; i++ {
+		c := s.eh.MarshalCellSize(i)
+		n += window.UvarintLen(uint64(c)) + c
+	}
+	return n
+}
+
 // Unmarshal reconstructs a sketch from Marshal output. The decoded sketch
 // answers every query identically to the encoded one and remains mergeable
 // with its lineage.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ecmsketch/internal/hashing"
 	"ecmsketch/internal/window"
 )
 
@@ -38,6 +39,18 @@ func Merge(inputs ...*Sketch) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// New assigned the output a fresh process-local identifier salt, which
+	// would make merged encodings differ run to run in that one field.
+	// Derive it deterministically from the inputs instead: merged summaries
+	// must be reproducible byte-for-byte across processes and transports —
+	// the coordinator's cross-transport equivalence contract — while the
+	// mixing still gives the output an ID space distinct from each input's
+	// for any future randomized-wave ingest.
+	salt := uint64(0x9e37_79b9_7f4a_7c15)
+	for _, in := range inputs {
+		salt = hashing.Mix64(salt ^ in.salt)
+	}
+	out.salt = salt
 	var now Tick
 	var count uint64
 	for _, in := range inputs {

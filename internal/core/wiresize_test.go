@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecmsketch/internal/window"
+)
+
+// TestWireSizeMatchesMarshal pins WireSize to the one thing it promises:
+// exactly len(Marshal()), for every counter algorithm, at every stream
+// stage the coordinator charges transfers at (empty, mid-stream, advanced,
+// merged).
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	for _, algo := range []window.Algorithm{window.AlgoEH, window.AlgoDW, window.AlgoRW} {
+		p := Params{
+			Epsilon: 0.15, Delta: 0.1, WindowLength: 5000,
+			Algorithm: algo, UpperBound: 20000, Seed: 7,
+		}
+		s := mustECM(t, p)
+		check := func(stage string, sk *Sketch) {
+			t.Helper()
+			if got, want := sk.WireSize(), len(sk.Marshal()); got != want {
+				t.Errorf("algo %v, %s: WireSize() = %d, len(Marshal()) = %d", algo, stage, got, want)
+			}
+		}
+		check("empty", s)
+		rng := rand.New(rand.NewSource(3))
+		var now Tick
+		for i := 0; i < 8000; i++ {
+			now += Tick(rng.Intn(2))
+			if now == 0 {
+				now = 1
+			}
+			s.Add(rng.Uint64()%512, now)
+		}
+		check("mid-stream", s)
+		s.Advance(now + 3000)
+		check("advanced (partially expired)", s)
+
+		other := mustECM(t, p)
+		for i := 0; i < 2000; i++ {
+			other.Add(rng.Uint64()%512, Tick(i/2+1))
+		}
+		other.Advance(now + 3000)
+		m, err := Merge(s, other)
+		if err != nil {
+			t.Fatalf("algo %v: Merge: %v", algo, err)
+		}
+		check("merged", m)
+	}
+}

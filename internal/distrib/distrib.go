@@ -5,17 +5,20 @@
 // whose size is charged as network volume.
 //
 // Sites run as goroutines consuming their own event channels, which is the
-// natural Go model for physically distributed stream observers; the
-// aggregation path serializes and re-parses every transferred sketch, so
-// the measured transfer volumes are what a networked deployment would pay.
+// natural Go model for physically distributed stream observers. Aggregation
+// is the shared coordinator core of internal/coord: every site contributes
+// a frozen snapshot (an arena clone, not a marshal+decode round trip), and
+// every aggregation edge is charged to the Network at the exact size the
+// shipped encoding would have — so the measured transfer volumes are what a
+// networked deployment pays, and the merged result is bit-identical to what
+// a coordinator pulling the same sites over HTTP computes.
 package distrib
 
 import (
-	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"ecmsketch/internal/coord"
 	"ecmsketch/internal/core"
 	"ecmsketch/internal/window"
 	"ecmsketch/internal/workload"
@@ -24,23 +27,8 @@ import (
 // Tick re-exports the logical timestamp type.
 type Tick = window.Tick
 
-// Network accumulates communication-cost accounting across goroutines.
-type Network struct {
-	bytes    atomic.Int64
-	messages atomic.Int64
-}
-
-// Charge records one message of n payload bytes.
-func (n *Network) Charge(payload int) {
-	n.bytes.Add(int64(payload))
-	n.messages.Add(1)
-}
-
-// Bytes reports the total payload volume transferred.
-func (n *Network) Bytes() int64 { return n.bytes.Load() }
-
-// Messages reports the number of messages sent.
-func (n *Network) Messages() int64 { return n.messages.Load() }
+// Network is the communication-cost accounting of the coordinator core.
+type Network = coord.Network
 
 // Cluster is a set of simulated sites sharing one sketch configuration.
 // Site channels carry event batches, not single events: feeding batched
@@ -168,58 +156,19 @@ func (c *Cluster) IngestAll(events []workload.Event) Tick {
 }
 
 // AggregateTree merges the site sketches bottom-up over a balanced binary
-// tree of height ⌈log₂ n⌉, as in the distributed experiments: all sites are
-// leaves; each internal node receives its children's serialized sketches
-// (charged to the network), decodes them, and merges them with the
-// order-preserving ⊕. The root sketch summarizing the union stream is
-// returned together with the tree height.
+// tree of height ⌈log₂ n⌉, as in the distributed experiments. It is a thin
+// shim over the shared coordinator core: each site becomes an in-process
+// coord.Site whose snapshot is an arena clone and whose transfer is charged
+// at the exact encoding size, preserving the historical per-edge accounting
+// (one message per aggregation edge, odd nodes re-charged as they are
+// promoted) without any marshal+decode on the merge path. The root sketch
+// summarizing the union stream is returned together with the tree height.
 func (c *Cluster) AggregateTree() (*core.Sketch, int, error) {
-	level := c.sites
-	height := 0
-	for len(level) > 1 {
-		next := make([]*core.Sketch, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			if i+1 == len(level) {
-				// Odd node out: promoted to the next level, but its summary
-				// still travels one hop upward.
-				c.net.Charge(len(level[i].Marshal()))
-				next = append(next, level[i])
-				continue
-			}
-			left, right, err := c.transferPair(level[i], level[i+1])
-			if err != nil {
-				return nil, 0, err
-			}
-			m, err := core.Merge(left, right)
-			if err != nil {
-				return nil, 0, fmt.Errorf("distrib: aggregation at height %d: %w", height, err)
-			}
-			next = append(next, m)
-		}
-		level = next
-		height++
+	sites := make([]coord.Site, len(c.sites))
+	for i, s := range c.sites {
+		sites[i] = coord.NewLocalSite(fmt.Sprintf("site-%d", i), s)
 	}
-	if len(level) == 0 {
-		return nil, 0, errors.New("distrib: no sites to aggregate")
-	}
-	return level[0], height, nil
-}
-
-// transferPair serializes both children, charges the network, and re-parses
-// the payloads — the aggregating parent only ever sees wire bytes.
-func (c *Cluster) transferPair(a, b *core.Sketch) (*core.Sketch, *core.Sketch, error) {
-	ea, eb := a.Marshal(), b.Marshal()
-	c.net.Charge(len(ea))
-	c.net.Charge(len(eb))
-	da, err := core.Unmarshal(ea)
-	if err != nil {
-		return nil, nil, fmt.Errorf("distrib: decoding left child: %w", err)
-	}
-	db, err := core.Unmarshal(eb)
-	if err != nil {
-		return nil, nil, fmt.Errorf("distrib: decoding right child: %w", err)
-	}
-	return da, db, nil
+	return coord.NewWithNetwork(&c.net, sites...).AggregateTree()
 }
 
 // CentralizedBaseline builds a single sketch over the same events, the

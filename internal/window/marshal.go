@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Serialization formats. Synopses are serialized when sites ship them to
@@ -122,6 +123,41 @@ func appendConfig(dst []byte, c Config) []byte {
 	dst = binary.AppendUvarint(dst, c.UpperBound)
 	dst = binary.AppendUvarint(dst, c.Seed)
 	return dst
+}
+
+// UvarintLen reports the encoded size of v under binary.AppendUvarint
+// without producing the bytes: one byte per started 7-bit group. Wire-size
+// accounting (the network volume a summary would cost to ship) sums these
+// instead of building throwaway encodings.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// configSize is the encoded size of a Config under appendConfig: model
+// byte, two float64s, and three uvarints.
+func configSize(c Config) int {
+	return 1 + 8 + 8 + UvarintLen(c.Length) + UvarintLen(c.UpperBound) + UvarintLen(c.Seed)
+}
+
+// MarshalCellSize reports len of the encoding AppendMarshalCell would
+// produce for cell i, without materializing buckets or bytes. It walks the
+// level directories in the same oldest→newest order the encoder uses, since
+// the delta encoding's varint widths depend on that order.
+func (b *EHBank) MarshalCellSize(i int) int {
+	n := 1 + configSize(b.cfg) + UvarintLen(b.cells[i].now)
+	n += UvarintLen(uint64(b.NumBuckets(i)))
+	var prev Tick
+	c := &b.cells[i]
+	for lv := int(c.nLv) - 1; lv >= 0; lv-- {
+		d := b.level(i, lv)
+		size := uint64(1) << uint(lv)
+		for j := 0; j < int(d.n); j++ {
+			bk := b.at(d, j)
+			n += UvarintLen(bk.start-prev) + UvarintLen(bk.end-bk.start) + UvarintLen(size)
+			prev = bk.end
+		}
+	}
+	return n
 }
 
 // appendEHBuckets appends the delta-encoded bucket payload shared by the

@@ -65,6 +65,13 @@ type Sharded struct {
 
 	// rebuilds counts completed merged-view builds (see ViewRebuilds).
 	rebuilds atomic.Uint64
+
+	// refreshStop/refreshDone bracket the background view refresher's
+	// lifetime (nil when RefreshInterval is 0); closeOnce makes Close
+	// idempotent.
+	refreshStop chan struct{}
+	refreshDone chan struct{}
+	closeOnce   sync.Once
 }
 
 // shardedView is one immutable published state of the merged query engine.
@@ -114,6 +121,16 @@ type ShardedConfig struct {
 	// previous view, so the worst-case staleness is MergeTTL plus one
 	// rebuild duration.
 	MergeTTL time.Duration
+	// RefreshInterval, when positive, starts a background goroutine that
+	// every interval rebuilds the merged view if any stripe mutated since
+	// the last build (regardless of MergeTTL), so the published view stays
+	// current and TTL-expired rebuilds stop landing on the tail latency of
+	// whichever reader happens to trip them. Set it at or below MergeTTL to
+	// keep readers on the lock-free fast path essentially always. Engines
+	// with a refresher hold a goroutine until Close is called; 0 (the
+	// default) keeps the previous reader-driven rebuild behavior and needs
+	// no Close.
+	RefreshInterval time.Duration
 }
 
 // NewSharded builds a lock-striped engine of identically configured,
@@ -146,7 +163,67 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		s.SetIDSalt(0x9e37_79b9_7f4a_7c15 * uint64(i+1))
 		sh.shards[i].sk = s
 	}
+	if cfg.RefreshInterval < 0 {
+		return nil, fmt.Errorf("ecmsketch: RefreshInterval must be non-negative, got %v", cfg.RefreshInterval)
+	}
+	if cfg.RefreshInterval > 0 {
+		sh.refreshStop = make(chan struct{})
+		sh.refreshDone = make(chan struct{})
+		go sh.refreshLoop(cfg.RefreshInterval)
+	}
 	return sh, nil
+}
+
+// refreshLoop is the background view refresher: every interval it rebuilds
+// the merged view if it has gone stale, off every reader's critical path.
+func (sh *Sharded) refreshLoop(interval time.Duration) {
+	defer close(sh.refreshDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.refreshStop:
+			return
+		case <-t.C:
+			sh.refreshView()
+		}
+	}
+}
+
+// refreshView rebuilds the merged view if it is missing or behind the
+// stripes. Unlike reader-driven freshness (viewFresh), the refresher
+// deliberately ignores the TTL arm: its job is to keep the published view
+// at the latest stripe version so that readers' TTL never expires against
+// a stale view and the rebuild never lands on a reader's tail. It never
+// blocks behind a reader-driven rebuild (TryLock): if someone else is
+// already merging, the refresher's work is being done for it. Rebuild
+// errors are dropped — the next global query re-attempts and surfaces them.
+func (sh *Sharded) refreshView() {
+	if v := sh.view.Load(); v != nil && v.version == sh.versionSum() {
+		return
+	}
+	if !sh.rebuild.TryLock() {
+		return
+	}
+	defer sh.rebuild.Unlock()
+	if v := sh.view.Load(); v != nil && v.version == sh.versionSum() {
+		return
+	}
+	_, _ = sh.rebuildLocked()
+}
+
+// Close stops the background view refresher, if any, and waits for it to
+// exit. It is idempotent and safe to call on engines built without a
+// RefreshInterval (a no-op there). The engine remains fully usable after
+// Close; only the background refreshing stops.
+func (sh *Sharded) Close() error {
+	if sh.refreshStop != nil {
+		sh.closeOnce.Do(func() {
+			close(sh.refreshStop)
+			<-sh.refreshDone
+		})
+	}
+	return nil
 }
 
 // Shards reports the stripe count P.

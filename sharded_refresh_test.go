@@ -1,0 +1,99 @@
+package ecmsketch_test
+
+import (
+	"testing"
+	"time"
+
+	"ecmsketch"
+)
+
+// TestShardedBackgroundRefresher pins the RefreshInterval knob: after
+// writes invalidate the merged view, the background refresher rebuilds it
+// with no reader tripping the rebuild — ViewRebuilds climbs while no global
+// query runs.
+func TestShardedBackgroundRefresher(t *testing.T) {
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params:          shardedParams(),
+		Shards:          4,
+		MergeTTL:        time.Millisecond,
+		RefreshInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	batch := make([]ecmsketch.Event, 256)
+	for i := range batch {
+		batch[i] = ecmsketch.Event{Key: uint64(i % 64), Tick: uint64(i/8 + 1)}
+	}
+	sh.AddBatch(batch)
+
+	// The refresher builds even the first view eagerly; wait for it, then
+	// mutate and wait for a background rebuild — all without issuing a
+	// single global query ourselves.
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.ViewRebuilds() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sh.ViewRebuilds() == 0 {
+		t.Fatal("refresher never built the initial view")
+	}
+	r0 := sh.ViewRebuilds()
+	for i := range batch {
+		batch[i].Tick += 100
+	}
+	sh.AddBatch(batch)
+	for sh.ViewRebuilds() == r0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sh.ViewRebuilds() == r0 {
+		t.Fatal("refresher never rebuilt after writes invalidated the view")
+	}
+
+	// Readers see the refreshed view (and may themselves trigger further
+	// rebuilds; the point above was that none was needed to get one).
+	if got := sh.EstimateTotal(10000); got < 500 || got > 550 {
+		t.Errorf("EstimateTotal = %v, want ≈512", got)
+	}
+}
+
+// TestShardedCloseIdempotent pins Close semantics: repeated closes are
+// no-ops, engines without a refresher need none, and a closed engine keeps
+// answering queries.
+func TestShardedCloseIdempotent(t *testing.T) {
+	sh, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params: shardedParams(), Shards: 2, RefreshInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Add(1, 10)
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Estimate(1, 10000); got != 1 {
+		t.Errorf("estimate after Close = %v, want 1", got)
+	}
+
+	plain, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: shardedParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Errorf("Close on refresher-less engine: %v", err)
+	}
+}
+
+// TestShardedNegativeRefreshInterval pins construction validation.
+func TestShardedNegativeRefreshInterval(t *testing.T) {
+	_, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+		Params: shardedParams(), RefreshInterval: -time.Second,
+	})
+	if err == nil {
+		t.Fatal("negative RefreshInterval accepted")
+	}
+}
