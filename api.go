@@ -119,14 +119,56 @@ type Snapshotter interface {
 	Snapshot() (*Sketch, error)
 }
 
+// Cursor names a producer state in the delta-snapshot protocol: the
+// producing engine instance (a process-random epoch) plus one
+// arrival-mutation version per part — a single version for Sketch and
+// SafeSketch, one per stripe for Sharded. Cursors are opaque to pullers:
+// obtained from one DeltaSnapshot, echoed on the next. String/ParseCursor
+// give the URL-safe wire form (?since= and X-Ecm-Cursor on the HTTP API).
+type Cursor = core.Cursor
+
+// ParseCursor decodes Cursor.String output; "" and "0" are the zero cursor
+// ("no baseline, send me a full snapshot").
+func ParseCursor(s string) (Cursor, error) { return core.ParseCursor(s) }
+
+// DeltaState is the receiving half of the delta-snapshot protocol: it holds
+// one producer's parts, applies DeltaSnapshot payloads (full or
+// incremental), and materializes the combined summary on demand. The
+// Coordinator keeps one per site when delta pulls are enabled; it is
+// exported for custom pull loops.
+type DeltaState = core.DeltaState
+
+// DeltaSnapshotter is the cursor-based incremental side of the snapshot
+// contract. DeltaSnapshot(since) returns the bytes that carry a puller
+// holding the state named by since to the current state:
+//
+//   - full == false: an incremental delta — only the cells (and, on the
+//     sharded engine, only the stripes) whose version moved since the
+//     cursor, plus the clock that lets the receiver replay expiry. An idle
+//     engine answers with a few-byte empty delta.
+//   - full == true: a complete snapshot, returned whenever since is not
+//     recognized (zero cursor, another engine instance's epoch after a
+//     restart or reconfiguration, versions from the future). Pullers
+//     re-baseline from it; nothing is ever assumed about the puller.
+//
+// The returned cursor names the state the payload brings the puller to and
+// is what the puller presents next time. Payloads are applied with
+// DeltaState. Implemented by Sketch, SafeSketch, Sharded and the remote
+// ecmclient.Client (which forwards to GET /v1/snapshot?since=).
+type DeltaSnapshotter interface {
+	DeltaSnapshot(since Cursor) (payload []byte, cursor Cursor, full bool, err error)
+}
+
 // Engine is the full contract of an ECM-sketch backend — ingest, single-key
-// and batched query, and snapshot. Local sketches, the sharded engine and
-// the remote HTTP client are interchangeable behind it.
+// and batched query, and snapshot (full and incremental). Local sketches,
+// the sharded engine and the remote HTTP client are interchangeable behind
+// it.
 type Engine interface {
 	Ingestor
 	Querier
 	BatchQuerier
 	Snapshotter
+	DeltaSnapshotter
 }
 
 // IngestQuerier is the intersection trackers like TopK need from their
@@ -150,6 +192,10 @@ var (
 	_ BatchQuerier = (*Sketch)(nil)
 	_ BatchQuerier = (*SafeSketch)(nil)
 	_ BatchQuerier = (*Sharded)(nil)
+
+	_ DeltaSnapshotter = (*Sketch)(nil)
+	_ DeltaSnapshotter = (*SafeSketch)(nil)
+	_ DeltaSnapshotter = (*Sharded)(nil)
 
 	_ Engine = (*Sketch)(nil)
 	_ Engine = (*SafeSketch)(nil)

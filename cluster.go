@@ -22,15 +22,18 @@ type Cluster = distrib.Cluster
 type Network = coord.Network
 
 // Site is one summary source behind a coordinator transport: it produces a
-// frozen snapshot of a site's stream plus the wire size shipping it costs,
-// measured at the transport boundary. NewLocalSite adapts any in-process
-// engine; NewHTTPSite pulls a remote ecmserve deployment.
+// frozen snapshot of a site's stream — full (Snapshot) or incremental
+// against a cursor (Delta) — plus the wire size shipping it costs, measured
+// at the transport boundary. NewLocalSite adapts any in-process engine;
+// NewHTTPSite pulls a remote ecmserve deployment.
 type Site = coord.Site
 
 // Coordinator aggregates a set of sites' summaries — in-process, networked,
 // or a mix — into one sketch of the combined stream, with the paper's
-// balanced-binary-tree accounting. See cmd/ecmcoord for the deployable
-// coordinator server built on it.
+// balanced-binary-tree accounting. SetDeltaPulls(true) switches its pulls
+// to the cursor-based incremental protocol (per-site retained baselines,
+// transparent full-pull fallback on any cursor invalidation). See
+// cmd/ecmcoord for the deployable coordinator server built on it.
 type Coordinator = coord.Coordinator
 
 // SnapshotSource is what an in-process coordinator site needs from its

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"ecmsketch"
+	"ecmsketch/ecmserver"
+)
+
+// The -deltawire mode measures what the delta-snapshot protocol is for:
+// steady-state coordinator bandwidth on a slow-moving stream. Two real
+// ecmserver sites run over loopback HTTP; two coordinators pull them every
+// interval — one with full-snapshot pulls (the pre-delta behavior), one
+// with cursor-based delta pulls — while the stream mutates a small fraction
+// of its keys between pulls. Recorded per mode: bootstrap bytes, steady-
+// state bytes per interval (payload accounting, the same figure the
+// coordinator's Network charges on both transports), and the wall time of a
+// full aggregate pull (best of rounds, per the repo's bench protocol —
+// byte counts are deterministic, latency on a shared box is not).
+//
+// Usage:
+//
+//	ecmbench -deltawire -label delta-baseline -out BENCH_coord.json
+//
+// The operating point: 2 sites, ε=0.02 δ=0.05 EH sketches over a 2^20-tick
+// window, 4 stripes, 4000 preloaded keys per site, 16 keys (0.4% of the key
+// space, well under the ≤10%-churn regime the protocol targets) mutated per
+// site per interval over 12 intervals, of which the last 10 are counted as
+// steady state.
+
+const (
+	deltaWireSites     = 2
+	deltaWireKeys      = 4000
+	deltaWirePreload   = 60000
+	deltaWireChurn     = 16
+	deltaWireIntervals = 12
+	deltaWireWarmup    = 2 // intervals before steady-state accounting starts
+	deltaWireRounds    = 3 // best-of for latency; bytes are deterministic
+)
+
+func deltaWireParams() ecmsketch.Params {
+	return ecmsketch.Params{
+		Epsilon: 0.02, Delta: 0.05, WindowLength: 1 << 20, Seed: 1234,
+	}
+}
+
+// DeltaWireResult is one pull mode of the -deltawire bench.
+type DeltaWireResult struct {
+	Mode              string  `json:"mode"` // full-pull | delta-pull
+	Sites             int     `json:"sites"`
+	TotalKeys         int     `json:"total_keys"`
+	ChurnPerInterval  int     `json:"churn_keys_per_interval"`
+	Intervals         int     `json:"intervals"`
+	BootstrapBytes    int64   `json:"bootstrap_bytes"`
+	SteadyBytesPerInt float64 `json:"steady_bytes_per_interval"`
+	NsPerInterval     float64 `json:"ns_per_interval"` // one aggregate pull, best of rounds
+	DeltaPulls        uint64  `json:"delta_pulls"`
+	FullPulls         uint64  `json:"full_pulls"`
+	Rounds            int     `json:"rounds"`
+}
+
+// DeltaWireRun is one labelled -deltawire invocation.
+type DeltaWireRun struct {
+	Label string `json:"label"`
+	// Reduction is steady-state full bytes over delta bytes — the headline
+	// the protocol is judged on.
+	Reduction float64           `json:"steady_state_byte_reduction"`
+	Results   []DeltaWireResult `json:"results"`
+}
+
+// deltaWireSitesUp builds the site servers with identical preloaded
+// streams (per-site key bias) and returns them with their engines.
+func deltaWireSitesUp() ([]*httptest.Server, []*ecmsketch.Sharded, func(), error) {
+	servers := make([]*httptest.Server, deltaWireSites)
+	engines := make([]*ecmsketch.Sharded, deltaWireSites)
+	p := deltaWireParams()
+	for i := range servers {
+		srv, err := ecmserver.New(ecmserver.Config{
+			Epsilon: p.Epsilon, Delta: p.Delta, WindowLength: p.WindowLength,
+			Seed: p.Seed, Shards: 4,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		eng := srv.Engine()
+		batch := make([]ecmsketch.Event, 0, 1024)
+		for e := 0; e < deltaWirePreload; e++ {
+			batch = append(batch, ecmsketch.Event{
+				Key:  uint64(e%deltaWireKeys) + uint64(i)*1_000_000,
+				Tick: uint64(e/8 + 1),
+			})
+			if len(batch) == cap(batch) {
+				eng.AddBatch(batch)
+				batch = batch[:0]
+			}
+		}
+		eng.AddBatch(batch)
+		eng.Advance(uint64(deltaWirePreload / 8))
+		engines[i] = eng
+		servers[i] = httptest.NewServer(srv)
+	}
+	stop := func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	return servers, engines, stop, nil
+}
+
+// deltaWireMutate moves churn keys on every site — the slow-moving stream.
+func deltaWireMutate(engines []*ecmsketch.Sharded, interval int) {
+	base := uint64(deltaWirePreload/8) + uint64(interval)*100
+	for i, eng := range engines {
+		evs := make([]ecmsketch.Event, 0, deltaWireChurn)
+		for k := 0; k < deltaWireChurn; k++ {
+			key := uint64((interval*deltaWireChurn+k*31)%deltaWireKeys) + uint64(i)*1_000_000
+			evs = append(evs, ecmsketch.Event{Key: key, Tick: base + uint64(k%7)})
+		}
+		eng.AddBatch(evs)
+		eng.Advance(base + 10)
+	}
+}
+
+// runDeltaWireMode drives one coordinator mode over a fresh deployment and
+// reports its accounting plus the per-interval pull latency.
+func runDeltaWireMode(deltaPulls bool) (DeltaWireResult, error) {
+	res := DeltaWireResult{
+		Sites: deltaWireSites, TotalKeys: deltaWireKeys,
+		ChurnPerInterval: deltaWireChurn, Intervals: deltaWireIntervals,
+		Rounds: deltaWireRounds,
+	}
+	if deltaPulls {
+		res.Mode = "delta-pull"
+	} else {
+		res.Mode = "full-pull"
+	}
+	best := time.Duration(0)
+	for round := 0; round < deltaWireRounds; round++ {
+		servers, engines, stop, err := deltaWireSitesUp()
+		if err != nil {
+			return res, err
+		}
+		sites := make([]ecmsketch.Site, len(servers))
+		for i, ts := range servers {
+			sites[i] = ecmsketch.NewHTTPSite(ts.URL, nil)
+		}
+		co := ecmsketch.NewCoordinator(sites...)
+		co.SetDeltaPulls(deltaPulls)
+		var steady int64
+		var elapsed time.Duration
+		var prevBytes int64
+		for interval := 0; interval < deltaWireIntervals; interval++ {
+			if interval > 0 {
+				deltaWireMutate(engines, interval)
+			}
+			start := time.Now()
+			if _, _, err := co.AggregateTree(); err != nil {
+				stop()
+				return res, err
+			}
+			elapsed += time.Since(start)
+			pulled := co.PulledBytes()
+			if interval == 0 {
+				res.BootstrapBytes = pulled
+			} else if interval >= deltaWireWarmup {
+				steady += pulled - prevBytes
+			}
+			prevBytes = pulled
+		}
+		res.SteadyBytesPerInt = float64(steady) / float64(deltaWireIntervals-deltaWireWarmup)
+		res.DeltaPulls = co.DeltaPulls()
+		res.FullPulls = co.FullPulls()
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		stop()
+	}
+	res.NsPerInterval = float64(best.Nanoseconds()) / float64(deltaWireIntervals)
+	return res, nil
+}
+
+func runDeltaWireBench(label, out string) error {
+	run := DeltaWireRun{Label: label}
+	for _, delta := range []bool{false, true} {
+		res, err := runDeltaWireMode(delta)
+		if err != nil {
+			return err
+		}
+		run.Results = append(run.Results, res)
+		fmt.Printf("%-11s sites=%d churn=%d/%d keys  bootstrap %8dB  steady %10.0f B/interval  %8.2f ms/pull  (delta %d / full %d)\n",
+			res.Mode, res.Sites, res.ChurnPerInterval, res.TotalKeys,
+			res.BootstrapBytes, res.SteadyBytesPerInt,
+			res.NsPerInterval/1e6, res.DeltaPulls, res.FullPulls)
+	}
+	if d := run.Results[1].SteadyBytesPerInt; d > 0 {
+		run.Reduction = run.Results[0].SteadyBytesPerInt / d
+	}
+	fmt.Printf("steady-state byte reduction: %.1f×\n", run.Reduction)
+	return appendRun(out, "deltawire", run)
+}

@@ -31,6 +31,7 @@ func main() {
 		ingest  = flag.Bool("ingest", false, "measure engine ingest throughput and append JSON results to -out instead of running paper experiments")
 		query   = flag.Bool("query", false, "measure merged-view query latency under concurrent readers/writers and append JSON results to -out")
 		qwire   = flag.Bool("querywire", false, "measure wire-level QueryBatch round trips (ecmclient → ecmserver over loopback HTTP) and append JSON results to -out")
+		dwire   = flag.Bool("deltawire", false, "measure full-pull vs delta-pull coordinator bytes and latency over a slow-moving stream (loopback HTTP) and append JSON results to -out")
 		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
 		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
@@ -63,6 +64,17 @@ func main() {
 			path = "BENCH_query.json"
 		}
 		if err := runWireBench(*label, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dwire {
+		path := *out
+		if path == "" {
+			path = "BENCH_coord.json"
+		}
+		if err := runDeltaWireBench(*label, path); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

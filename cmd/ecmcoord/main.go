@@ -18,6 +18,14 @@
 // queryable — and pullable — site, so coordinators stack hierarchically:
 //
 //	ecmcoord -sites http://a:8080,http://b:8080 -serve :9090 -interval 5s
+//
+// Server-mode re-pulls are incremental by default (-delta): the
+// coordinator presents each site the cursor from its previous pull and
+// receives only the stripes and cells that changed since, falling back to
+// a full pull transparently whenever a site restarts or invalidates the
+// cursor. On slow-moving streams this cuts steady-state coordinator
+// bandwidth by an order of magnitude or more; -delta=false restores
+// full-snapshot pulls.
 package main
 
 import (
@@ -44,6 +52,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
 		serve    = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
 		interval = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
+		delta    = flag.Bool("delta", true, "server mode: pull incremental deltas (GET /v1/snapshot?since=) instead of full snapshots every interval; sites predating the delta protocol transparently degrade to full pulls")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
@@ -58,6 +67,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ecmcoord: -interval must be positive in server mode")
 			os.Exit(2)
 		}
+		// One-shot pulls are full by construction; only the re-pull loop has
+		// a previous cursor to delta against.
+		co.SetDeltaPulls(*delta)
 		runServe(co, *serve, *interval)
 		return
 	}

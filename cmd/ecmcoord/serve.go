@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
@@ -11,7 +10,7 @@ import (
 	"time"
 
 	"ecmsketch"
-	"ecmsketch/ecmserver"
+	"ecmsketch/internal/wire"
 )
 
 // coordServer is the server mode of ecmcoord: it re-pulls and re-merges the
@@ -152,31 +151,18 @@ func (cs *coordServer) view(w http.ResponseWriter) *mergedView {
 	return v
 }
 
+// The /v1 request/reply conventions are the shared internal/wire codec —
+// the same parser, error shape, ?strings=1 encoding and snapshot writer
+// ecmserver uses, so the coordinator surface cannot drift from the site
+// surface.
 func coordError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	wire.Error(w, code, fmt.Errorf("%s", msg))
 }
 
-func coordRespond(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
+func coordRespond(w http.ResponseWriter, v any) { wire.Respond(w, v) }
 
 // coordKey resolves ?key= (string, digested) or ?ikey= (decimal uint64).
-func coordKey(r *http.Request) (uint64, error) {
-	if k := r.URL.Query().Get("key"); k != "" {
-		return ecmsketch.KeyString(k), nil
-	}
-	if k := r.URL.Query().Get("ikey"); k != "" {
-		v, err := strconv.ParseUint(k, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad ikey: %v", err)
-		}
-		return v, nil
-	}
-	return 0, fmt.Errorf("missing key or ikey parameter")
-}
+func coordKey(r *http.Request) (uint64, error) { return wire.ParseKey(r) }
 
 func coordRange(r *http.Request, v *mergedView) (uint64, error) {
 	raw := r.URL.Query().Get("range")
@@ -208,7 +194,7 @@ func (cs *coordServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		coordError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	coordRespond(w, map[string]any{"estimate": v.sk.Estimate(key, rng), "range": rng})
+	coordRespond(w, map[string]any{"estimate": v.sk.Estimate(key, rng), "range": wire.U64Field(wire.WantStrings(r), rng)})
 }
 
 func (cs *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
@@ -221,7 +207,7 @@ func (cs *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		coordError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	coordRespond(w, map[string]any{"selfJoin": v.sk.SelfJoin(rng), "range": rng})
+	coordRespond(w, map[string]any{"selfJoin": v.sk.SelfJoin(rng), "range": wire.U64Field(wire.WantStrings(r), rng)})
 }
 
 func (cs *coordServer) handleTotal(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +220,7 @@ func (cs *coordServer) handleTotal(w http.ResponseWriter, r *http.Request) {
 		coordError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	coordRespond(w, map[string]any{"total": v.sk.EstimateTotal(rng), "range": rng})
+	coordRespond(w, map[string]any{"total": v.sk.EstimateTotal(rng), "range": wire.U64Field(wire.WantStrings(r), rng)})
 }
 
 // handleQuery answers a batched multi-key query from the merged view, with
@@ -247,7 +233,7 @@ func (cs *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if v == nil {
 		return
 	}
-	q, err := ecmserver.ParseQueryBody(r.Body)
+	q, err := wire.ParseQueryBody(r.Body)
 	if err != nil {
 		coordError(w, http.StatusBadRequest, err.Error())
 		return
@@ -268,7 +254,7 @@ func (cs *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if q.SelfJoin {
 		out["selfJoin"] = res.SelfJoin
 	}
-	if r.URL.Query().Get("strings") == "1" {
+	if wire.WantStrings(r) {
 		out["now"] = strconv.FormatUint(res.Now, 10)
 		out["range"] = strconv.FormatUint(res.Range, 10)
 	}
@@ -279,13 +265,8 @@ func (cs *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 // merged clock/count, pull and network accounting. ?strings=1 encodes the
 // 64-bit tick/count fields as decimal strings, as on ecmserver.
 func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	asStrings := r.URL.Query().Get("strings") == "1"
-	u64 := func(v uint64) any {
-		if asStrings {
-			return strconv.FormatUint(v, 10)
-		}
-		return v
-	}
+	asStrings := wire.WantStrings(r)
+	u64 := func(v uint64) any { return wire.U64Field(asStrings, v) }
 	out := map[string]any{
 		"role":        "coordinator",
 		"sites":       len(cs.co.Sites()),
@@ -294,6 +275,8 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"netBytes":    u64(uint64(cs.co.Network().Bytes())),
 		"netMessages": u64(uint64(cs.co.Network().Messages())),
 		"pulledBytes": u64(uint64(cs.co.PulledBytes())),
+		"deltaPulls":  u64(cs.co.DeltaPulls()),
+		"fullPulls":   u64(cs.co.FullPulls()),
 		"apiVersion":  "v1",
 	}
 	if e := cs.lastErr.Load(); e != nil {
@@ -310,18 +293,18 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot ships the merged view's bytes, making the coordinator
-// pullable by a higher-level coordinator (or persistable with curl).
+// pullable by a higher-level coordinator (or persistable with curl), with
+// gzip honored for WAN hierarchies. The coordinator always serves full
+// snapshots — its view is rebuilt wholesale every pull, so it carries no
+// incremental change tracking; a delta-pulling parent presenting ?since=
+// simply keeps receiving cursorless full replies and degrades to full
+// pulls, which is correct.
 func (cs *coordServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	v := cs.view(w)
 	if v == nil {
 		return
 	}
-	enc := v.sk.Marshal()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
-	w.Header().Set("X-Ecm-Now", strconv.FormatUint(v.sk.Now(), 10))
-	w.Header().Set("X-Ecm-Count", strconv.FormatUint(v.sk.Count(), 10))
-	w.Write(enc)
+	wire.WriteSnapshot(w, r, v.sk.Marshal(), wire.SnapshotMeta{Now: v.sk.Now(), Count: v.sk.Count()})
 }
 
 // handleRefresh forces an immediate re-pull: POST /v1/refresh. Deployments

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"ecmsketch"
+	"ecmsketch/internal/wire"
 )
 
 // Client speaks the ecmserver /v1 API. It is safe for concurrent use.
@@ -347,6 +348,49 @@ func (c *Client) FetchSnapshotBytes() ([]byte, error) {
 		return nil, err
 	}
 	return raw, nil
+}
+
+// SnapshotSince pulls the server's snapshot incrementally:
+// GET /v1/snapshot?since=<cursor>, offering gzip. Given the cursor from a
+// previous pull it returns the delta payload (full == false) or, when the
+// server does not recognize the cursor — a restart, a reconfiguration, the
+// zero cursor — a full baseline (full == true). Payloads are applied with
+// an ecmsketch.DeltaState; the returned cursor is what to present next
+// time. Servers predating the delta protocol (including the legacy /sketch
+// fallback) answer with a plain full snapshot and a zero cursor, so pull
+// loops degrade to full pulls instead of failing.
+func (c *Client) SnapshotSince(since ecmsketch.Cursor) ([]byte, ecmsketch.Cursor, bool, error) {
+	rep, err := wire.FetchSnapshot(c.hc, c.base+"/v1/snapshot?since="+url.QueryEscape(since.String()))
+	if err == nil && rep.Status == http.StatusNotFound {
+		raw, err := c.FetchSketchBytes()
+		if err != nil {
+			return nil, ecmsketch.Cursor{}, false, err
+		}
+		return raw, ecmsketch.Cursor{}, true, nil
+	}
+	if err != nil {
+		return nil, ecmsketch.Cursor{}, false, fmt.Errorf("ecmclient: GET /v1/snapshot: %w", err)
+	}
+	if rep.Status != http.StatusOK {
+		return nil, ecmsketch.Cursor{}, false,
+			&statusError{rep.Status, fmt.Sprintf("ecmclient: GET /v1/snapshot: status %d", rep.Status)}
+	}
+	cur, err := ecmsketch.ParseCursor(rep.Cursor)
+	if err != nil {
+		cur = ecmsketch.Cursor{}
+	}
+	full := rep.Kind != wire.KindDelta || cur.IsZero()
+	return rep.Payload, cur, full, nil
+}
+
+// DeltaSnapshot completes the ecmsketch.DeltaSnapshotter contract (and
+// with it ecmsketch.Engine): it is SnapshotSince with the transport failure
+// additionally recorded in the sticky error, so a Client plugs into any
+// pull loop — including coordinator sites — exactly like a local engine.
+func (c *Client) DeltaSnapshot(since ecmsketch.Cursor) ([]byte, ecmsketch.Cursor, bool, error) {
+	payload, cur, full, err := c.SnapshotSince(since)
+	c.record(err)
+	return payload, cur, full, err
 }
 
 // Stats is the server's engine accounting.

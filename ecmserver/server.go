@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ecmsketch"
+	"ecmsketch/internal/wire"
 )
 
 // Config configures the sketch engine behind the HTTP API.
@@ -85,6 +86,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewOver(cfg, engine)
+}
+
+// NewOver builds the routes over an engine the caller already owns (and
+// keeps using: the server adds no locking of its own beyond the engine's).
+// cfg supplies the reply defaults — WindowLength for query ranges, the
+// stats fields — and should match the engine's construction; the engine is
+// not rebuilt or validated against it.
+func NewOver(cfg Config, engine *ecmsketch.Sharded) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("ecmserver: NewOver requires an engine")
+	}
 	s := &Server{engine: engine, cfg: cfg, mux: http.NewServeMux()}
 	if cfg.TopK > 0 {
 		tk, err := ecmsketch.NewTopKOver(cfg.TopK, engine, cfg.WindowLength)
@@ -143,44 +156,16 @@ func ParseAlgo(s string) (ecmsketch.Algorithm, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// parseKey resolves the item key from either ?key= (string, digested) or
-// ?ikey= (raw uint64).
-func parseKey(r *http.Request) (uint64, error) {
-	if k := r.URL.Query().Get("key"); k != "" {
-		return ecmsketch.KeyString(k), nil
-	}
-	if k := r.URL.Query().Get("ikey"); k != "" {
-		v, err := strconv.ParseUint(k, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad ikey: %v", err)
-		}
-		return v, nil
-	}
-	return 0, fmt.Errorf("missing key or ikey parameter")
-}
-
-func parseU64(r *http.Request, name string, def uint64) (uint64, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return def, nil
-	}
-	v, err := strconv.ParseUint(raw, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s: %v", name, err)
-	}
-	return v, nil
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func respond(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
+// The /v1 request/reply conventions — key parsing, ?strings=1 encoding,
+// the snapshot writer — live in the shared internal/wire codec, which
+// cmd/ecmcoord's coordinator surface builds on too, so the two tiers
+// cannot drift.
+var (
+	parseKey  = wire.ParseKey
+	parseU64  = wire.ParseU64
+	httpError = wire.Error
+	respond   = wire.Respond
+)
 
 // ingest feeds one arrival through the engine, keeping the TopK candidate
 // set in sync when enabled. The engine ingests the stream exactly once
@@ -364,11 +349,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	respond(w, map[string]any{"accepted": accepted})
 }
 
-// maxQueryKeys bounds the per-request key count of POST /v1/query. A batch
-// of point queries is answered (and its result buffered) in full, so unlike
-// the chunk-flushed ingest endpoints the request size itself must be capped;
-// oversized batches are rejected with 400 before their tail is even parsed.
-const maxQueryKeys = 4096
+// MaxQueryKeys re-exports the per-request key cap of POST /v1/query (see
+// wire.MaxQueryKeys): a batch of point queries is answered in full, so the
+// request size itself is capped and oversized batches are rejected with 400
+// before their tail is even parsed.
+const MaxQueryKeys = wire.MaxQueryKeys
 
 // WireQueryKey identifies one queried item on POST /v1/query, mirroring
 // WireEvent: exactly one of Key (string, digested server-side) or IKey
@@ -403,81 +388,11 @@ type wireQueryResultStrings struct {
 }
 
 // ParseQueryBody decodes a POST /v1/query request body into a QueryBatch
-// under the strict wire semantics of the versioned API: the body is decoded
-// token by token with the keys array consumed element-wise, so request
-// memory stays bounded — batches beyond maxQueryKeys are rejected
-// mid-stream, and duplicate or unknown fields are rejected rather than
-// buffered. Exported so every tier serving the route (this site server,
-// the ecmcoord coordinator surface) validates it identically.
+// under the strict wire semantics of the versioned API; it delegates to the
+// shared codec (wire.ParseQueryBody), which every tier serving the route —
+// this site server, the ecmcoord coordinator surface — validates through.
 func ParseQueryBody(body io.Reader) (ecmsketch.QueryBatch, error) {
-	var q ecmsketch.QueryBatch
-	dec := json.NewDecoder(body)
-	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
-		return q, fmt.Errorf("bad query body: want a JSON object")
-	}
-	seen := map[string]bool{}
-	for dec.More() {
-		tok, err := dec.Token()
-		if err != nil {
-			return q, fmt.Errorf("bad query body: %v", err)
-		}
-		field, _ := tok.(string)
-		if seen[field] {
-			// Rejecting duplicates keeps the parse strict (last-wins would
-			// mask client bugs) and stops repeated keys arrays from evading
-			// the per-query cap.
-			return q, fmt.Errorf("duplicate query field %q", field)
-		}
-		seen[field] = true
-		switch field {
-		case "keys":
-			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
-				return q, fmt.Errorf("bad query body: keys must be an array")
-			}
-			for dec.More() {
-				if len(q.Keys) == maxQueryKeys {
-					return q, fmt.Errorf("too many keys: at most %d per query", maxQueryKeys)
-				}
-				var wk WireQueryKey
-				if err := dec.Decode(&wk); err != nil {
-					return q, fmt.Errorf("key %d: %v", len(q.Keys), err)
-				}
-				switch {
-				case wk.Key != "":
-					q.Keys = append(q.Keys, ecmsketch.KeyString(wk.Key))
-				case wk.IKey != "":
-					v, err := strconv.ParseUint(wk.IKey, 10, 64)
-					if err != nil {
-						return q, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err)
-					}
-					q.Keys = append(q.Keys, v)
-				default:
-					return q, fmt.Errorf("key %d: missing key or ikey", len(q.Keys))
-				}
-			}
-			if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
-				return q, fmt.Errorf("bad query body: unterminated keys array")
-			}
-		case "range":
-			if err := dec.Decode(&q.Range); err != nil {
-				return q, fmt.Errorf("bad range: %v", err)
-			}
-		case "total":
-			if err := dec.Decode(&q.Total); err != nil {
-				return q, fmt.Errorf("bad total: %v", err)
-			}
-		case "selfJoin":
-			if err := dec.Decode(&q.SelfJoin); err != nil {
-				return q, fmt.Errorf("bad selfJoin: %v", err)
-			}
-		default:
-			return q, fmt.Errorf("unknown query field %q", field)
-		}
-	}
-	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
-		return q, fmt.Errorf("bad query body: unterminated object")
-	}
-	return q, nil
+	return wire.ParseQueryBody(body)
 }
 
 // handleQuery answers a batched multi-key query from one consistent cut of
@@ -535,7 +450,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	respond(w, map[string]any{"estimate": s.engine.Estimate(key, rng), "range": rng})
+	respond(w, map[string]any{"estimate": s.engine.Estimate(key, rng), "range": u64field(wantStrings(r), rng)})
 }
 
 // handleInterval answers a point query over an arbitrary tick interval:
@@ -559,7 +474,8 @@ func (s *Server) handleInterval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	est := s.engine.EstimateInterval(key, from, to)
-	respond(w, map[string]any{"estimate": est, "from": from, "to": to})
+	asStrings := wantStrings(r)
+	respond(w, map[string]any{"estimate": est, "from": u64field(asStrings, from), "to": u64field(asStrings, to)})
 }
 
 // handleSelfJoin answers GET /v1/selfjoin?range=60000 from the merged view.
@@ -569,7 +485,7 @@ func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	respond(w, map[string]any{"selfJoin": s.engine.SelfJoin(rng), "range": rng})
+	respond(w, map[string]any{"selfJoin": s.engine.SelfJoin(rng), "range": u64field(wantStrings(r), rng)})
 }
 
 // handleTotal answers GET /v1/total?range=60000 with the estimated ‖a_r‖₁.
@@ -579,25 +495,17 @@ func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	respond(w, map[string]any{"total": s.engine.EstimateTotal(rng), "range": rng})
+	respond(w, map[string]any{"total": s.engine.EstimateTotal(rng), "range": u64field(wantStrings(r), rng)})
 }
 
-// wantStrings reports whether the request opted into string-encoded 64-bit
-// reply fields via ?strings=1. JSON numbers are read as float64 by
-// JavaScript-family clients, which silently rounds integers past 2^53;
-// request-side uint64 keys already travel as decimal strings (ikey), and
-// this opt-in extends the same convention to 64-bit tick/count reply
-// fields. Numeric replies stay the default for compatibility.
-func wantStrings(r *http.Request) bool { return r.URL.Query().Get("strings") == "1" }
-
-// u64field renders a 64-bit tick/count reply field: a decimal string when
-// the request opted in via ?strings=1, a JSON number otherwise.
-func u64field(asStrings bool, v uint64) any {
-	if asStrings {
-		return strconv.FormatUint(v, 10)
-	}
-	return v
-}
+// wantStrings and u64field are the shared ?strings=1 convention (see
+// wire.WantStrings): string-encoded 64-bit tick/count reply fields for
+// JSON consumers above 2^53. Every scalar 64-bit reply field of the /v1
+// surface — now, count, range, from, to, window, viewRebuilds — honors it.
+var (
+	wantStrings = wire.WantStrings
+	u64field    = wire.U64Field
+)
 
 // handleStats reports engine dimensions, clock and footprint. With
 // ?strings=1, the 64-bit tick/count fields (now, count, window,
@@ -621,37 +529,65 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSketch ships the serialized merged view, letting a coordinator pull
-// and merge several sites' summaries.
+// and merge several sites' summaries. Honors Accept-Encoding: gzip.
 func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	enc := s.engine.Marshal()
 	if enc == nil {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("merging shards failed"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
-	w.Write(enc)
+	wire.WriteSnapshot(w, r, enc, wire.SnapshotMeta{Now: s.engine.Now(), Count: s.engine.Count()})
 }
 
-// handleSnapshot is the coordinator pull route: GET /v1/snapshot ships the
-// engine's frozen merged-view bytes — the same payload as /v1/sketch, under
-// the name the transport layer (coord.HTTPSite, ecmclient.Snapshot) speaks —
-// plus X-Ecm-Now and X-Ecm-Count headers so pullers can gauge staleness and
-// stream volume without decoding the body. Headers and payload come from
-// one Snapshot of the merged view (not separate engine reads), so they
-// describe exactly the bytes shipped even under concurrent ingest.
+// handleSnapshot is the coordinator pull route, in two modes:
+//
+// Without ?since=, GET /v1/snapshot ships the engine's frozen merged-view
+// bytes — the same payload as /v1/sketch, under the name the transport
+// layer (coord.HTTPSite, ecmclient.Snapshot) speaks — plus X-Ecm-Now and
+// X-Ecm-Count headers so pullers can gauge staleness and stream volume
+// without decoding the body. Headers and payload come from one Snapshot of
+// the merged view (not separate engine reads), so they describe exactly
+// the bytes shipped even under concurrent ingest. Pre-delta clients keep
+// working unchanged.
+//
+// With ?since=<cursor>, the reply follows the delta protocol: an
+// incremental payload holding only the stripes/cells whose version moved
+// since the cursor (X-Ecm-Delta: delta), or a full multipart baseline when
+// the cursor is absent-valued ("0"), unparsable, or unrecognized — a
+// restarted or reconfigured engine — re-baselining the puller
+// (X-Ecm-Delta: full). X-Ecm-Cursor carries the cursor the payload brings
+// the puller to; delta pulls never build the merged view, so a steady-state
+// pull loop costs the server a few stripe clones instead of a P-way merge.
+//
+// Both modes honor Accept-Encoding: gzip.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if sinceRaw, ok := r.URL.Query()["since"]; ok {
+		var since ecmsketch.Cursor
+		if len(sinceRaw) > 0 {
+			// An unparsable cursor is an unrecognized one: reply full.
+			since, _ = ecmsketch.ParseCursor(sinceRaw[0])
+		}
+		payload, cur, full, err := s.engine.DeltaSnapshot(since)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		kind := wire.KindDelta
+		if full {
+			kind = wire.KindFull
+		}
+		wire.WriteSnapshot(w, r, payload, wire.SnapshotMeta{
+			Now: s.engine.Now(), Count: s.engine.Count(),
+			Cursor: cur.String(), Kind: kind,
+		})
+		return
+	}
 	sk, err := s.engine.Snapshot()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("merging shards failed: %w", err))
 		return
 	}
-	enc := sk.Marshal()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
-	w.Header().Set("X-Ecm-Now", strconv.FormatUint(sk.Now(), 10))
-	w.Header().Set("X-Ecm-Count", strconv.FormatUint(sk.Count(), 10))
-	w.Write(enc)
+	wire.WriteSnapshot(w, r, sk.Marshal(), wire.SnapshotMeta{Now: sk.Now(), Count: sk.Count()})
 }
 
 // handleAdvance moves the window clock forward without an arrival:
@@ -663,7 +599,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.engine.Advance(t)
-	respond(w, map[string]any{"ok": true, "now": t})
+	respond(w, map[string]any{"ok": true, "now": u64field(wantStrings(r), t)})
 }
 
 // handleTopK reports the current hottest keys: GET /v1/topk?range=60000.
@@ -687,5 +623,5 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for i, it := range items {
 		out[i] = entry{Key: strconv.FormatUint(it.Key, 10), Estimate: it.Estimate}
 	}
-	respond(w, map[string]any{"top": out, "range": rng})
+	respond(w, map[string]any{"top": out, "range": u64field(wantStrings(r), rng)})
 }

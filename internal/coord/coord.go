@@ -21,18 +21,33 @@
 // bit-identical merged summaries and identical Network accounting: sizes
 // are measured at the transport boundary, and the tree model charges one
 // message per aggregation edge regardless of how the leaves arrived.
+//
+// # Delta pulls
+//
+// Re-pulling a site every interval ships its whole summary even when almost
+// nothing changed. With SetDeltaPulls(true) the coordinator switches to the
+// cursor-based incremental protocol: it retains per-site receiver state
+// (core.DeltaState), presents each site the cursor from the previous pull,
+// and applies the delta the site answers with — only the stripes and cells
+// whose version moved cross the transport, and the leaf charge in the
+// Network accounting is the actual delta payload size. Any cursor
+// invalidation — site restart, parameter change, stale or torn payload —
+// makes the coordinator transparently re-pull a full baseline from that
+// site; a delta-pulling coordinator's merged result stays byte-identical to
+// a full-pulling one's at every pull.
 package coord
 
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"ecmsketch/internal/core"
+	"ecmsketch/internal/wire"
 )
 
 // Network accumulates communication-cost accounting across goroutines: the
@@ -60,12 +75,21 @@ func (n *Network) Messages() int64 { return n.messages.Load() }
 // mutate without affecting the site — plus the wire size shipping that
 // summary costs, measured at the transport boundary (actual payload bytes
 // for networked sites, the exact would-be encoding size for in-process
-// ones).
+// ones). Delta is the incremental counterpart: raw protocol payloads the
+// coordinator's per-site DeltaState applies, with the size again measured
+// at the transport boundary (for networked sites that is the compressed
+// transfer when gzip was negotiated).
 type Site interface {
 	// Name identifies the site in errors and accounting.
 	Name() string
 	// Snapshot fetches the site's current summary and its transfer size.
 	Snapshot() (*core.Sketch, int, error)
+	// Delta fetches the site's update since a cursor: the payload, the
+	// cursor it brings the puller to, whether the payload is a full
+	// baseline, and the transfer size. Sites that cannot produce deltas
+	// (legacy servers, plain snapshot sources) answer every cursor with a
+	// full payload and a zero cursor.
+	Delta(since core.Cursor) (payload []byte, cur core.Cursor, full bool, size int, err error)
 }
 
 // SnapshotSource is the fragment of the engine contract an in-process site
@@ -73,6 +97,13 @@ type Site interface {
 // satisfy it.
 type SnapshotSource interface {
 	Snapshot() (*core.Sketch, error)
+}
+
+// DeltaSnapshotSource is the optional incremental half of an in-process
+// site's engine contract; every front end of the public API satisfies it.
+// A LocalSite over a source without it degrades to full payloads per pull.
+type DeltaSnapshotSource interface {
+	DeltaSnapshot(since core.Cursor) ([]byte, core.Cursor, bool, error)
 }
 
 // LocalSite adapts an in-process snapshot source as a coordinator site.
@@ -90,20 +121,42 @@ func NewLocalSite(name string, src SnapshotSource) *LocalSite {
 func (s *LocalSite) Name() string { return s.name }
 
 // Snapshot clones the source's current state (an arena copy on the default
-// exponential-histogram engine) and reports the exact wire size the summary
-// would cost to ship, without encoding it.
+// exponential-histogram engine), settles it to its own clock — the
+// protocol-wide convention, so in-process and decoded-from-the-wire
+// summaries carry one expiry frontier — and reports the exact wire size the
+// summary would cost to ship, without encoding it.
 func (s *LocalSite) Snapshot() (*core.Sketch, int, error) {
 	snap, err := s.src.Snapshot()
 	if err != nil {
 		return nil, 0, err
 	}
+	snap.Advance(snap.Now())
 	return snap, snap.WireSize(), nil
 }
 
-// maxSnapshotBytes bounds a pulled snapshot payload (1 GiB, matching the
-// historical ecmcoord limit) so a misbehaving site cannot exhaust
-// coordinator memory.
-const maxSnapshotBytes = 1 << 30
+// Delta answers an incremental pull from the source's own DeltaSnapshot
+// when it has one; sources without incremental support ship a full settled
+// encoding on every pull (with a zero cursor, so the puller keeps asking
+// for full). Unlike full Snapshot transfers, delta transfers materialize
+// real payload bytes even in-process: the receiver state applies payloads,
+// and both transports exercising identical payloads is what the
+// cross-transport equivalence tests pin.
+func (s *LocalSite) Delta(since core.Cursor) ([]byte, core.Cursor, bool, int, error) {
+	if ds, ok := s.src.(DeltaSnapshotSource); ok {
+		payload, cur, full, err := ds.DeltaSnapshot(since)
+		if err != nil {
+			return nil, core.Cursor{}, false, 0, err
+		}
+		return payload, cur, full, len(payload), nil
+	}
+	snap, err := s.src.Snapshot()
+	if err != nil {
+		return nil, core.Cursor{}, false, 0, err
+	}
+	snap.Advance(snap.Now())
+	enc := snap.Marshal()
+	return enc, core.Cursor{}, true, len(enc), nil
+}
 
 // HTTPSite pulls summaries from an ecmserver deployment over HTTP.
 type HTTPSite struct {
@@ -126,49 +179,70 @@ func NewHTTPSite(baseURL string, hc *http.Client) *HTTPSite {
 // Name identifies the site (its base URL).
 func (s *HTTPSite) Name() string { return s.name }
 
-// Snapshot pulls the site's frozen merged view: GET /v1/snapshot, falling
-// back to the legacy /sketch route on 404 so coordinators can pull from
-// deployments predating the snapshot endpoint. The reported size is the
-// payload length actually transferred.
+// Snapshot pulls the site's frozen merged view: GET /v1/snapshot (offering
+// gzip), falling back to the legacy /sketch route on 404 so coordinators
+// can pull from deployments predating the snapshot endpoint.
+//
+// The reported size is the protocol payload length: the figure the paper's
+// transfer accounting charges, identical to what the in-process transport
+// reports for the same summary. Negotiated compression shrinks the link
+// bytes below that figure but deliberately does not enter the accounting —
+// otherwise the two transports of the same event log would stop agreeing.
 func (s *HTTPSite) Snapshot() (*core.Sketch, int, error) {
-	body, status, err := s.fetch("/v1/snapshot")
-	if err == nil && status == http.StatusNotFound {
-		body, status, err = s.fetch("/sketch")
+	rep, err := s.fetch("/v1/snapshot")
+	if err == nil && rep.Status == http.StatusNotFound {
+		rep, err = s.fetch("/sketch")
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	if status != http.StatusOK {
-		return nil, 0, fmt.Errorf("snapshot pull returned status %d", status)
+	if rep.Status != http.StatusOK {
+		return nil, 0, fmt.Errorf("snapshot pull returned status %d", rep.Status)
 	}
-	sk, err := core.Unmarshal(body)
+	sk, err := core.Unmarshal(rep.Payload)
 	if err != nil {
-		return nil, 0, fmt.Errorf("decoding snapshot (%d bytes): %w", len(body), err)
+		return nil, 0, fmt.Errorf("decoding snapshot (%d bytes): %w", len(rep.Payload), err)
 	}
-	return sk, len(body), nil
+	return sk, len(rep.Payload), nil
 }
 
-func (s *HTTPSite) fetch(path string) ([]byte, int, error) {
-	resp, err := s.hc.Get(s.base + path)
+// Delta pulls GET /v1/snapshot?since=<cursor>. A delta-speaking server
+// answers with an incremental payload (or a full baseline when it does not
+// recognize the cursor) plus X-Ecm-Cursor/X-Ecm-Delta headers; a server
+// predating the protocol ignores ?since and replies with a plain full
+// snapshot and no cursor, which the puller handles as a permanent
+// full-pull downgrade. The reported size is the protocol payload length
+// (see Snapshot for why negotiated compression stays out of accounting).
+func (s *HTTPSite) Delta(since core.Cursor) ([]byte, core.Cursor, bool, int, error) {
+	rep, err := s.fetch("/v1/snapshot?since=" + url.QueryEscape(since.String()))
+	if err == nil && rep.Status == http.StatusNotFound {
+		rep, err = s.fetch("/sketch")
+	}
 	if err != nil {
-		return nil, 0, err
+		return nil, core.Cursor{}, false, 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, resp.StatusCode, nil
+	if rep.Status != http.StatusOK {
+		return nil, core.Cursor{}, false, 0, fmt.Errorf("snapshot pull returned status %d", rep.Status)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	cur, err := core.ParseCursor(rep.Cursor)
 	if err != nil {
-		return nil, 0, fmt.Errorf("reading snapshot body: %w", err)
+		// An unparsable cursor downgrades this reply to cursorless; a full
+		// payload still applies, a delta one fails Apply and re-baselines.
+		cur = core.Cursor{}
 	}
-	return body, resp.StatusCode, nil
+	full := rep.Kind != wire.KindDelta || cur.IsZero()
+	return rep.Payload, cur, full, len(rep.Payload), nil
+}
+
+func (s *HTTPSite) fetch(pathAndQuery string) (wire.SnapshotReply, error) {
+	return wire.FetchSnapshot(s.hc, s.base+pathAndQuery)
 }
 
 // Coordinator aggregates a set of sites' summaries into one sketch of the
 // combined stream. It is safe for concurrent use: concurrent AggregateTree
 // calls each pull their own snapshots and share only the atomic Network
-// counters.
+// counters (and, in delta mode, the per-site receiver states, which carry
+// their own locks).
 type Coordinator struct {
 	sites []Site
 	net   *Network
@@ -178,6 +252,21 @@ type Coordinator struct {
 	// aggregation-tree model in which internal edges also ship and a
 	// single-site tree ships nothing. Bandwidth monitoring wants this one.
 	pulled atomic.Int64
+
+	// delta switches pulls to the cursor-based incremental protocol;
+	// states holds one receiver per site (baseline parts + cursor).
+	delta  bool
+	states []*siteDeltaState
+
+	fullPulls, deltaPulls atomic.Uint64
+}
+
+// siteDeltaState serializes one site's pull→apply→materialize sequence;
+// concurrent AggregateTree calls contend here per site instead of corrupting
+// the shared baseline.
+type siteDeltaState struct {
+	mu sync.Mutex
+	ds core.DeltaState
 }
 
 // New builds a coordinator over the given sites with fresh network
@@ -188,8 +277,28 @@ func New(sites ...Site) *Coordinator { return NewWithNetwork(new(Network), sites
 // the simulated Cluster threads its historical accounting through the
 // shared merge path.
 func NewWithNetwork(net *Network, sites ...Site) *Coordinator {
-	return &Coordinator{sites: sites, net: net}
+	states := make([]*siteDeltaState, len(sites))
+	for i := range states {
+		states[i] = new(siteDeltaState)
+	}
+	return &Coordinator{sites: sites, net: net, states: states}
 }
+
+// SetDeltaPulls toggles cursor-based incremental pulls (see the package
+// comment). Off, every pull fetches full summaries — the pre-delta
+// behavior. On, the coordinator retains per-site baselines, presents
+// cursors, applies deltas, and transparently re-baselines with a full pull
+// whenever a site invalidates its cursor. Configure before the first pull;
+// toggling does not drop retained baselines (delta→full→delta keeps the
+// cursors, which the next delta pull revalidates against the sites anyway).
+func (c *Coordinator) SetDeltaPulls(on bool) { c.delta = on }
+
+// DeltaPulls and FullPulls report how many per-site pulls were answered
+// incrementally vs with a full baseline since construction (delta mode
+// only). A healthy steady state shows full pulls only at bootstrap and
+// after site restarts.
+func (c *Coordinator) DeltaPulls() uint64 { return c.deltaPulls.Load() }
+func (c *Coordinator) FullPulls() uint64  { return c.fullPulls.Load() }
 
 // Sites exposes the coordinator's site set.
 func (c *Coordinator) Sites() []Site { return c.sites }
@@ -216,7 +325,11 @@ func (c *Coordinator) pull() ([]*core.Sketch, []int, error) {
 		wg.Add(1)
 		go func(i int, site Site) {
 			defer wg.Done()
-			parts[i], sizes[i], errs[i] = site.Snapshot()
+			if c.delta {
+				parts[i], sizes[i], errs[i] = c.pullSiteDelta(i, site)
+			} else {
+				parts[i], sizes[i], errs[i] = site.Snapshot()
+			}
 		}(i, site)
 	}
 	wg.Wait()
@@ -240,6 +353,47 @@ func (c *Coordinator) pull() ([]*core.Sketch, []int, error) {
 		}
 	}
 	return parts, sizes, nil
+}
+
+// pullSiteDelta performs one incremental pull of site i: present the held
+// cursor, apply what comes back, and materialize the site's summary from
+// the retained baseline. When the application fails — the site restarted,
+// the cursor went stale, the payload arrived torn — the receiver state has
+// already dropped its baseline, and the coordinator transparently re-pulls
+// a full baseline in the same interval; both transfers are charged. The
+// merged result is byte-identical to what a full pull would have fetched.
+func (c *Coordinator) pullSiteDelta(i int, site Site) (*core.Sketch, int, error) {
+	st := c.states[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	payload, cur, full, size, err := site.Delta(st.ds.Cursor())
+	if err != nil {
+		return nil, 0, err
+	}
+	total := size
+	if applyErr := st.ds.Apply(payload, cur, full); applyErr != nil {
+		payload, cur, full, size, err = site.Delta(core.Cursor{})
+		total += size
+		if err != nil {
+			return nil, total, err
+		}
+		if !full {
+			return nil, total, fmt.Errorf("incremental payload for a zero cursor (after %v)", applyErr)
+		}
+		if err := st.ds.Apply(payload, cur, full); err != nil {
+			return nil, total, fmt.Errorf("re-baseline failed: %w (after %v)", err, applyErr)
+		}
+	}
+	if full {
+		c.fullPulls.Add(1)
+	} else {
+		c.deltaPulls.Add(1)
+	}
+	sk, err := st.ds.Materialize()
+	if err != nil {
+		return nil, total, err
+	}
+	return sk, total, nil
 }
 
 // AggregateTree pulls every site's summary and merges bottom-up over a

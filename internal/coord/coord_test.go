@@ -100,6 +100,9 @@ type errSite struct {
 
 func (s errSite) Name() string                         { return s.name }
 func (s errSite) Snapshot() (*core.Sketch, int, error) { return nil, 0, s.err }
+func (s errSite) Delta(core.Cursor) ([]byte, core.Cursor, bool, int, error) {
+	return nil, core.Cursor{}, false, 0, s.err
+}
 
 // TestCoordinatorFailureModes drives the coordinator through every
 // transport failure class — site unreachable, HTTP error status, torn or

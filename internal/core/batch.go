@@ -83,6 +83,7 @@ func (s *Sketch) AddBatch(events []Event) {
 		s.now = maxTick
 	}
 	s.count += total
+	s.waveVer++
 
 	if s.eh == nil {
 		// Wave engines keep per-object counters; apply event-major with the

@@ -75,6 +75,16 @@ type Sketch struct {
 	salt     uint64
 	seq      uint64
 	batch    batchScratch
+
+	// epoch identifies this engine instance to the delta-snapshot protocol
+	// (see Cursor): process-random at construction, so cursors issued by a
+	// predecessor — a restarted site, a re-decoded sketch — never validate
+	// against this instance. Snapshot clones share the lineage (and the
+	// cell versions), so they keep the epoch.
+	epoch uint64
+	// waveVer is the mutation counter behind DeltaVersion for per-object
+	// (wave) engines; the flat engine tracks versions in the bank itself.
+	waveVer uint64
 }
 
 // New constructs an ECM-sketch.
@@ -120,6 +130,7 @@ func New(p Params) (*Sketch, error) {
 		d:      d,
 		wcfg:   wcfg,
 		salt:   hashing.Mix64(atomic.AddUint64(&ecmSaltCounter, 1) * 0x94d049bb133111eb),
+		epoch:  newEpoch(),
 	}
 	if p.Algorithm == window.AlgoEH {
 		bank, err := window.NewEHBank(wcfg, d*w)
@@ -205,6 +216,7 @@ func (s *Sketch) AddN(key uint64, t Tick, n uint64) {
 		s.now = t
 	}
 	s.count += n
+	s.waveVer++
 	if s.params.Algorithm == window.AlgoRW {
 		s.addRW(key, t, n)
 		return
@@ -421,4 +433,5 @@ func (s *Sketch) Reset() {
 	s.now = 0
 	s.count = 0
 	s.seq = 0
+	s.waveVer++
 }

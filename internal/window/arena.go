@@ -66,6 +66,15 @@ type EHBank struct {
 	cells    []ehCell
 	dirs     []ehLevel
 	slab     []bucket
+
+	// version counts arrival-content mutations of the whole bank, and
+	// vers[i] records the bank version at cell i's last such mutation —
+	// the change tracking behind delta snapshots (only cells with
+	// vers[i] > cursor ship). Expiry and Advance deliberately do not bump:
+	// they are pure functions of (content, clock), so a receiver holding
+	// the same content replays them exactly by advancing to the same tick.
+	version uint64
+	vers    []uint64
 }
 
 // NewEHBank constructs a bank of n empty exponential histograms, each with
@@ -87,7 +96,26 @@ func NewEHBank(cfg Config, n int) (*EHBank, error) {
 		maxLv:    initialMaxLv,
 		cells:    make([]ehCell, n),
 		dirs:     make([]ehLevel, n*initialMaxLv),
+		vers:     make([]uint64, n),
 	}, nil
+}
+
+// Version reports the bank's arrival-mutation counter: it grows on every
+// content change by arrival (AddN with n > 0, restores, merges) and is the
+// scalar a delta cursor compares against. Advance-only clock movement does
+// not bump it.
+func (b *EHBank) Version() uint64 { return b.version }
+
+// CellChangedSince reports whether cell i's content changed by arrival after
+// bank version since. Cells whose content only moved through expiry are not
+// reported: expiry is deterministically replayed by advancing the receiver's
+// copy to the same clock.
+func (b *EHBank) CellChangedSince(i int, since uint64) bool { return b.vers[i] > since }
+
+// noteCellMutation stamps cell i as changed at a fresh bank version.
+func (b *EHBank) noteCellMutation(i int) {
+	b.version++
+	b.vers[i] = b.version
 }
 
 // Config returns the shared configuration of the bank's cells.
@@ -224,6 +252,7 @@ func (b *EHBank) AddN(i int, t Tick, n uint64) {
 			b.cascade(i, c, 0)
 		}
 	}
+	b.noteCellMutation(i)
 	b.expire(c, i)
 }
 
@@ -454,6 +483,7 @@ func (b *EHBank) RestoreBucket(i int, bk Bucket) {
 		c.now = bk.End
 	}
 	c.started = true
+	b.noteCellMutation(i)
 }
 
 // NormalizeRestored re-checks cell i's class budgets after a restore;
@@ -507,13 +537,16 @@ func (b *EHBank) Clone() *EHBank {
 		capPerLv: b.capPerLv,
 		stride:   b.stride,
 		maxLv:    b.maxLv,
+		version:  b.version,
 		cells:    make([]ehCell, len(b.cells)),
 		dirs:     make([]ehLevel, len(b.dirs)),
 		slab:     make([]bucket, len(b.slab)),
+		vers:     make([]uint64, len(b.vers)),
 	}
 	copy(c.cells, b.cells)
 	copy(c.dirs, b.dirs)
 	copy(c.slab, b.slab)
+	copy(c.vers, b.vers)
 	return c
 }
 
@@ -525,12 +558,27 @@ func (b *EHBank) MemoryBytes() int {
 		cellBytes   = 32 // ehCell: 3×8-byte words + packed level indices/flag
 		levelBytes  = 8  // ehLevel: off + head + n
 		bucketBytes = 16 // two 8-byte ticks; size implied by the level
+		verBytes    = 8  // per-cell last-modified version
 	)
-	return 96 + len(b.cells)*cellBytes + len(b.dirs)*levelBytes + cap(b.slab)*bucketBytes
+	return 96 + len(b.cells)*(cellBytes+verBytes) + len(b.dirs)*levelBytes + cap(b.slab)*bucketBytes
+}
+
+// ResetCell empties cell i, keeping its carved level chunks for refills —
+// the receiving half of a delta application replaces a changed cell by
+// resetting it and decoding the shipped encoding into the empty cell.
+func (b *EHBank) ResetCell(i int) {
+	c := &b.cells[i]
+	for lv := 0; lv < int(c.nLv); lv++ {
+		d := b.level(i, lv)
+		d.head, d.n = 0, 0
+	}
+	*c = ehCell{nLv: c.nLv}
+	b.noteCellMutation(i)
 }
 
 // Reset empties every cell, keeping the configuration and retaining the
-// arena's capacity for refills.
+// arena's capacity for refills. Every cell counts as mutated: a delta cursor
+// taken before a Reset must see all content re-shipped.
 func (b *EHBank) Reset() {
 	for i := range b.cells {
 		b.cells[i] = ehCell{}
@@ -539,4 +587,8 @@ func (b *EHBank) Reset() {
 		b.dirs[i] = ehLevel{}
 	}
 	b.slab = b.slab[:0]
+	b.version++
+	for i := range b.vers {
+		b.vers[i] = b.version
+	}
 }

@@ -1,0 +1,339 @@
+// Package wire is the shared /v1 HTTP codec of this repository: the
+// request-parsing, reply-encoding and snapshot-transfer conventions that
+// every tier serving (or consuming) the versioned API must agree on.
+// ecmserver (the site server) and cmd/ecmcoord's -serve surface both build
+// on it, so the two cannot drift; ecmclient and the coordinator's HTTP
+// transport consume snapshots through it, so gzip negotiation and transfer
+// accounting live in exactly one place.
+//
+// Conventions encoded here:
+//
+//   - Keys arrive as ?key= (string, digested with the library's KeyString)
+//     or ?ikey= (decimal uint64 — 64-bit digests exceed the float64-exact
+//     integer range of JSON, so they travel as strings everywhere).
+//   - ?strings=1 opts a reply into decimal-string encoding for every
+//     64-bit tick/count field (now, range, from, to, count, ...), for
+//     JavaScript-family clients above 2^53.
+//   - Snapshot payloads (full or delta) are application/octet-stream with
+//     X-Ecm-Now/X-Ecm-Count advisory headers, X-Ecm-Cursor carrying the
+//     delta-protocol cursor and X-Ecm-Delta naming the payload kind
+//     ("full" or "delta"). Bodies gzip when the request offers
+//     Accept-Encoding: gzip and the payload is big enough to care.
+package wire
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ecmsketch/internal/core"
+	"ecmsketch/internal/hashing"
+)
+
+// Snapshot-transfer headers of the /v1 protocol.
+const (
+	HeaderNow    = "X-Ecm-Now"
+	HeaderCount  = "X-Ecm-Count"
+	HeaderCursor = "X-Ecm-Cursor"
+	HeaderKind   = "X-Ecm-Delta"
+)
+
+// Payload kinds carried in HeaderKind.
+const (
+	KindFull  = "full"
+	KindDelta = "delta"
+)
+
+// MaxSnapshotBytes bounds any snapshot body read through this package
+// (1 GiB, the historical ecmcoord limit), so a misbehaving peer cannot
+// exhaust puller memory. The same cap applies after gzip expansion.
+const MaxSnapshotBytes = 1 << 30
+
+// gzipMinSize is the smallest payload worth compressing: delta payloads of
+// a few dozen bytes would grow under the gzip header.
+const gzipMinSize = 512
+
+// Error writes the /v1 JSON error shape with the given status code.
+func Error(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// Respond writes a 200 JSON reply.
+func Respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ParseKey resolves the queried item key from either ?key= (string,
+// digested with the library digest) or ?ikey= (raw decimal uint64).
+func ParseKey(r *http.Request) (uint64, error) {
+	if k := r.URL.Query().Get("key"); k != "" {
+		return hashing.KeyString(k), nil
+	}
+	if k := r.URL.Query().Get("ikey"); k != "" {
+		v, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad ikey: %v", err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("missing key or ikey parameter")
+}
+
+// ParseU64 reads an optional uint64 query parameter.
+func ParseU64(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// WantStrings reports whether the request opted into string-encoded 64-bit
+// reply fields via ?strings=1. JSON numbers are read as float64 by
+// JavaScript-family clients, which silently rounds integers past 2^53;
+// request-side uint64 keys already travel as decimal strings (ikey), and
+// this opt-in extends the same convention to 64-bit tick/count reply
+// fields. Numeric replies stay the default for compatibility.
+func WantStrings(r *http.Request) bool { return r.URL.Query().Get("strings") == "1" }
+
+// U64Field renders a 64-bit tick/count reply field: a decimal string when
+// the request opted in via ?strings=1, a JSON number otherwise.
+func U64Field(asStrings bool, v uint64) any {
+	if asStrings {
+		return strconv.FormatUint(v, 10)
+	}
+	return v
+}
+
+// MaxQueryKeys bounds the per-request key count of POST /v1/query. A batch
+// of point queries is answered (and its result buffered) in full, so unlike
+// the chunk-flushed ingest endpoints the request size itself must be
+// capped; oversized batches are rejected with 400 before their tail is even
+// parsed.
+const MaxQueryKeys = 4096
+
+// queryKey identifies one queried item on POST /v1/query: exactly one of
+// Key (string, digested server-side) or IKey (decimal uint64 as a string).
+type queryKey struct {
+	Key  string `json:"key,omitempty"`
+	IKey string `json:"ikey,omitempty"`
+}
+
+// ParseQueryBody decodes a POST /v1/query request body into a QueryBatch
+// under the strict wire semantics of the versioned API: the body is decoded
+// token by token with the keys array consumed element-wise, so request
+// memory stays bounded — batches beyond MaxQueryKeys are rejected
+// mid-stream, and duplicate or unknown fields are rejected rather than
+// buffered. Every tier serving the route (ecmserver, the ecmcoord
+// coordinator surface) validates through this one parser.
+func ParseQueryBody(body io.Reader) (core.QueryBatch, error) {
+	var q core.QueryBatch
+	dec := json.NewDecoder(body)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return q, fmt.Errorf("bad query body: want a JSON object")
+	}
+	seen := map[string]bool{}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return q, fmt.Errorf("bad query body: %v", err)
+		}
+		field, _ := tok.(string)
+		if seen[field] {
+			// Rejecting duplicates keeps the parse strict (last-wins would
+			// mask client bugs) and stops repeated keys arrays from evading
+			// the per-query cap.
+			return q, fmt.Errorf("duplicate query field %q", field)
+		}
+		seen[field] = true
+		switch field {
+		case "keys":
+			if tok, err := dec.Token(); err != nil || tok != json.Delim('[') {
+				return q, fmt.Errorf("bad query body: keys must be an array")
+			}
+			for dec.More() {
+				if len(q.Keys) == MaxQueryKeys {
+					return q, fmt.Errorf("too many keys: at most %d per query", MaxQueryKeys)
+				}
+				var wk queryKey
+				if err := dec.Decode(&wk); err != nil {
+					return q, fmt.Errorf("key %d: %v", len(q.Keys), err)
+				}
+				switch {
+				case wk.Key != "":
+					q.Keys = append(q.Keys, hashing.KeyString(wk.Key))
+				case wk.IKey != "":
+					v, err := strconv.ParseUint(wk.IKey, 10, 64)
+					if err != nil {
+						return q, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err)
+					}
+					q.Keys = append(q.Keys, v)
+				default:
+					return q, fmt.Errorf("key %d: missing key or ikey", len(q.Keys))
+				}
+			}
+			if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
+				return q, fmt.Errorf("bad query body: unterminated keys array")
+			}
+		case "range":
+			if err := dec.Decode(&q.Range); err != nil {
+				return q, fmt.Errorf("bad range: %v", err)
+			}
+		case "total":
+			if err := dec.Decode(&q.Total); err != nil {
+				return q, fmt.Errorf("bad total: %v", err)
+			}
+		case "selfJoin":
+			if err := dec.Decode(&q.SelfJoin); err != nil {
+				return q, fmt.Errorf("bad selfJoin: %v", err)
+			}
+		default:
+			return q, fmt.Errorf("unknown query field %q", field)
+		}
+	}
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
+		return q, fmt.Errorf("bad query body: unterminated object")
+	}
+	return q, nil
+}
+
+// SnapshotMeta is the out-of-band half of a snapshot reply: advisory
+// clock/count, and — when the delta protocol is in play — the cursor the
+// payload brings the puller to plus the payload kind.
+type SnapshotMeta struct {
+	Now    uint64
+	Count  uint64
+	Cursor string // "" omits the header (legacy full replies)
+	Kind   string // "", KindFull or KindDelta
+}
+
+// acceptsGzip reports whether the request offers gzip. Coding tokens are
+// matched per comma-separated entry, with the qvalue parsed numerically so
+// every RFC 9110 spelling of an explicit refusal ("q=0", "q=0.0",
+// "q=0.000") is honored, not mistaken for an offer.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if hasQ {
+			qv := strings.TrimSpace(q)
+			if cut, ok := strings.CutPrefix(qv, "q="); ok {
+				if w, err := strconv.ParseFloat(strings.TrimSpace(cut), 64); err == nil && w == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// WriteSnapshot ships one snapshot payload (full or delta) with the
+// protocol headers, honoring Accept-Encoding: gzip for payloads worth
+// compressing. Content-Length is always exact — pullers that count
+// transferred bytes see the compressed size.
+func WriteSnapshot(w http.ResponseWriter, r *http.Request, payload []byte, m SnapshotMeta) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderNow, strconv.FormatUint(m.Now, 10))
+	h.Set(HeaderCount, strconv.FormatUint(m.Count, 10))
+	if m.Cursor != "" {
+		h.Set(HeaderCursor, m.Cursor)
+	}
+	if m.Kind != "" {
+		h.Set(HeaderKind, m.Kind)
+	}
+	if len(payload) >= gzipMinSize && acceptsGzip(r) {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(payload) //nolint:errcheck // bytes.Buffer writes cannot fail
+		zw.Close()        //nolint:errcheck
+		h.Set("Content-Encoding", "gzip")
+		h.Set("Vary", "Accept-Encoding")
+		h.Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.Write(buf.Bytes())
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload)
+}
+
+// SnapshotReply is one fetched snapshot: the decoded payload, the bytes
+// that actually crossed the wire (compressed when the server gzipped), and
+// the protocol headers. Status is returned without error for non-200
+// replies so callers can branch (e.g. a 404 route fallback).
+type SnapshotReply struct {
+	Status  int
+	Payload []byte
+	Wire    int
+	Now     uint64
+	Count   uint64
+	Cursor  string
+	Kind    string
+}
+
+// FetchSnapshot GETs a snapshot URL, explicitly offering gzip (which
+// disables Go's transparent decompression precisely so the raw transfer
+// size can be measured) and decompressing the body when the server took the
+// offer.
+func FetchSnapshot(hc *http.Client, url string) (SnapshotReply, error) {
+	var rep SnapshotReply
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return rep, err
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	rep.Status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		return rep, nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxSnapshotBytes))
+	if err != nil {
+		return rep, fmt.Errorf("reading snapshot body: %w", err)
+	}
+	rep.Wire = len(raw)
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return rep, fmt.Errorf("bad gzip snapshot body: %w", err)
+		}
+		rep.Payload, err = io.ReadAll(io.LimitReader(zr, MaxSnapshotBytes))
+		if err != nil {
+			return rep, fmt.Errorf("decompressing snapshot body: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return rep, fmt.Errorf("bad gzip snapshot body: %w", err)
+		}
+	} else {
+		rep.Payload = raw
+	}
+	if len(rep.Payload) == 0 {
+		return rep, errors.New("empty snapshot body")
+	}
+	rep.Now, _ = strconv.ParseUint(resp.Header.Get(HeaderNow), 10, 64)
+	rep.Count, _ = strconv.ParseUint(resp.Header.Get(HeaderCount), 10, 64)
+	rep.Cursor = resp.Header.Get(HeaderCursor)
+	rep.Kind = resp.Header.Get(HeaderKind)
+	return rep, nil
+}

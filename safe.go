@@ -122,6 +122,14 @@ func (ss *SafeSketch) Snapshot() (*Sketch, error) {
 	return Unmarshal(ss.Marshal())
 }
 
+// DeltaSnapshot answers a cursor-based incremental pull (see
+// DeltaSnapshotter) under the sketch lock.
+func (ss *SafeSketch) DeltaSnapshot(since Cursor) ([]byte, Cursor, bool, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.DeltaSnapshot(since)
+}
+
 // MemoryBytes reports the sketch footprint.
 func (ss *SafeSketch) MemoryBytes() int {
 	ss.mu.Lock()

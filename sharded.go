@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ecmsketch/internal/core"
 	"ecmsketch/internal/hashing"
+	"ecmsketch/internal/window"
 )
 
 // Sharded is a lock-striped ECM-sketch engine for concurrent workloads.
@@ -44,6 +46,11 @@ type Sharded struct {
 	ttl    time.Duration
 	mask   uint64
 	shards []shard
+
+	// epoch binds delta-snapshot cursors to this engine instance; a
+	// restarted or reconfigured engine mints a new one, invalidating every
+	// outstanding cursor (pullers transparently re-baseline).
+	epoch uint64
 
 	// now is the global high-water tick across all shards; queries advance
 	// the touched shard to it so expiry is aligned engine-wide.
@@ -87,17 +94,20 @@ type shardedView struct {
 
 // shard pads each stripe to its own cache lines so neighboring locks don't
 // false-share under heavy concurrent ingest. version counts the stripe's
-// mutations and count caches sk.Count() — both written while holding mu (so
-// the update is uncontended), read lock-free by the view cache check and
-// Sharded.Count respectively.
+// mutations, count caches sk.Count(), and deltaVer mirrors the sketch's
+// arrival-mutation version (the stripe's delta-cursor component, which —
+// unlike version — does not move on Advance-only mutations) — all written
+// while holding mu (so the update is uncontended), read lock-free by the
+// view cache check, Sharded.Count and DeltaSnapshot respectively.
 type shard struct {
-	mu      sync.Mutex
-	sk      *Sketch
-	version atomic.Uint64
-	count   atomic.Uint64
-	// Fields above total 32 bytes; pad the stride to two cache lines so no
+	mu       sync.Mutex
+	sk       *Sketch
+	version  atomic.Uint64
+	count    atomic.Uint64
+	deltaVer atomic.Uint64
+	// Fields above total 40 bytes; pad the stride to two cache lines so no
 	// two stripes ever share one.
-	_ [128 - 32]byte
+	_ [128 - 40]byte
 }
 
 // ShardedConfig configures a Sharded engine.
@@ -151,7 +161,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	for pow < p {
 		pow <<= 1
 	}
-	sh := &Sharded{params: cfg.Params, ttl: cfg.MergeTTL, mask: uint64(pow - 1)}
+	sh := &Sharded{params: cfg.Params, ttl: cfg.MergeTTL, mask: uint64(pow - 1), epoch: core.NewEpoch()}
 	sh.shards = make([]shard, pow)
 	for i := range sh.shards {
 		s, err := New(cfg.Params)
@@ -251,6 +261,7 @@ func (sh *Sharded) observe(t Tick) {
 // Sharded.Count reads. Callers must hold s.mu.
 func (s *shard) noteMutation() {
 	s.count.Store(s.sk.Count())
+	s.deltaVer.Store(s.sk.DeltaVersion())
 	s.version.Add(1)
 }
 
@@ -543,6 +554,84 @@ func (sh *Sharded) Snapshot() (*Sketch, error) {
 		return nil, err
 	}
 	return view.Snapshot()
+}
+
+// DeltaSnapshot answers a cursor-based incremental pull over the stripes
+// (see DeltaSnapshotter). The cursor is the vector of per-stripe
+// arrival-mutation versions plus the engine epoch; a stripe whose version
+// is unchanged contributes zero bytes, and within a changed stripe only the
+// cells whose version moved ship (whole-stripe encodings for the wave
+// algorithms, which have no per-cell change tracking). Unlike full
+// snapshots, delta pulls never build or touch the merged view: the puller
+// holds the stripes and merges on its side, so a steady-state pull loop
+// costs the site a few stripe clones instead of a P-way merge.
+//
+// An unrecognized cursor — zero, another epoch, versions from the future —
+// yields a full baseline instead: every stripe's complete encoding under
+// one multipart framing, re-baselining the puller.
+func (sh *Sharded) DeltaSnapshot(since Cursor) ([]byte, Cursor, bool, error) {
+	engineNow := sh.now.Load()
+	cur := Cursor{Epoch: sh.epoch, Vers: make([]uint64, len(sh.shards))}
+	valid := since.Epoch == sh.epoch && len(since.Vers) == len(sh.shards)
+	if valid {
+		for i := range sh.shards {
+			if since.Vers[i] > sh.shards[i].deltaVer.Load() {
+				valid = false // versions this engine never issued
+				break
+			}
+		}
+	}
+	if !valid {
+		parts := make([][]byte, len(sh.shards))
+		for i := range sh.shards {
+			snap, ver, err := sh.stripeSnapshot(i)
+			if err != nil {
+				return nil, Cursor{}, false, err
+			}
+			snap.Advance(engineNow) // settle the clone to the engine clock
+			parts[i] = snap.Marshal()
+			cur.Vers[i] = ver
+		}
+		return core.EncodeMultiFull(sh.epoch, engineNow, parts), cur, true, nil
+	}
+	var changed []core.PartDelta
+	for i := range sh.shards {
+		if v := sh.shards[i].deltaVer.Load(); v == since.Vers[i] {
+			cur.Vers[i] = v // unchanged stripe: zero bytes
+			continue
+		}
+		snap, ver, err := sh.stripeSnapshot(i)
+		if err != nil {
+			return nil, Cursor{}, false, err
+		}
+		cur.Vers[i] = ver
+		if ver == since.Vers[i] {
+			continue // settled between the atomic check and the lock
+		}
+		snap.Advance(engineNow)
+		var sub []byte
+		if sh.params.Algorithm == window.AlgoEH {
+			sub = snap.AppendDeltaSince(nil, sh.epoch, since.Vers[i])
+		} else {
+			sub = snap.Marshal() // whole-stripe replacement
+		}
+		changed = append(changed, core.PartDelta{Index: i, Payload: sub})
+	}
+	return core.EncodeMultiDelta(sh.epoch, engineNow, len(sh.shards), changed), cur, false, nil
+}
+
+// stripeSnapshot clones stripe i under its lock and reports the
+// arrival-mutation version the clone reflects.
+func (sh *Sharded) stripeSnapshot(i int) (*Sketch, uint64, error) {
+	s := &sh.shards[i]
+	s.mu.Lock()
+	ver := s.sk.DeltaVersion()
+	snap, err := s.sk.Snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, 0, fmt.Errorf("ecmsketch: snapshotting shard %d: %w", i, err)
+	}
+	return snap, ver, nil
 }
 
 // versionSum folds the per-stripe version counters into the freshness token
