@@ -50,6 +50,21 @@ type Ingestor interface {
 	Advance(t Tick)
 }
 
+// Notifier receives change notes from a mutating engine — the hook the
+// standing-query subsystem evaluates incrementally off. Sharded delivers
+// notes synchronously on the mutating goroutine, after its own locks are
+// released, so a notifier may query the engine; implementations must not
+// block (the StandingRegistry evaluates under one mutex and hands delivery
+// to bounded queues).
+type Notifier interface {
+	// NoteKey notes one touched key (single-event ingest).
+	NoteKey(key uint64)
+	// NoteEvents notes a landed batch; the slice must not be retained.
+	NoteEvents(events []Event)
+	// NoteAdvance notes a pure clock advance (expiry only, no arrivals).
+	NoteAdvance()
+}
+
 // Querier is the read side: sliding-window point, self-join, inner-product
 // and total-count queries over any suffix of the window (the last r ticks).
 // All local implementations answer within the paper's (ε, δ) guarantees;
@@ -205,4 +220,7 @@ var (
 	_ SnapshotSource = (*Sketch)(nil)
 	_ SnapshotSource = (*SafeSketch)(nil)
 	_ SnapshotSource = (*Sharded)(nil)
+
+	// The standing-query registry is the canonical Notifier.
+	_ Notifier = (*StandingRegistry)(nil)
 )

@@ -56,6 +56,15 @@ func NewLocalSite(name string, src SnapshotSource) Site { return coord.NewLocalS
 // Timeout for production pulls.
 func NewHTTPSite(baseURL string, hc *http.Client) Site { return coord.NewHTTPSite(baseURL, hc) }
 
+// NewHTTPSiteWithAuth is NewHTTPSite carrying "Authorization: Bearer <token>"
+// on every pull — for sites started with an ecmserver AuthToken. An empty
+// token sends no header.
+func NewHTTPSiteWithAuth(baseURL string, hc *http.Client, token string) Site {
+	s := coord.NewHTTPSite(baseURL, hc)
+	s.SetAuthToken(token)
+	return s
+}
+
 // StreamEvent is one synthetic-workload arrival routed to a site (key,
 // time, site). It is distinct from the batch-ingest Event type of the
 // Ingestor interfaces, which carries no site affinity.

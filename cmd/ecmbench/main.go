@@ -32,6 +32,8 @@ func main() {
 		query   = flag.Bool("query", false, "measure merged-view query latency under concurrent readers/writers and append JSON results to -out")
 		qwire   = flag.Bool("querywire", false, "measure wire-level QueryBatch round trips (ecmclient → ecmserver over loopback HTTP) and append JSON results to -out")
 		dwire   = flag.Bool("deltawire", false, "measure full-pull vs delta-pull coordinator bytes and latency over a slow-moving stream (loopback HTTP) and append JSON results to -out")
+		pushfan = flag.Bool("pushfan", false, "measure standing-query SSE fan-out: notify latency and memory across many in-process subscribers, append JSON results to -out")
+		subs    = flag.Int("subs", 10000, "subscriber count for -pushfan")
 		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
 		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
@@ -75,6 +77,17 @@ func main() {
 			path = "BENCH_coord.json"
 		}
 		if err := runDeltaWireBench(*label, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pushfan {
+		path := *out
+		if path == "" {
+			path = "BENCH_push.json"
+		}
+		if err := runPushFanBench(*label, path, *subs); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

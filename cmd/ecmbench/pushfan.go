@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecmsketch"
+	"ecmsketch/ecmserver"
+	"ecmsketch/internal/standing"
+)
+
+// The -pushfan mode measures the standing-query push path end to end: an
+// ecmserver with threshold queries registered, thousands of SSE watch
+// streams attached through the real /v1/watch handler (over in-process
+// pipes, so no socket or fd limits apply), and ingest bursts that make
+// every query fire. Reported per run: notify latency percentiles — wall
+// time from the registry stamping the notification to a subscriber parsing
+// it off its stream — delivered/dropped counts, and the heap cost per
+// subscriber. The acceptance point of the subsystem is >= 10,000
+// subscribers with bounded memory and ingest never blocking on delivery.
+
+// PushFanResult is one -pushfan measurement.
+type PushFanResult struct {
+	Subscribers   int     `json:"subscribers"`
+	Subscriptions int     `json:"subscriptions"`
+	Rounds        int     `json:"rounds"`
+	Delivered     uint64  `json:"delivered"`
+	Dropped       uint64  `json:"dropped"` // server-side queue drops
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	FanoutPerSec  float64 `json:"fanout_per_sec"` // deliveries/s during the burst phase
+	HeapPerSub    float64 `json:"heap_bytes_per_subscriber"`
+}
+
+// PushFanRun is one labelled invocation of the -pushfan mode.
+type PushFanRun struct {
+	Label   string          `json:"label"`
+	Results []PushFanResult `json:"results"`
+}
+
+const (
+	pushFanSubscriptions = 8
+	pushFanRounds        = 20
+	pushFanWindow        = 10_000
+	pushFanThreshold     = 50.0
+)
+
+// sseConn adapts an io.Pipe as the response side of one watch stream: the
+// handler writes SSE frames into the pipe, the subscriber goroutine scans
+// them out. Implements http.Flusher, which the handler requires.
+type sseConn struct {
+	pw *io.PipeWriter
+	h  http.Header
+}
+
+func (c *sseConn) Header() http.Header         { return c.h }
+func (c *sseConn) Write(p []byte) (int, error) { return c.pw.Write(p) }
+func (c *sseConn) WriteHeader(int)             {}
+func (c *sseConn) Flush()                      {}
+
+// pushFanWatcher runs one subscriber: attach via the real handler, signal
+// ready once the hello frame arrives, then record one latency sample per
+// notify (receive time minus the notification's at stamp).
+type pushFanWatcher struct {
+	latencies []time.Duration
+}
+
+func runPushFanBench(label, out string, subscribers int) error {
+	if subscribers <= 0 {
+		return fmt.Errorf("pushfan: -subs must be positive")
+	}
+	srv, err := ecmserver.New(ecmserver.Config{
+		Epsilon: 0.05, Delta: 0.05, WindowLength: pushFanWindow,
+		Algorithm: "eh", Shards: 4,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	engine := srv.Engine()
+	// A 64-deep per-watcher queue is ample here (one notification per
+	// watcher per round, drained continuously) and keeps the per-subscriber
+	// footprint honest; drops, if any, are reported.
+	srv.Standing().SetLimits(0, 64)
+
+	// A handful of subscriptions, one rising threshold each; the watch
+	// streams fan out across them. Every burst round fires each query once,
+	// so each round delivers one notification per subscriber.
+	nsubs := pushFanSubscriptions
+	if subscribers < nsubs {
+		nsubs = subscribers
+	}
+	subIDs := make([]string, nsubs)
+	for i := 0; i < nsubs; i++ {
+		info, err := srv.Standing().Subscribe([]ecmsketch.StandingQuery{{
+			Kind:  ecmsketch.StandingThreshold,
+			Key:   uint64(i + 1),
+			Value: pushFanThreshold,
+		}})
+		if err != nil {
+			return err
+		}
+		subIDs[i] = info.ID
+	}
+
+	var baseline runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&baseline)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		ready     sync.WaitGroup
+		done      sync.WaitGroup
+		delivered atomic.Uint64
+	)
+	watchers := make([]*pushFanWatcher, subscribers)
+	for i := range watchers {
+		w := &pushFanWatcher{}
+		watchers[i] = w
+		id := subIDs[i%nsubs]
+		ready.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			pr, pw := io.Pipe()
+			conn := &sseConn{pw: pw, h: make(http.Header)}
+			req := httptest.NewRequest(http.MethodGet, "/v1/watch?sub="+url.QueryEscape(id), nil).WithContext(ctx)
+			go func() {
+				srv.ServeHTTP(conn, req)
+				pw.Close()
+			}()
+			// Unblock any in-flight handler write when the run ends.
+			go func() { <-ctx.Done(); pr.Close() }()
+			sc := bufio.NewScanner(pr)
+			sc.Buffer(make([]byte, 0, 512), 64*1024)
+			helloSeen := false
+			var event string
+			for sc.Scan() {
+				line := sc.Bytes()
+				switch {
+				case bytes.HasPrefix(line, []byte("event: ")):
+					event = string(line[len("event: "):])
+				case bytes.HasPrefix(line, []byte("data: ")):
+					switch event {
+					case "hello":
+						if !helloSeen {
+							helloSeen = true
+							ready.Done()
+						}
+					case "notify":
+						n, err := standing.ParseNotificationJSON(line[len("data: "):])
+						if err == nil {
+							w.latencies = append(w.latencies, time.Since(time.Unix(0, n.At)))
+							delivered.Add(1)
+						}
+					}
+				}
+			}
+			if !helloSeen {
+				ready.Done()
+			}
+		}()
+	}
+	ready.Wait()
+
+	var attached runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&attached)
+	heapPerSub := float64(int64(attached.HeapInuse)-int64(baseline.HeapInuse)) / float64(subscribers)
+
+	// Burst rounds: every key crosses its threshold (rising edge, fires),
+	// then the window slides past the burst so the next round crosses again.
+	start := time.Now()
+	tick := uint64(1)
+	expected := uint64(0)
+	for round := 0; round < pushFanRounds; round++ {
+		events := make([]ecmsketch.Event, nsubs)
+		for i := 0; i < nsubs; i++ {
+			events[i] = ecmsketch.Event{Key: uint64(i + 1), Tick: tick, N: 100}
+		}
+		engine.AddBatch(events)
+		expected += uint64(subscribers)
+		// Let the fan-out drain before disarming, so per-round latencies are
+		// not polluted by the advance pass evaluating on the same goroutine.
+		waitDeliveries(&delivered, expected, 10*time.Second)
+		tick += pushFanWindow + 1
+		engine.Advance(tick)
+		tick++
+	}
+	elapsed := time.Since(start)
+	cancel()
+	done.Wait()
+
+	var all []time.Duration
+	for _, w := range watchers {
+		all = append(all, w.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	_, _, _, droppedSrv := srv.Standing().Stats()
+
+	res := PushFanResult{
+		Subscribers:   subscribers,
+		Subscriptions: nsubs,
+		Rounds:        pushFanRounds,
+		Delivered:     delivered.Load(),
+		Dropped:       droppedSrv,
+		P50Ms:         quantileMs(all, 0.50),
+		P99Ms:         quantileMs(all, 0.99),
+		MaxMs:         quantileMs(all, 1),
+		FanoutPerSec:  float64(delivered.Load()) / elapsed.Seconds(),
+		HeapPerSub:    heapPerSub,
+	}
+	fmt.Printf("pushfan: %d subscribers over %d subscriptions, %d rounds\n", subscribers, nsubs, pushFanRounds)
+	fmt.Printf("  delivered %d (dropped %d)  p50 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+		res.Delivered, res.Dropped, res.P50Ms, res.P99Ms, res.MaxMs)
+	fmt.Printf("  fan-out %.0f deliveries/s, heap %.0f B/subscriber\n", res.FanoutPerSec, res.HeapPerSub)
+	return appendRun(out, "pushfan", PushFanRun{Label: label, Results: []PushFanResult{res}})
+}
+
+// waitDeliveries spins (with a sleep) until the delivery counter reaches want
+// or the deadline passes — queue drops mean the counter may stop short, and
+// the bench reports them rather than hanging.
+func waitDeliveries(got *atomic.Uint64, want uint64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for got.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

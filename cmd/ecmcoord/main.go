@@ -41,18 +41,20 @@ import (
 
 func main() {
 	var (
-		sites    = flag.String("sites", "", "comma-separated site base URLs")
-		key      = flag.String("key", "", "string key to point-query")
-		ikey     = flag.Uint64("ikey", 0, "integer key to point-query (when key is empty)")
-		useIKey  = flag.Bool("use-ikey", false, "query -ikey instead of -key")
-		rng      = flag.Uint64("range", 0, "query range in ticks (0 = whole window)")
-		selfjoin = flag.Bool("selfjoin", false, "answer a self-join query")
-		total    = flag.Bool("total", false, "estimate total arrivals in range")
-		out      = flag.String("out", "", "write the merged sketch to this file")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
-		serve    = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
-		interval = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
-		delta    = flag.Bool("delta", true, "server mode: pull incremental deltas (GET /v1/snapshot?since=) instead of full snapshots every interval; sites predating the delta protocol transparently degrade to full pulls")
+		sites     = flag.String("sites", "", "comma-separated site base URLs")
+		key       = flag.String("key", "", "string key to point-query")
+		ikey      = flag.Uint64("ikey", 0, "integer key to point-query (when key is empty)")
+		useIKey   = flag.Bool("use-ikey", false, "query -ikey instead of -key")
+		rng       = flag.Uint64("range", 0, "query range in ticks (0 = whole window)")
+		selfjoin  = flag.Bool("selfjoin", false, "answer a self-join query")
+		total     = flag.Bool("total", false, "estimate total arrivals in range")
+		out       = flag.String("out", "", "write the merged sketch to this file")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
+		serve     = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
+		interval  = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
+		delta     = flag.Bool("delta", true, "server mode: pull incremental deltas (GET /v1/snapshot?since=) instead of full snapshots every interval; sites predating the delta protocol transparently degrade to full pulls")
+		token     = flag.String("token", "", "server mode: require this bearer token on the served API")
+		siteToken = flag.String("site-token", "", "bearer token sent with every site pull (for sites started with -token)")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
@@ -61,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 	client := &http.Client{Timeout: *timeout}
-	co := newCoordinator(client, urls)
+	co := newCoordinator(client, urls, *siteToken)
 	if *serve != "" {
 		if *interval <= 0 {
 			fmt.Fprintln(os.Stderr, "ecmcoord: -interval must be positive in server mode")
@@ -70,7 +72,7 @@ func main() {
 		// One-shot pulls are full by construction; only the re-pull loop has
 		// a previous cursor to delta against.
 		co.SetDeltaPulls(*delta)
-		runServe(co, *serve, *interval)
+		runServe(co, *serve, *interval, *token)
 		return
 	}
 	merged, height, err := co.AggregateTree()
@@ -106,10 +108,10 @@ func main() {
 }
 
 // newCoordinator builds the shared coordinator core over HTTP sites.
-func newCoordinator(client *http.Client, siteURLs []string) *ecmsketch.Coordinator {
+func newCoordinator(client *http.Client, siteURLs []string, siteToken string) *ecmsketch.Coordinator {
 	sites := make([]ecmsketch.Site, len(siteURLs))
 	for i, u := range siteURLs {
-		sites[i] = ecmsketch.NewHTTPSite(u, client)
+		sites[i] = ecmsketch.NewHTTPSiteWithAuth(u, client, siteToken)
 	}
 	return ecmsketch.NewCoordinator(sites...)
 }
@@ -132,7 +134,7 @@ func splitSites(s string) []string {
 // one-shot entry point (and for its tests); the CLI drives the same path
 // via newCoordinator.
 func PullAndMerge(client *http.Client, siteURLs []string) (*ecmsketch.Sketch, int, error) {
-	co := newCoordinator(client, siteURLs)
+	co := newCoordinator(client, siteURLs, "")
 	merged, _, err := co.AggregateTree()
 	if err != nil {
 		return nil, 0, err

@@ -157,7 +157,7 @@ func TestEcmcoordMergesBitIdenticallyToInProcess(t *testing.T) {
 // itself a site), and the 503 surface before any successful pull.
 func TestCoordServer(t *testing.T) {
 	sites := newEcmserverSites(t, 2)
-	co := newCoordinator(http.DefaultClient, []string{sites[0].URL, sites[1].URL})
+	co := newCoordinator(http.DefaultClient, []string{sites[0].URL, sites[1].URL}, "")
 	cs := newCoordServer(co, 0) // loop not started; refreshes are explicit
 	defer cs.Close()
 	if err := cs.refresh(); err != nil {
@@ -265,7 +265,7 @@ func TestCoordServer(t *testing.T) {
 // TestCoordServerNotReady pins the 503 surface of a coordinator that has
 // never pulled successfully.
 func TestCoordServerNotReady(t *testing.T) {
-	co := newCoordinator(http.DefaultClient, []string{"http://127.0.0.1:1"})
+	co := newCoordinator(http.DefaultClient, []string{"http://127.0.0.1:1"}, "")
 	cs := newCoordServer(co, 0)
 	defer cs.Close()
 	front := httptest.NewServer(cs)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ecmsketch"
+	"ecmsketch/internal/standing"
 	"ecmsketch/internal/wire"
 )
 
@@ -39,6 +40,14 @@ type coordServer struct {
 	pullErrs atomic.Uint64
 	lastErr  atomic.Pointer[string]
 
+	// standing evaluates continuous queries over the merged view: each
+	// refresh hands the registry the fresh root plus the union of cells the
+	// delta pulls replaced since the previous refresh, so only predicates
+	// reading a changed cell are re-checked. Subscriptions here require
+	// explicit key lists on top-k queries — a coordinator only ever sees
+	// cell replacements, never raw keys to learn candidates from.
+	standing *ecmsketch.StandingRegistry
+
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -66,6 +75,11 @@ func newCoordServer(co *ecmsketch.Coordinator, interval time.Duration) *coordSer
 	cs.mux.HandleFunc("GET /v1/sketch", cs.handleSnapshot)
 	cs.mux.HandleFunc("GET /v1/snapshot", cs.handleSnapshot)
 	cs.mux.HandleFunc("POST /v1/refresh", cs.handleRefresh)
+	cs.standing = ecmsketch.NewStandingRegistry(ecmsketch.StandingConfig{RequireKeys: true})
+	svc := &standing.Service{Reg: cs.standing}
+	cs.mux.HandleFunc("POST /v1/subscribe", svc.HandleSubscribe)
+	cs.mux.HandleFunc("DELETE /v1/subscribe", svc.HandleUnsubscribe)
+	cs.mux.HandleFunc("GET /v1/watch", svc.HandleWatch)
 	return cs
 }
 
@@ -92,6 +106,14 @@ func (cs *coordServer) refresh() error {
 	cs.merged.Store(&mergedView{sk: root, height: height, pulledAt: time.Now()})
 	cs.pulls.Add(1)
 	cs.lastErr.Store(nil)
+	// Swap the standing-query evaluator onto the fresh root and re-check
+	// only the predicates whose cells the pulls replaced (delta pulls feed
+	// cell-granular change sets; full pulls mark everything changed). The
+	// window and advance policy come from the root itself, not flags.
+	cs.standing.SetWindow(root.Params().WindowLength)
+	cs.standing.SetStrictAdvance(root.Params().Algorithm == ecmsketch.AlgoRW)
+	cells, all := cs.co.TakeChangedCells()
+	cs.standing.RefreshTarget(root, cells, all)
 	return nil
 }
 
@@ -123,8 +145,9 @@ func (cs *coordServer) Close() {
 	cs.stopOnce.Do(func() { close(cs.stop) })
 }
 
-// runServe is the CLI entry of server mode.
-func runServe(co *ecmsketch.Coordinator, addr string, interval time.Duration) {
+// runServe is the CLI entry of server mode. A non-empty token puts the whole
+// surface — watch streams included — behind a bearer check.
+func runServe(co *ecmsketch.Coordinator, addr string, interval time.Duration, token string) {
 	cs := newCoordServer(co, interval)
 	if err := cs.refresh(); err != nil {
 		// Sites may simply not be up yet; the loop keeps retrying.
@@ -133,7 +156,7 @@ func runServe(co *ecmsketch.Coordinator, addr string, interval time.Duration) {
 	go cs.run()
 	log.Printf("ecmcoord serving merged view of %d sites on %s (re-pull every %v)",
 		len(co.Sites()), addr, interval)
-	log.Fatal(http.ListenAndServe(addr, cs))
+	log.Fatal(http.ListenAndServe(addr, wire.RequireBearer(token, cs)))
 }
 
 // view returns the current merged view, or nil (and a 503) before the first
@@ -278,6 +301,13 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"deltaPulls":  u64(cs.co.DeltaPulls()),
 		"fullPulls":   u64(cs.co.FullPulls()),
 		"apiVersion":  "v1",
+	}
+	subs, queries, watchers, dropped := cs.standing.Stats()
+	out["standing"] = map[string]any{
+		"subscriptions": subs,
+		"queries":       queries,
+		"watchers":      watchers,
+		"dropped":       u64(dropped),
 	}
 	if e := cs.lastErr.Load(); e != nil {
 		out["lastError"] = *e

@@ -38,6 +38,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "ingest lock stripes (0 = GOMAXPROCS)")
 		ttl     = flag.Duration("merge-ttl", 250*time.Millisecond, "staleness bound of cached global-query view (0 = always fresh)")
 		refresh = flag.Duration("refresh", 0, "background merged-view refresh period (0 = rebuild on the reader that trips merge-ttl)")
+		token   = flag.String("token", "", "require this bearer token on every request (empty = open)")
 	)
 	flag.Parse()
 	srv, err := ecmserver.New(ecmserver.Config{
@@ -51,6 +52,7 @@ func main() {
 		Shards:          *shards,
 		MergeTTL:        *ttl,
 		RefreshInterval: *refresh,
+		AuthToken:       *token,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmserve:", err)

@@ -34,8 +34,9 @@ import (
 
 // Client speaks the ecmserver /v1 API. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 
 	mu  sync.Mutex
 	err error // first unconsumed transport failure of an interface call
@@ -47,6 +48,12 @@ type Option func(*Client)
 // WithHTTPClient substitutes the transport (timeouts, TLS, proxies).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithAuthToken makes every request carry "Authorization: Bearer <token>" —
+// the credential a server started with a non-empty AuthToken requires.
+func WithAuthToken(token string) Option {
+	return func(c *Client) { c.token = token }
 }
 
 // New builds a client for the ecmserver instance at baseURL
@@ -123,6 +130,9 @@ type statusError struct {
 func (e *statusError) Error() string { return e.msg }
 
 func (c *Client) do(req *http.Request, out any) error {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("ecmclient: %s %s: %w", req.Method, req.URL.Path, err)
@@ -360,7 +370,7 @@ func (c *Client) FetchSnapshotBytes() ([]byte, error) {
 // fallback) answer with a plain full snapshot and a zero cursor, so pull
 // loops degrade to full pulls instead of failing.
 func (c *Client) SnapshotSince(since ecmsketch.Cursor) ([]byte, ecmsketch.Cursor, bool, error) {
-	rep, err := wire.FetchSnapshot(c.hc, c.base+"/v1/snapshot?since="+url.QueryEscape(since.String()))
+	rep, err := wire.FetchSnapshotAuth(c.hc, c.base+"/v1/snapshot?since="+url.QueryEscape(since.String()), c.token)
 	if err == nil && rep.Status == http.StatusNotFound {
 		raw, err := c.FetchSketchBytes()
 		if err != nil {

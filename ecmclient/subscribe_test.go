@@ -1,0 +1,244 @@
+package ecmclient_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ecmsketch"
+	"ecmsketch/ecmclient"
+	"ecmsketch/ecmserver"
+	"ecmsketch/internal/standing"
+)
+
+// subscribeServer is an authenticated ecmserver plus a fire hook that
+// causes exactly one rising crossing of key 42 (threshold 50) per call —
+// the crossing arms, then the window slides past the burst to disarm.
+func subscribeServer(t *testing.T) (*ecmserver.Server, *ecmclient.Client, func()) {
+	t.Helper()
+	const window = 10_000
+	srv, err := ecmserver.New(ecmserver.Config{
+		Epsilon:      0.05,
+		Delta:        0.05,
+		WindowLength: window,
+		Algorithm:    "eh",
+		Seed:         7,
+		AuthToken:    "tok",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	var tick uint64
+	fire := func() {
+		tick++
+		srv.Engine().AddBatch([]ecmsketch.Event{{Key: 42, Tick: tick, N: 100}})
+		tick += window + 1
+		srv.Engine().Advance(tick)
+	}
+	return srv, ecmclient.New(ts.URL, ecmclient.WithAuthToken("tok")), fire
+}
+
+func recvNotification(t *testing.T, sub *ecmclient.Subscription) ecmsketch.Notification {
+	t.Helper()
+	select {
+	case n, ok := <-sub.C:
+		if !ok {
+			t.Fatalf("stream closed early (err: %v)", sub.Err())
+		}
+		return n
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a notification")
+	}
+	panic("unreachable")
+}
+
+// TestSubscribeDeliversAndResumes runs the typed client end to end against
+// an authenticated server: deliveries arrive typed and in order; a
+// server-side kick is healed by the automatic reconnect, resuming from the
+// last delivered sequence with no duplicate and no miss; a server-side
+// unsubscribe ends the stream cleanly.
+func TestSubscribeDeliversAndResumes(t *testing.T) {
+	srv, c, fire := subscribeServer(t)
+	sub, err := c.Subscribe(context.Background(), []ecmsketch.StandingQuery{
+		{Kind: ecmsketch.StandingThreshold, Key: 42, Value: 50},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitWatcher(t, srv, 1)
+	for want := uint64(1); want <= 3; want++ {
+		fire()
+		n := recvNotification(t, sub)
+		if n.Seq != want || n.Kind != ecmsketch.StandingThreshold || n.Key != 42 || !n.Rising {
+			t.Fatalf("notification %+v, want rising threshold on key 42 seq %d", n, want)
+		}
+	}
+
+	// Shed the connection server-side and fire twice more; whether the
+	// client is reattached yet or the ring replays them on resume, seqs 4
+	// and 5 must each arrive exactly once, in order.
+	srv.Standing().Kick(sub.ID())
+	fire()
+	fire()
+	for want := uint64(4); want <= 5; want++ {
+		if n := recvNotification(t, sub); n.Seq != want {
+			t.Fatalf("post-kick seq %d, want %d (no dup, no miss)", n.Seq, want)
+		}
+	}
+	// And the healed stream is live.
+	waitWatcher(t, srv, 1)
+	fire()
+	if n := recvNotification(t, sub); n.Seq != 6 {
+		t.Fatalf("post-resume live seq %d, want 6", n.Seq)
+	}
+
+	// Server-side unsubscribe: bye ends the stream without error.
+	if !srv.Standing().Unsubscribe(sub.ID()) {
+		t.Fatal("subscription vanished")
+	}
+	select {
+	case n, ok := <-sub.C:
+		if ok {
+			t.Fatalf("notification %+v after unsubscribe, want closed channel", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel did not close after server-side unsubscribe")
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("clean bye reported error: %v", err)
+	}
+}
+
+// waitWatcher blocks until the server counts n attached watchers — the
+// reconnect loop runs on client-side backoff, so attachment is async.
+func waitWatcher(t *testing.T, srv *ecmserver.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, _, watchers, _ := srv.Standing().Stats()
+		if watchers == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchers = %d, want %d", watchers, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubscribeScriptedStream pins the client's SSE handling against a
+// hand-scripted server: the resume query parameter carries the last
+// delivered sequence, a dropped frame surfaces as a StandingDropped
+// notification with the miss count, and bye closes the channel with no
+// error.
+func TestSubscribeScriptedStream(t *testing.T) {
+	conns := make(chan string, 4) // resume param of each watch attach
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"subscription":"scripted"}`)
+	})
+	mux.HandleFunc("DELETE /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {})
+	attach := 0
+	mux.HandleFunc("GET /v1/watch", func(w http.ResponseWriter, r *http.Request) {
+		attach++
+		conns <- r.URL.Query().Get("resume")
+		w.Header().Set("Content-Type", "text/event-stream")
+		notify := func(n standing.Notification) {
+			fmt.Fprintf(w, "event: notify\ndata: %s\n\n", standing.AppendNotificationJSON(nil, n))
+		}
+		switch attach {
+		case 1:
+			// Deliver seq 5, then die without a bye (forcing a resume).
+			fmt.Fprint(w, "event: hello\ndata: {\"sub\":\"scripted\",\"seq\":\"0\"}\n\n")
+			notify(standing.Notification{Seq: 5, Kind: standing.KindThreshold, Key: 42, Value: 60, Rising: true})
+		default:
+			// The ring no longer covers the gap: an explicit dropped marker,
+			// one live notification, then a clean bye.
+			fmt.Fprint(w, "event: hello\ndata: {\"sub\":\"scripted\",\"seq\":\"9\"}\n\n")
+			fmt.Fprint(w, "event: dropped\ndata: {\"missed\":3}\n\n")
+			notify(standing.Notification{Seq: 9, Kind: standing.KindThreshold, Key: 42, Value: 70, Rising: true})
+			fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := ecmclient.New(ts.URL)
+	sub, err := c.Subscribe(context.Background(), []ecmsketch.StandingQuery{
+		{Kind: ecmsketch.StandingThreshold, Key: 42, Value: 50},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if resume := <-conns; resume != "" {
+		t.Fatalf("first attach sent resume=%q, want none", resume)
+	}
+	if n := recvNotification(t, sub); n.Seq != 5 || n.Value != 60 {
+		t.Fatalf("first notification %+v, want seq 5 value 60", n)
+	}
+	if resume := <-conns; resume != "5" {
+		t.Fatalf("reconnect sent resume=%q, want 5 (last delivered seq)", resume)
+	}
+	if n := recvNotification(t, sub); n.Kind != ecmsketch.StandingDropped || n.Missed != 3 {
+		t.Fatalf("notification %+v, want StandingDropped missed 3", n)
+	}
+	if n := recvNotification(t, sub); n.Seq != 9 {
+		t.Fatalf("notification %+v, want seq 9", n)
+	}
+	select {
+	case n, ok := <-sub.C:
+		if ok {
+			t.Fatalf("notification %+v after bye, want closed channel", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel did not close after bye")
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("clean bye reported error: %v", err)
+	}
+}
+
+// TestSubscribeTerminalOnWatch404: when the watch endpoint says the
+// subscription is gone, the client must stop retrying, close the channel
+// and surface the error.
+func TestSubscribeTerminalOnWatch404(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"subscription":"gone"}`)
+	})
+	mux.HandleFunc("DELETE /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("GET /v1/watch", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "unknown subscription", http.StatusNotFound)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	sub, err := ecmclient.New(ts.URL).Subscribe(context.Background(), []ecmsketch.StandingQuery{
+		{Kind: ecmsketch.StandingThreshold, Key: 1, Value: 5},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("got a notification from a 404 watch")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel did not close on terminal 404")
+	}
+	if sub.Err() == nil {
+		t.Fatal("terminal 404 left Err nil")
+	}
+}

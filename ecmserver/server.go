@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ecmsketch"
+	"ecmsketch/internal/standing"
 	"ecmsketch/internal/wire"
 )
 
@@ -47,20 +48,29 @@ type Config struct {
 	// the TTL; set it at or below MergeTTL. Servers configured with it
 	// should be Closed on shutdown.
 	RefreshInterval time.Duration
+	// AuthToken, when non-empty, requires "Authorization: Bearer <AuthToken>"
+	// on every route (constant-time compared); unauthenticated requests get
+	// 401. Empty leaves the server open, as before.
+	AuthToken string
 }
 
 // Server is an HTTP front end over a sharded ECM-sketch engine. All
 // handlers are safe for concurrent use; ingest contends only per key
 // stripe.
 type Server struct {
-	engine *ecmsketch.Sharded
-	cfg    Config
-	mux    *http.ServeMux
+	engine  *ecmsketch.Sharded
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux, wrapped with bearer auth when configured
 
 	// topkMu guards the TopK candidate set; the stream itself lives in the
 	// shared engine (single ingest, no private second sketch).
 	topkMu sync.Mutex
 	topk   *ecmsketch.TopK // nil unless TopK > 0
+
+	// standing evaluates continuous queries incrementally off the engine's
+	// change feed and fans fired notifications out over /v1/watch (SSE).
+	standing *ecmsketch.StandingRegistry
 }
 
 // New builds the engine and routes.
@@ -121,12 +131,34 @@ func NewOver(cfg Config, engine *ecmsketch.Sharded) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+
+	// Standing queries: the registry re-checks its predicates incrementally
+	// on the engine's change feed (synchronously after each mutation's locks
+	// release) and pushes fired notifications to /v1/watch streams. The rw
+	// engine's randomized expiry is not monotone under pure advances, so it
+	// runs with the strict re-check policy.
+	s.standing = ecmsketch.NewStandingRegistry(ecmsketch.StandingConfig{
+		Window:        cfg.WindowLength,
+		StrictAdvance: strings.EqualFold(cfg.Algorithm, "rw"),
+	})
+	s.standing.Bind(engine)
+	engine.SetNotifier(s.standing)
+	svc := &standing.Service{Reg: s.standing}
+	s.mux.HandleFunc("POST /v1/subscribe", svc.HandleSubscribe)
+	s.mux.HandleFunc("DELETE /v1/subscribe", svc.HandleUnsubscribe)
+	s.mux.HandleFunc("GET /v1/watch", svc.HandleWatch)
+
+	s.handler = wire.RequireBearer(cfg.AuthToken, s.mux)
 	return s, nil
 }
 
-// Close releases server-held background resources (the engine's view
-// refresher when RefreshInterval is configured). Idempotent.
-func (s *Server) Close() error { return s.engine.Close() }
+// Close releases server-held background resources: the standing-query hook
+// is detached from the engine (and every watch stream ended) before the
+// engine's view refresher is stopped. Idempotent.
+func (s *Server) Close() error {
+	s.engine.SetNotifier(nil)
+	return s.engine.Close()
+}
 
 // route registers a handler under the versioned /v1 prefix and the legacy
 // unversioned path.
@@ -138,6 +170,10 @@ func (s *Server) route(method, path string, h http.HandlerFunc) {
 // Engine exposes the sketch engine backing the server (e.g. to share it
 // with other in-process consumers).
 func (s *Server) Engine() *ecmsketch.Sharded { return s.engine }
+
+// Standing exposes the standing-query registry behind /v1/subscribe and
+// /v1/watch, for in-process subscribers and tests.
+func (s *Server) Standing() *ecmsketch.StandingRegistry { return s.standing }
 
 // ParseAlgo resolves the wire names of the counter algorithms.
 func ParseAlgo(s string) (ecmsketch.Algorithm, error) {
@@ -153,8 +189,9 @@ func ParseAlgo(s string) (ecmsketch.Algorithm, error) {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. When Config.AuthToken is set, every
+// route — legacy aliases included — sits behind the bearer check.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // The /v1 request/reply conventions — key parsing, ?strings=1 encoding,
 // the snapshot writer — live in the shared internal/wire codec, which
@@ -512,7 +549,14 @@ var (
 // viewRebuilds) are encoded as decimal strings.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	asStrings := wantStrings(r)
+	subs, queries, watchers, dropped := s.standing.Stats()
 	respond(w, map[string]any{
+		"standing": map[string]any{
+			"subscriptions": subs,
+			"queries":       queries,
+			"watchers":      watchers,
+			"dropped":       u64field(asStrings, dropped),
+		},
 		"width":        s.engine.Width(),
 		"depth":        s.engine.Depth(),
 		"shards":       s.engine.Shards(),

@@ -1,0 +1,221 @@
+package ecmserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ecmsketch"
+	"ecmsketch/internal/standing"
+)
+
+func authedServer(t *testing.T, token string) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Epsilon:      0.05,
+		Delta:        0.05,
+		WindowLength: 10000,
+		Algorithm:    "eh",
+		Seed:         7,
+		AuthToken:    token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestAuthToken pins the bearer gate: with AuthToken set, every endpoint —
+// queries, subscribe, watch, snapshot — refuses missing or wrong tokens
+// with 401 and admits the right one; without AuthToken the surface is open.
+func TestAuthToken(t *testing.T) {
+	srv := authedServer(t, "s3cret")
+	paths := []struct{ method, path, body string }{
+		{http.MethodGet, "/v1/estimate?ikey=1", ""},
+		{http.MethodGet, "/v1/stats", ""},
+		{http.MethodGet, "/v1/sketch", ""},
+		{http.MethodPost, "/v1/subscribe", `{"queries":[{"kind":"threshold","ikey":"1","value":5}]}`},
+		{http.MethodGet, "/v1/watch?sub=nope", ""},
+	}
+	for _, p := range paths {
+		for _, tc := range []struct {
+			name, auth string
+			wantCode   int
+		}{
+			{"missing", "", http.StatusUnauthorized},
+			{"wrong", "Bearer wrong", http.StatusUnauthorized},
+			{"malformed", "s3cret", http.StatusUnauthorized},
+			{"good", "Bearer s3cret", 0}, // 0 = anything but 401
+		} {
+			var body *strings.Reader
+			if p.body != "" {
+				body = strings.NewReader(p.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req := httptest.NewRequest(p.method, p.path, body)
+			if p.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			if tc.auth != "" {
+				req.Header.Set("Authorization", tc.auth)
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if tc.wantCode == http.StatusUnauthorized {
+				if rec.Code != http.StatusUnauthorized {
+					t.Errorf("%s %s with %s auth: code %d, want 401", p.method, p.path, tc.name, rec.Code)
+				}
+			} else if rec.Code == http.StatusUnauthorized {
+				t.Errorf("%s %s with good auth: still 401", p.method, p.path)
+			}
+		}
+	}
+
+	open := authedServer(t, "")
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	open.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("open server rejected an unauthenticated request: %d", rec.Code)
+	}
+}
+
+// TestSubscribeValidationAndWatch404 covers the subscribe error surface and
+// the watch stream's unknown-subscription reply.
+func TestSubscribeValidationAndWatch404(t *testing.T) {
+	srv := authedServer(t, "")
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/subscribe", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	for _, body := range []string{
+		`not json`,
+		`{"queries":[]}`,
+		`{"queries":[{"kind":"threshold","ikey":"1"}]}`,                     // zero threshold
+		`{"kind":"threshold"}`,                                              // unknown top-level field
+		`{"queries":[{"kind":"nope","ikey":"1","value":5}]}`,                // unknown kind
+		`{"queries":[{"kind":"rate","ikey":"1","factor":0}]}`,               // zero factor
+		`{"queries":[{"kind":"threshold","value":5}]}`,                      // missing key
+		`{"queries":[{"kind":"threshold","key":"a","ikey":"1","value":5}]}`, // both key forms
+	} {
+		if rec := post(body); rec.Code != http.StatusBadRequest {
+			t.Errorf("subscribe %q: code %d, want 400", body, rec.Code)
+		}
+	}
+	if rec := post(`{"queries":[{"kind":"threshold","ikey":"1","value":5}]}`); rec.Code != http.StatusOK {
+		t.Errorf("valid subscribe: code %d body %s", rec.Code, rec.Body)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/watch?sub=doesnotexist", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("watch of unknown subscription: code %d, want 404", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/v1/subscribe?sub=doesnotexist", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unsubscribe of unknown subscription: code %d, want 404", rec.Code)
+	}
+}
+
+// TestWatchStreamDeliversOverHTTP runs the full wire path on a real listener:
+// subscribe, attach the SSE stream with a real client, fire a crossing
+// through ingest, and parse the notify frame off the stream.
+func TestWatchStreamDeliversOverHTTP(t *testing.T) {
+	srv := authedServer(t, "tok")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	info, err := srv.Standing().Subscribe([]ecmsketch.StandingQuery{
+		{Kind: ecmsketch.StandingThreshold, Key: 42, Value: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch?sub="+info.ID, nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() (event, data string) {
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if event != "" {
+					return event, data
+				}
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return "", ""
+	}
+	if ev, _ := readEvent(); ev != "hello" {
+		t.Fatalf("first event %q, want hello", ev)
+	}
+
+	fired := make(chan struct{})
+	go func() {
+		srv.Engine().AddBatch([]ecmsketch.Event{{Key: 42, Tick: 1, N: 100}})
+		close(fired)
+	}()
+	ev, data := readEvent()
+	if ev != "notify" {
+		t.Fatalf("event %q, want notify", ev)
+	}
+	n, err := standing.ParseNotificationJSON([]byte(data))
+	if err != nil {
+		t.Fatalf("bad notify payload %q: %v", data, err)
+	}
+	if n.Key != 42 || !n.Rising || n.Seq != 1 {
+		t.Fatalf("notification %+v, want rising on key 42 seq 1", n)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest blocked on delivery")
+	}
+
+	// Stats surface the subscription.
+	statsReq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	statsReq.Header.Set("Authorization", "Bearer tok")
+	statsResp, err := ts.Client().Do(statsReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Standing struct {
+			Subscriptions int `json:"subscriptions"`
+			Watchers      int `json:"watchers"`
+		} `json:"standing"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Standing.Subscriptions != 1 || stats.Standing.Watchers != 1 {
+		t.Fatalf("stats standing = %+v, want 1 subscription, 1 watcher", stats.Standing)
+	}
+}

@@ -160,9 +160,10 @@ func (s *LocalSite) Delta(since core.Cursor) ([]byte, core.Cursor, bool, int, er
 
 // HTTPSite pulls summaries from an ecmserver deployment over HTTP.
 type HTTPSite struct {
-	name string
-	base string
-	hc   *http.Client
+	name  string
+	base  string
+	hc    *http.Client
+	token string
 }
 
 // NewHTTPSite builds a site pulling from the ecmserver instance at baseURL
@@ -178,6 +179,11 @@ func NewHTTPSite(baseURL string, hc *http.Client) *HTTPSite {
 
 // Name identifies the site (its base URL).
 func (s *HTTPSite) Name() string { return s.name }
+
+// SetAuthToken makes every pull carry "Authorization: Bearer <tok>" — the
+// credential an ecmserver started with a non-empty AuthToken requires. An
+// empty token sends no header. Configure before the first pull.
+func (s *HTTPSite) SetAuthToken(tok string) { s.token = tok }
 
 // Snapshot pulls the site's frozen merged view: GET /v1/snapshot (offering
 // gzip), falling back to the legacy /sketch route on 404 so coordinators
@@ -235,7 +241,7 @@ func (s *HTTPSite) Delta(since core.Cursor) ([]byte, core.Cursor, bool, int, err
 }
 
 func (s *HTTPSite) fetch(pathAndQuery string) (wire.SnapshotReply, error) {
-	return wire.FetchSnapshot(s.hc, s.base+pathAndQuery)
+	return wire.FetchSnapshotAuth(s.hc, s.base+pathAndQuery, s.token)
 }
 
 // Coordinator aggregates a set of sites' summaries into one sketch of the
@@ -259,7 +265,22 @@ type Coordinator struct {
 	states []*siteDeltaState
 
 	fullPulls, deltaPulls atomic.Uint64
+
+	// changed accumulates which merged-view cells moved across pulls since
+	// the last TakeChangedCells — the feed a standing-query registry over
+	// the aggregated view re-checks incrementally. Cell indices are shared
+	// across sites and the merged root (same (w, d, seed) hash layout), so
+	// a union of per-site changed cells is exactly the set of root cells
+	// whose estimate may have moved.
+	changedMu    sync.Mutex
+	changedCells []int
+	changedAll   bool
 }
+
+// maxChangedCells bounds the accumulated changed-cell set; past it the
+// coordinator degrades to "everything changed", which costs one full
+// re-check instead of unbounded memory.
+const maxChangedCells = 8192
 
 // siteDeltaState serializes one site's pull→apply→materialize sequence;
 // concurrent AggregateTree calls contend here per site instead of corrupting
@@ -312,6 +333,35 @@ func (c *Coordinator) Network() *Network { return c.net }
 // (for in-process sites, the exact volume shipping would have cost).
 func (c *Coordinator) PulledBytes() int64 { return c.pulled.Load() }
 
+// noteChanged records moved cells from one site pull. all marks the whole
+// summary changed (full baselines, non-delta pulls, wave engines).
+func (c *Coordinator) noteChanged(cells []int, all bool) {
+	c.changedMu.Lock()
+	defer c.changedMu.Unlock()
+	if c.changedAll {
+		return
+	}
+	if all || len(c.changedCells)+len(cells) > maxChangedCells {
+		c.changedCells, c.changedAll = nil, true
+		return
+	}
+	c.changedCells = append(c.changedCells, cells...)
+}
+
+// TakeChangedCells returns the union of cell indices replaced across all
+// sites since the previous call, clearing the accumulator. all == true means
+// "treat everything as changed" — reported after full baselines, non-delta
+// pulls, or when the set outgrew its bound. The slice may contain duplicates
+// and is owned by the caller. Serving coordinators hand the result to
+// StandingRegistry.RefreshTarget after each refresh.
+func (c *Coordinator) TakeChangedCells() (cells []int, all bool) {
+	c.changedMu.Lock()
+	defer c.changedMu.Unlock()
+	cells, all = c.changedCells, c.changedAll
+	c.changedCells, c.changedAll = nil, false
+	return cells, all
+}
+
 // pull fetches every site's snapshot concurrently and verifies the
 // summaries are mutually mergeable, naming the offending site on failure.
 // Nothing is charged here: transfer charges are per aggregation edge, in
@@ -329,6 +379,11 @@ func (c *Coordinator) pull() ([]*core.Sketch, []int, error) {
 				parts[i], sizes[i], errs[i] = c.pullSiteDelta(i, site)
 			} else {
 				parts[i], sizes[i], errs[i] = site.Snapshot()
+				if errs[i] == nil {
+					// A full pull carries no cell-granular change
+					// information: everything may have moved.
+					c.noteChanged(nil, true)
+				}
 			}
 		}(i, site)
 	}
@@ -389,6 +444,8 @@ func (c *Coordinator) pullSiteDelta(i int, site Site) (*core.Sketch, int, error)
 	} else {
 		c.deltaPulls.Add(1)
 	}
+	cells, all := st.ds.TakeChangedCells()
+	c.noteChanged(cells, all)
 	sk, err := st.ds.Materialize()
 	if err != nil {
 		return nil, total, err

@@ -31,8 +31,13 @@ package core
 //     the Apply, which resets the receiver state so the caller falls back
 //     to a full pull. Invalidation is always safe: a full pull re-baselines.
 //
-// Delta payloads deliberately reuse the per-cell encodings of the full wire
-// format (window.AppendMarshalCell), so no second encoder exists to drift.
+// Delta payloads carry cells in the config-elided bare form
+// (window.AppendMarshalCellBare): a delta only ever applies against a
+// baseline whose Config was already validated, so repeating the shared
+// per-cell Config (~30 bytes) per changed cell would roughly double a
+// sparse delta pre-gzip. The cell decoder accepts both forms, so payloads
+// from producers still shipping full-form cells keep applying; full
+// snapshots are byte-identical to what they always were.
 
 import (
 	"crypto/rand"
@@ -213,8 +218,8 @@ func (s *Sketch) AppendDeltaSince(dst []byte, epoch, base uint64) []byte {
 }
 
 // appendDelta appends the wireDelta encoding: a header naming the version
-// span and carrying the clock/count fields, then one ordinary cell encoding
-// per changed cell. The caller must have settled the sketch.
+// span and carrying the clock/count fields, then one bare (config-elided)
+// cell encoding per changed cell. The caller must have settled the sketch.
 func (s *Sketch) appendDelta(dst []byte, epoch, base uint64) []byte {
 	dst = append(dst, wireDelta)
 	dst = binary.AppendUvarint(dst, epoch)
@@ -244,7 +249,7 @@ func (s *Sketch) appendDelta(dst []byte, epoch, base uint64) []byte {
 		}
 		dst = binary.AppendUvarint(dst, uint64(i-prev))
 		prev = i
-		cell, scratch = s.eh.AppendMarshalCell(cell[:0], i, scratch)
+		cell, scratch = s.eh.AppendMarshalCellBare(cell[:0], i, scratch)
 		dst = binary.AppendUvarint(dst, uint64(len(cell)))
 		dst = append(dst, cell...)
 	}
@@ -257,7 +262,9 @@ func (s *Sketch) appendDelta(dst []byte, epoch, base uint64) []byte {
 // the sketch ends byte-identical (Marshal) to the producer's settled state
 // at the returned new version. Validation is strict — any mismatch or
 // truncation errors out, and the caller must treat the sketch as torn.
-func (s *Sketch) applyDelta(payload []byte, epoch, base uint64) (uint64, error) {
+// record, when non-nil, receives the index of every replaced cell — the
+// change feed standing-query evaluation on coordinators is driven by.
+func (s *Sketch) applyDelta(payload []byte, epoch, base uint64, record func(int)) (uint64, error) {
 	if len(payload) == 0 || payload[0] != wireDelta {
 		return 0, errors.New("core: not a delta encoding")
 	}
@@ -323,6 +330,9 @@ func (s *Sketch) applyDelta(payload []byte, epoch, base uint64) (uint64, error) 
 		s.eh.ResetCell(idx)
 		if err := s.eh.UnmarshalCell(idx, enc); err != nil {
 			return 0, fmt.Errorf("core: delta cell %d: %w", idx, err)
+		}
+		if record != nil {
+			record(idx)
 		}
 	}
 	if off != len(payload) {
@@ -398,7 +408,42 @@ type DeltaState struct {
 	// clone instead of a P-way merge.
 	merged *Sketch
 
+	// changed accumulates the cell indices replaced by applied deltas
+	// since the last TakeChangedCells — the change feed coordinators hand
+	// to standing-query evaluation. Cell positions are geometry-relative
+	// (width·depth·seed), identical across parts and the merged summary.
+	// changedAll stands in for the whole index space when cell granularity
+	// is unavailable: full baselines, whole-part replacements, or an
+	// accumulation past maxTrackedCells.
+	changed    []int
+	changedAll bool
+
 	fulls, deltas uint64
+}
+
+// maxTrackedCells caps the changed-cell accumulation; past it, the set
+// degrades to "everything changed" rather than growing without bound.
+const maxTrackedCells = 4096
+
+func (st *DeltaState) noteCell(idx int) {
+	if st.changedAll {
+		return
+	}
+	if len(st.changed) >= maxTrackedCells {
+		st.changed, st.changedAll = nil, true
+		return
+	}
+	st.changed = append(st.changed, idx)
+}
+
+// TakeChangedCells returns and clears the cell indices changed by applies
+// since the previous call. all reports that cell granularity was lost
+// (full baseline, whole-part swap, overflow) and every cell may have
+// changed. The returned slice may hold duplicates.
+func (st *DeltaState) TakeChangedCells() (cells []int, all bool) {
+	cells, all = st.changed, st.changedAll
+	st.changed, st.changedAll = nil, false
+	return cells, all
 }
 
 // HasBaseline reports whether a baseline has been applied.
@@ -458,7 +503,7 @@ func (st *DeltaState) apply(payload []byte, cur Cursor, full bool) error {
 		if len(st.parts) != 1 {
 			return fmt.Errorf("core: single-part delta against %d-part baseline", len(st.parts))
 		}
-		ver, err := st.parts[0].applyDelta(payload, st.epoch, st.vers[0])
+		ver, err := st.parts[0].applyDelta(payload, st.epoch, st.vers[0], st.noteCell)
 		if err != nil {
 			return err
 		}
@@ -501,6 +546,8 @@ func (st *DeltaState) applyFull(payload []byte, cur Cursor) error {
 	default:
 		return fmt.Errorf("core: unknown snapshot tag 0x%02x", payload[0])
 	}
+	// A fresh baseline invalidates any cell-granular accumulation.
+	st.changed, st.changedAll = nil, true
 	if cur.IsZero() {
 		// Producer does not speak cursors (legacy server, plain snapshot
 		// source): keep pulling full.
@@ -590,9 +637,11 @@ func (st *DeltaState) applyMultiDelta(payload []byte, cur Cursor) error {
 			sk.Advance(sk.Now())
 			st.parts[idx] = sk
 			newVers[idx] = cur.Vers[idx]
+			// No cell granularity on replacement: anything may differ.
+			st.changed, st.changedAll = nil, true
 			continue
 		}
-		ver, err := st.parts[idx].applyDelta(sub, st.epoch, st.vers[idx])
+		ver, err := st.parts[idx].applyDelta(sub, st.epoch, st.vers[idx], st.noteCell)
 		if err != nil {
 			return fmt.Errorf("core: part %d: %w", idx, err)
 		}

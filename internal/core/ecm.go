@@ -304,6 +304,20 @@ func (s *Sketch) EstimateString(key string, r Tick) float64 {
 	return s.Estimate(hashing.KeyString(key), r)
 }
 
+// CellIndices appends the d counter indices key's estimate is read from —
+// the cells j·w + h_j(key) the min in Estimate ranges over. The mapping
+// depends only on the sketch geometry (width, depth, seed), so it is
+// identical across every stripe, part and merged summary of one deployment;
+// standing-query evaluation uses it to intersect watched keys with changed
+// cells. Hash families are immutable, so this is safe without locks.
+func (s *Sketch) CellIndices(key uint64, dst []int) []int {
+	k := hashing.Fold(key)
+	for j := 0; j < s.d; j++ {
+		dst = append(dst, j*s.w+s.fam.HashFolded(j, k))
+	}
+	return dst
+}
+
 // EstimateInterval estimates the frequency of key within the tick interval
 // (from, to], an arbitrary sub-range of the window, as the difference of two
 // suffix estimates per counter. The window error doubles to 2·ε_sw compared

@@ -18,6 +18,12 @@ const (
 	wireEH byte = 0xE1
 	wireDW byte = 0xE2
 	wireRW byte = 0xE3
+	// wireEHBare is the config-elided EH cell form used inside delta
+	// payloads, where the receiving bank's own Config is authoritative:
+	// tag, now, buckets — no embedded Config (~30 B saved per cell).
+	// Standalone encodings (Marshal, AppendMarshalCell) keep the
+	// self-describing wireEH form byte-for-byte.
+	wireEHBare byte = 0xE4
 )
 
 var errTruncated = errors.New("window: truncated encoding")
@@ -200,26 +206,44 @@ func (b *EHBank) AppendMarshalCell(dst []byte, i int, scratch []Bucket) ([]byte,
 	return appendEHBuckets(dst, scratch), scratch
 }
 
-// UnmarshalCell decodes an EH encoding (as written by EH.Marshal or
-// AppendMarshalCell) into cell i, which must be empty. The embedded
-// configuration must match the bank's: bank cells share one Config by
-// construction, so a mismatch means the encoding belongs to a different
-// synopsis.
+// AppendMarshalCellBare appends cell i's config-elided encoding (wireEHBare)
+// to dst: tag, now, buckets. Delta payloads carry one cell per changed
+// index, so repeating the shared bank Config per cell would roughly double
+// a sparse delta pre-gzip; the receiver validated config identity when it
+// accepted the baseline snapshot, and UnmarshalCell trusts its own bank's
+// Config for bare cells.
+func (b *EHBank) AppendMarshalCellBare(dst []byte, i int, scratch []Bucket) ([]byte, []Bucket) {
+	dst = append(dst, wireEHBare)
+	dst = binary.AppendUvarint(dst, b.cells[i].now)
+	scratch = b.AppendBuckets(scratch[:0], i)
+	return appendEHBuckets(dst, scratch), scratch
+}
+
+// UnmarshalCell decodes an EH encoding (as written by EH.Marshal,
+// AppendMarshalCell or AppendMarshalCellBare) into cell i, which must be
+// empty. A full-form encoding embeds its Config, which must match the
+// bank's: bank cells share one Config by construction, so a mismatch means
+// the encoding belongs to a different synopsis. A bare encoding carries no
+// Config and inherits the bank's.
 func (b *EHBank) UnmarshalCell(i int, enc []byte) error {
 	r := wireReader{b: enc}
 	tag, err := r.byte1()
 	if err != nil {
 		return err
 	}
-	if tag != wireEH {
+	switch tag {
+	case wireEH:
+		cfg, err := r.config()
+		if err != nil {
+			return err
+		}
+		if !configEqual(cfg, b.cfg) {
+			return fmt.Errorf("window: EH encoding config %+v does not match bank config %+v", cfg, b.cfg)
+		}
+	case wireEHBare:
+		// Config elided; the bank's own is authoritative.
+	default:
 		return fmt.Errorf("window: expected EH encoding, got tag 0x%02x", tag)
-	}
-	cfg, err := r.config()
-	if err != nil {
-		return err
-	}
-	if !configEqual(cfg, b.cfg) {
-		return fmt.Errorf("window: EH encoding config %+v does not match bank config %+v", cfg, b.cfg)
 	}
 	now, err := r.uvarint()
 	if err != nil {

@@ -24,6 +24,7 @@ package wire
 import (
 	"bytes"
 	"compress/gzip"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -116,6 +117,38 @@ func U64Field(asStrings bool, v uint64) any {
 		return strconv.FormatUint(v, 10)
 	}
 	return v
+}
+
+// CheckBearer reports whether the request carries the expected bearer
+// token. The comparison is constant-time in the token bytes, so a probing
+// client learns nothing about how much of its guess matched. (Length still
+// leaks, as with any constant-time compare of variable-length secrets;
+// tokens are not guessable by length.)
+func CheckBearer(r *http.Request, token string) bool {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) < len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(auth[len(prefix):]), []byte(token)) == 1
+}
+
+// RequireBearer wraps a handler with bearer-token auth: requests without
+// the exact token get the /v1 JSON 401. An empty token disables auth and
+// returns next unchanged, so servers thread their (possibly empty)
+// configured token through unconditionally.
+func RequireBearer(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !CheckBearer(r, token) {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			Error(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // MaxQueryKeys bounds the per-request key count of POST /v1/query. A batch
@@ -292,12 +325,21 @@ type SnapshotReply struct {
 // size can be measured) and decompressing the body when the server took the
 // offer.
 func FetchSnapshot(hc *http.Client, url string) (SnapshotReply, error) {
+	return FetchSnapshotAuth(hc, url, "")
+}
+
+// FetchSnapshotAuth is FetchSnapshot with an optional bearer token ("" sends
+// no Authorization header) for servers running with auth enabled.
+func FetchSnapshotAuth(hc *http.Client, url, token string) (SnapshotReply, error) {
 	var rep SnapshotReply
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return rep, err
 	}
 	req.Header.Set("Accept-Encoding", "gzip")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return rep, err

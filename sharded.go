@@ -73,6 +73,11 @@ type Sharded struct {
 	// rebuilds counts completed merged-view builds (see ViewRebuilds).
 	rebuilds atomic.Uint64
 
+	// notifier, when set, receives change notes after every mutation —
+	// the hook standing-query evaluation hangs off. Stored behind an
+	// atomic pointer so SetNotifier is safe against in-flight ingest.
+	notifier atomic.Pointer[Notifier]
+
 	// refreshStop/refreshDone bracket the background view refresher's
 	// lifetime (nil when RefreshInterval is 0); closeOnce makes Close
 	// idempotent.
@@ -265,6 +270,33 @@ func (s *shard) noteMutation() {
 	s.version.Add(1)
 }
 
+// SetNotifier installs (or, with nil, removes) the change-note hook. Notes
+// are delivered synchronously on the mutating goroutine after the stripe
+// locks are released — the notifier may query the engine, and a slow
+// notifier slows its caller, never other writers. The standing-query
+// registry is the intended notifier; see StandingRegistry.
+func (sh *Sharded) SetNotifier(n Notifier) {
+	if n == nil {
+		sh.notifier.Store(nil)
+		return
+	}
+	sh.notifier.Store(&n)
+}
+
+func (sh *Sharded) loadNotifier() Notifier {
+	if p := sh.notifier.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// CellIndices reports the Count-Min cells key's estimate reads — identical
+// in every stripe, since all stripes share one hash family (see
+// Sketch.CellIndices).
+func (sh *Sharded) CellIndices(key uint64, dst []int) []int {
+	return sh.shards[0].sk.CellIndices(key, dst)
+}
+
 // Add registers one arrival of key at tick t.
 func (sh *Sharded) Add(key uint64, t Tick) { sh.AddN(key, t, 1) }
 
@@ -276,6 +308,9 @@ func (sh *Sharded) AddN(key uint64, t Tick, n uint64) {
 	s.sk.AddN(key, t, n)
 	s.noteMutation()
 	s.mu.Unlock()
+	if nt := sh.loadNotifier(); nt != nil {
+		nt.NoteKey(key)
+	}
 }
 
 // AddString registers one arrival of a string-keyed item.
@@ -309,6 +344,9 @@ func (sh *Sharded) AddBatch(events []Event) {
 		s.noteMutation()
 		s.mu.Unlock()
 		sh.observe(maxTick)
+		if nt := sh.loadNotifier(); nt != nil {
+			nt.NoteEvents(events)
+		}
 		return
 	}
 	sc := batchScratchPool.Get().(*shardedBatchScratch)
@@ -360,6 +398,9 @@ func (sh *Sharded) AddBatch(events []Event) {
 		s.mu.Unlock()
 		sc.sub = sub[:0] // retain any growth for the next stripe
 	}
+	if nt := sh.loadNotifier(); nt != nil {
+		nt.NoteEvents(events)
+	}
 }
 
 // shardedBatchScratch is the pooled working memory of Sharded.AddBatch:
@@ -401,6 +442,9 @@ func (sh *Sharded) Advance(t Tick) {
 		s.sk.Advance(t)
 		s.noteMutation()
 		s.mu.Unlock()
+	}
+	if nt := sh.loadNotifier(); nt != nil {
+		nt.NoteAdvance()
 	}
 }
 
