@@ -8,8 +8,9 @@ import (
 	"ecmsketch"
 )
 
-// The -ingest mode measures the ingest hot path of the three local engines
-// (single Sketch, SafeSketch, Sharded) and writes machine-readable results,
+// The -ingest mode measures the ingest hot path of the local engines
+// (single Sketch, SafeSketch, Sharded in sync and async pipeline modes) and
+// writes machine-readable results,
 // so layout and locking changes leave a recorded perf trajectory in the repo
 // (BENCH_ingest.json) instead of numbers lost in terminal scrollback.
 //
@@ -24,7 +25,7 @@ import (
 
 // IngestResult is one engine/mode measurement.
 type IngestResult struct {
-	Engine       string  `json:"engine"`       // single | safe | sharded
+	Engine       string  `json:"engine"`       // single | safe | sharded | sharded-async
 	Mode         string  `json:"mode"`         // add | batch64 | batch1024 | fresh-batch64
 	Goroutines   int     `json:"goroutines"`   // concurrent writers
 	NsPerEvent   float64 `json:"ns_per_event"` // wall-clock ns per ingested event
@@ -56,6 +57,9 @@ func ingestEngines() []struct {
 		{"safe", func() (ecmsketch.Ingestor, error) { return ecmsketch.NewSafe(benchParams()) }},
 		{"sharded", func() (ecmsketch.Ingestor, error) {
 			return ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: benchParams(), Shards: 16})
+		}},
+		{"sharded-async", func() (ecmsketch.Ingestor, error) {
+			return ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: benchParams(), Shards: 16, Async: true})
 		}},
 	}
 }
@@ -115,6 +119,19 @@ func runIngestOnce(mk func() (ecmsketch.Ingestor, error), goroutines, batchSize,
 			}(g)
 		}
 		wg.Wait()
+		// Async engines buffer ingest in per-stripe queues; the measurement
+		// is only honest if it includes draining them, so the flush barrier
+		// stays inside the timer. Teardown (stopping the stripe owners)
+		// does not, and must run regardless: testing.Benchmark re-invokes
+		// this closure while calibrating, and each invocation builds a
+		// fresh engine whose pipeline goroutines would otherwise leak.
+		if f, ok := ing.(interface{ Flush() }); ok {
+			f.Flush()
+		}
+		b.StopTimer()
+		if c, ok := ing.(interface{ Close() error }); ok {
+			c.Close()
+		}
 	}
 }
 
@@ -130,6 +147,7 @@ func runIngestBench(label, out string) error {
 		{"batch1024", 1, 1024, 0},
 		{"fresh-batch64", 1, 64, 1 << 17},
 		{"batch64", 4, 64, 0},
+		{"batch64", 16, 64, 0},
 	}
 	run := IngestRun{Label: label}
 	for _, eng := range ingestEngines() {
@@ -139,6 +157,9 @@ func runIngestBench(label, out string) error {
 			}
 			if eng.name != "single" && m.resetEvery > 0 {
 				continue // growth-phase mode relies on Sketch.Reset
+			}
+			if m.goroutines > 4 && eng.name != "sharded" && eng.name != "sharded-async" {
+				continue // writer-scaling mode targets the striped engines
 			}
 			r := testing.Benchmark(runIngestOnce(eng.mk, m.goroutines, m.batch, m.resetEvery))
 			ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -157,4 +178,51 @@ func runIngestBench(label, out string) error {
 		}
 	}
 	return appendRun(out, "ingest", run)
+}
+
+// runIngestSmoke is the CI regression gate for the batch ingest pipeline: a
+// paired, same-process comparison of per-event AddN against AddBatch on a
+// single Sketch at the acceptance operating point. The two sides are
+// interleaved and the minimum of three rounds taken, so one background-noise
+// spike cannot fail the build; the gate then requires the batch pipeline to
+// keep its required 1.25x edge over per-event ingest, with a 20% noise
+// allowance (net: batch must not be slower than per-event). The sync-vs-async
+// Sharded pair is measured and printed alongside for trend visibility but not
+// gated — writer scaling depends on the runner's core count, which this gate
+// must not.
+func runIngestSmoke() error {
+	const (
+		requiredSpeedup = 1.25
+		noiseTolerance  = 0.80
+	)
+	mks := map[string]func() (ecmsketch.Ingestor, error){}
+	for _, eng := range ingestEngines() {
+		mks[eng.name] = eng.mk
+	}
+	single, sharded, shardedAsync := mks["single"], mks["sharded"], mks["sharded-async"]
+	minNs := func(goroutines, batch int, mk func() (ecmsketch.Ingestor, error)) float64 {
+		best := 0.0
+		for round := 0; round < 3; round++ {
+			r := testing.Benchmark(runIngestOnce(mk, goroutines, batch, 0))
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	addNs := minNs(1, 1, single)
+	batchNs := minNs(1, 1024, single)
+	syncNs := minNs(4, 64, sharded)
+	asyncNs := minNs(4, 64, shardedAsync)
+	speedup := addNs / batchNs
+	fmt.Printf("ingest smoke: add %.1f ns/event, batch1024 %.1f ns/event, speedup %.2fx (gate: >= %.2fx)\n",
+		addNs, batchNs, speedup, requiredSpeedup*noiseTolerance)
+	fmt.Printf("ingest smoke: sharded batch64 x4 writers sync %.1f ns/event, async %.1f ns/event (informational)\n",
+		syncNs, asyncNs)
+	if speedup < requiredSpeedup*noiseTolerance {
+		return fmt.Errorf("batch ingest regressed: %.2fx speedup over per-event, need >= %.2fx",
+			speedup, requiredSpeedup*noiseTolerance)
+	}
+	return nil
 }

@@ -29,6 +29,7 @@ func main() {
 		dataset = flag.String("dataset", "both", "dataset: wc98|snmp|both")
 		events  = flag.Int("events", experiments.DefaultScale, "stream length per dataset")
 		ingest  = flag.Bool("ingest", false, "measure engine ingest throughput and append JSON results to -out instead of running paper experiments")
+		ismoke  = flag.Bool("ingestsmoke", false, "paired same-process ingest regression gate: exit non-zero if the batch pipeline loses its required edge over per-event ingest (20% noise tolerance)")
 		query   = flag.Bool("query", false, "measure merged-view query latency under concurrent readers/writers and append JSON results to -out")
 		qwire   = flag.Bool("querywire", false, "measure wire-level QueryBatch round trips (ecmclient → ecmserver over loopback HTTP) and append JSON results to -out")
 		dwire   = flag.Bool("deltawire", false, "measure full-pull vs delta-pull coordinator bytes and latency over a slow-moving stream (loopback HTTP) and append JSON results to -out")
@@ -44,6 +45,13 @@ func main() {
 			path = "BENCH_ingest.json"
 		}
 		if err := runIngestBench(*label, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ismoke {
+		if err := runIngestSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

@@ -170,13 +170,13 @@ func ParseCursor(s string) (Cursor, error) {
 }
 
 // DeltaVersion reports the sketch's arrival-mutation version — the scalar a
-// cursor carries per part. The flat exponential-histogram engine tracks it
-// in the bank (alongside the per-cell versions that make deltas
-// cell-granular); wave engines keep a sketch-level counter and ship full on
-// any change.
+// cursor carries per part. The flat engines (all three paper algorithms)
+// track it in their bank, alongside the per-cell versions that make deltas
+// cell-granular; the test-only exact engine keeps a sketch-level counter and
+// ships full on any change.
 func (s *Sketch) DeltaVersion() uint64 {
-	if s.eh != nil {
-		return s.eh.Version()
+	if s.bank != nil {
+		return s.bank.Version()
 	}
 	return s.waveVer
 }
@@ -199,9 +199,9 @@ func (s *Sketch) DeltaSnapshot(since Cursor) ([]byte, Cursor, bool, error) {
 	ver := s.DeltaVersion()
 	cur := Cursor{Epoch: s.epoch, Vers: []uint64{ver}}
 	ok := since.Epoch == s.epoch && len(since.Vers) == 1 && since.Vers[0] <= ver
-	// Wave engines have no per-cell change tracking: they answer with an
+	// The exact engine has no per-cell change tracking: it answers with an
 	// empty delta when nothing changed and a full snapshot otherwise.
-	if ok && (s.eh != nil || since.Vers[0] == ver) {
+	if ok && (s.bank != nil || since.Vers[0] == ver) {
 		s.Advance(s.now)
 		return s.appendDelta(nil, s.epoch, since.Vers[0]), cur, false, nil
 	}
@@ -229,13 +229,13 @@ func (s *Sketch) appendDelta(dst []byte, epoch, base uint64) []byte {
 	dst = binary.AppendUvarint(dst, s.count)
 	dst = binary.AppendUvarint(dst, s.salt)
 	dst = binary.AppendUvarint(dst, s.seq)
-	if s.eh == nil {
-		// Wave engines only emit deltas for the nothing-changed case.
+	if s.bank == nil {
+		// The exact engine only emits deltas for the nothing-changed case.
 		return binary.AppendUvarint(dst, 0)
 	}
 	changed := 0
 	for i := 0; i < s.d*s.w; i++ {
-		if s.eh.CellChangedSince(i, base) {
+		if s.bank.CellChangedSince(i, base) {
 			changed++
 		}
 	}
@@ -244,12 +244,19 @@ func (s *Sketch) appendDelta(dst []byte, epoch, base uint64) []byte {
 	var cell []byte
 	var scratch []window.Bucket
 	for i := 0; i < s.d*s.w; i++ {
-		if !s.eh.CellChangedSince(i, base) {
+		if !s.bank.CellChangedSince(i, base) {
 			continue
 		}
 		dst = binary.AppendUvarint(dst, uint64(i-prev))
 		prev = i
-		cell, scratch = s.eh.AppendMarshalCellBare(cell[:0], i, scratch)
+		switch {
+		case s.eh != nil:
+			cell, scratch = s.eh.AppendMarshalCellBare(cell[:0], i, scratch)
+		case s.dw != nil:
+			cell = s.dw.AppendMarshalCellBare(cell[:0], i)
+		default:
+			cell = s.rw.AppendMarshalCellBare(cell[:0], i)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(cell)))
 		dst = append(dst, cell...)
 	}
@@ -296,7 +303,7 @@ func (s *Sketch) applyDelta(payload []byte, epoch, base uint64, record func(int)
 	if hdr.ver < hdr.base {
 		return 0, errors.New("core: delta version regressed")
 	}
-	if s.eh == nil && hdr.changed != 0 {
+	if s.bank == nil && hdr.changed != 0 {
 		return 0, errors.New("core: cell-granular delta for a per-object engine")
 	}
 	if hdr.changed > uint64(len(payload)) { // ≥1 byte per changed cell
@@ -327,8 +334,8 @@ func (s *Sketch) applyDelta(payload []byte, epoch, base uint64, record func(int)
 		}
 		enc := payload[off : off+int(ln)]
 		off += int(ln)
-		s.eh.ResetCell(idx)
-		if err := s.eh.UnmarshalCell(idx, enc); err != nil {
+		s.bank.ResetCell(idx)
+		if err := s.bank.UnmarshalCell(idx, enc); err != nil {
 			return 0, fmt.Errorf("core: delta cell %d: %w", idx, err)
 		}
 		if record != nil {
@@ -344,8 +351,15 @@ func (s *Sketch) applyDelta(payload []byte, epoch, base uint64, record func(int)
 	s.count, s.salt, s.seq = hdr.count, hdr.salt, hdr.seq
 	// Settle every cell — including the unchanged ones — to the delta's
 	// clock: this replays the producer's expiry exactly (no tombstones on
-	// the wire; expiry is deterministic).
-	s.Advance(s.now)
+	// the wire; expiry is deterministic). Cells the replay mutates join the
+	// change feed — their estimates moved (for the wave synopses possibly
+	// upward, when expiry forces a coarser level) even though no encoding
+	// for them was shipped.
+	if s.bank != nil && record != nil {
+		s.bank.AdvanceAllNoting(s.now, record)
+	} else {
+		s.Advance(s.now)
+	}
 	return hdr.ver, nil
 }
 

@@ -131,51 +131,126 @@ func TestDeltaSparsity(t *testing.T) {
 	}
 }
 
-// TestDeltaWaveFallback: per-object (wave) engines serve empty deltas when
-// idle and fall back to full snapshots when anything changed.
-func TestDeltaWaveFallback(t *testing.T) {
-	p := deltaTestParams()
-	p.Algorithm = window.AlgoDW
-	p.UpperBound = 1 << 16
-	s, err := New(p)
-	if err != nil {
-		t.Fatal(err)
+// TestDeltaWaveCellGranular: since the wave engines moved onto the flat
+// arenas they ship cell-granular deltas exactly like the exponential
+// histograms — empty when idle, a few changed cells (not a full snapshot)
+// after a single-key mutation, reconstructing byte-identically.
+func TestDeltaWaveCellGranular(t *testing.T) {
+	for _, algo := range []window.Algorithm{window.AlgoDW, window.AlgoRW} {
+		t.Run(algo.String(), func(t *testing.T) {
+			p := deltaTestParams()
+			p.Algorithm = algo
+			p.UpperBound = 1 << 16
+			s, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Add(1, 1)
+			var st DeltaState
+			payload, cur, full, _ := s.DeltaSnapshot(st.Cursor())
+			if !full {
+				t.Fatal("bootstrap pull not full")
+			}
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			// Idle: an empty delta, applied cleanly.
+			payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
+			if full {
+				t.Fatal("idle wave pull should be an (empty) delta")
+			}
+			if len(payload) > 64 {
+				t.Fatalf("idle wave delta is %dB", len(payload))
+			}
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			// Mutated: an incremental delta shipping only the touched cells,
+			// far below a full snapshot.
+			fullLen := len(s.Marshal())
+			s.Add(2, 5)
+			payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
+			if full {
+				t.Fatal("mutated wave pull should be an incremental delta")
+			}
+			if len(payload)*4 > fullLen {
+				t.Fatalf("one-key wave delta %dB not ≪ full %dB", len(payload), fullLen)
+			}
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Marshal(), s.Marshal()) {
+				t.Fatal("wave reconstruction diverged")
+			}
+		})
 	}
-	s.Add(1, 1)
-	var st DeltaState
-	payload, cur, full, _ := s.DeltaSnapshot(st.Cursor())
-	if !full {
-		t.Fatal("bootstrap pull not full")
-	}
-	if err := st.Apply(payload, cur, full); err != nil {
-		t.Fatal(err)
-	}
-	// Idle: an empty delta, applied cleanly.
-	payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
-	if full {
-		t.Fatal("idle wave pull should be an (empty) delta")
-	}
-	if len(payload) > 64 {
-		t.Fatalf("idle wave delta is %dB", len(payload))
-	}
-	if err := st.Apply(payload, cur, full); err != nil {
-		t.Fatal(err)
-	}
-	// Mutated: a full snapshot.
-	s.Add(2, 5)
-	payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
-	if !full {
-		t.Fatal("mutated wave pull should fall back to full")
-	}
-	if err := st.Apply(payload, cur, full); err != nil {
-		t.Fatal(err)
-	}
-	got, err := st.Materialize()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(got.Marshal(), s.Marshal()) {
-		t.Fatal("wave reconstruction diverged")
+}
+
+// TestDeltaExpiryJoinsChangeFeed: applying a delta that advances the
+// receiver's clock replays the producer's expiry, and the cells that
+// replay mutates must join the changed-cell feed even though no encoding
+// for them was shipped — their estimates moved (for the wave synopses
+// possibly upward, when expiry forces a coarser level), and standing-query
+// evaluation over the feed must treat them as touched.
+func TestDeltaExpiryJoinsChangeFeed(t *testing.T) {
+	for _, algo := range []window.Algorithm{window.AlgoEH, window.AlgoDW, window.AlgoRW} {
+		t.Run(algo.String(), func(t *testing.T) {
+			p := deltaTestParams()
+			p.Algorithm = algo
+			p.UpperBound = 1 << 16
+			s, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 8; k++ {
+				s.Add(uint64(k), Tick(k+1))
+			}
+			var st DeltaState
+			payload, cur, full, _ := s.DeltaSnapshot(st.Cursor())
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			st.TakeChangedCells() // drop the baseline's changed-all marker
+
+			// Pure advance far past the window: every cell's content expires
+			// on the producer, and the pull ships a delta with zero cell
+			// encodings — only the new clock.
+			s.Advance(5000)
+			payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
+			if full {
+				t.Fatal("advance-only pull should be a delta")
+			}
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			cells, all := st.TakeChangedCells()
+			if all {
+				t.Fatal("advance-only delta must keep cell granularity")
+			}
+			if len(cells) == 0 {
+				t.Fatal("expiry emptied every touched cell, yet the change feed is empty")
+			}
+			got, err := st.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Marshal(), s.Marshal()) {
+				t.Fatal("expiry replay diverged from producer")
+			}
+
+			// A second identical pull changes nothing and notes nothing.
+			payload, cur, full, _ = s.DeltaSnapshot(st.Cursor())
+			if err := st.Apply(payload, cur, full); err != nil {
+				t.Fatal(err)
+			}
+			if cells, all := st.TakeChangedCells(); all || len(cells) != 0 {
+				t.Fatalf("idle pull noted changes: %v all=%v", cells, all)
+			}
+		})
 	}
 }
 

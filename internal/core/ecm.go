@@ -50,24 +50,49 @@ type Params struct {
 // never collide across sites.
 var ecmSaltCounter uint64
 
+// cellBank is the algorithm-independent surface of the flat arena engines
+// (window.EHBank, window.DWBank, window.RWBank): everything the sketch needs
+// per cell except ingest and serialization, which stay on the concrete types
+// — ingest because the per-algorithm entry points differ (bucketed AddN
+// versus per-identifier AddID), serialization because the bank encoders
+// append into caller-owned scratch without interface-boxing allocations.
+type cellBank interface {
+	Advance(i int, t Tick)
+	AdvanceAll(t Tick)
+	AdvanceAllNoting(t Tick, note func(int))
+	Now(i int) Tick
+	EstimateSince(i int, since Tick) float64
+	EstimateRange(i int, r Tick) float64
+	Version() uint64
+	CellChangedSince(i int, since uint64) bool
+	ResetCell(i int)
+	Reset()
+	MemoryBytes() int
+	MarshalCellSize(i int) int
+	UnmarshalCell(i int, enc []byte) error
+}
+
 // Sketch is an ECM-sketch: a d×w Count-Min array whose counters are sliding
 // window synopses. It supports point queries, inner-product and self-join
 // queries over any sub-range of the window, and order-preserving aggregation
 // with other sketches of identical configuration.
 //
-// For the default exponential-histogram algorithm the d×w counters live in
-// one flat arena (window.EHBank): a contiguous bucket slab addressed
+// All three paper algorithms keep their d×w counters in one flat arena
+// (window.EHBank, window.DWBank, window.RWBank): a contiguous slab addressed
 // row-major, with no per-counter heap objects and no interface dispatch on
-// the ingest path. The wave algorithms keep one window.Counter object per
-// cell.
+// the ingest path. Only the test-only exact algorithm keeps one
+// window.Counter object per cell.
 //
 // Sketch is not safe for concurrent use; distributed sites each own one.
 type Sketch struct {
 	params   Params
 	split    Split
 	fam      *hashing.Family
-	eh       *window.EHBank   // flat engine; non-nil iff Algorithm == AlgoEH
-	counters []window.Counter // row-major d×w; nil when eh is in use
+	eh       *window.EHBank   // flat EH engine; non-nil iff Algorithm == AlgoEH
+	dw       *window.DWBank   // flat DW engine; non-nil iff Algorithm == AlgoDW
+	rw       *window.RWBank   // flat RW engine; non-nil iff Algorithm == AlgoRW
+	bank     cellBank         // whichever of the three is in use, or nil
+	counters []window.Counter // row-major d×w; only for the exact algorithm
 	w, d     int
 	wcfg     window.Config
 	now      Tick
@@ -132,12 +157,30 @@ func New(p Params) (*Sketch, error) {
 		salt:   hashing.Mix64(atomic.AddUint64(&ecmSaltCounter, 1) * 0x94d049bb133111eb),
 		epoch:  newEpoch(),
 	}
-	if p.Algorithm == window.AlgoEH {
+	switch p.Algorithm {
+	case window.AlgoEH:
 		bank, err := window.NewEHBank(wcfg, d*w)
 		if err != nil {
 			return nil, err
 		}
 		s.eh = bank
+		s.bank = bank
+		return s, nil
+	case window.AlgoDW:
+		bank, err := window.NewDWBank(wcfg, d*w)
+		if err != nil {
+			return nil, err
+		}
+		s.dw = bank
+		s.bank = bank
+		return s, nil
+	case window.AlgoRW:
+		bank, err := window.NewRWBank(wcfg, d*w)
+		if err != nil {
+			return nil, err
+		}
+		s.rw = bank
+		s.bank = bank
 		return s, nil
 	}
 	s.counters = make([]window.Counter, d*w)
@@ -222,27 +265,33 @@ func (s *Sketch) AddN(key uint64, t Tick, n uint64) {
 		return
 	}
 	k := hashing.Fold(key)
-	if s.eh != nil {
+	switch {
+	case s.eh != nil:
 		for j := 0; j < s.d; j++ {
 			s.eh.AddN(j*s.w+s.fam.HashFolded(j, k), t, n)
 		}
-		return
-	}
-	for j := 0; j < s.d; j++ {
-		s.counters[j*s.w+s.fam.HashFolded(j, k)].AddN(t, n)
+	case s.dw != nil:
+		for j := 0; j < s.d; j++ {
+			s.dw.AddN(j*s.w+s.fam.HashFolded(j, k), t, n)
+		}
+	default:
+		for j := 0; j < s.d; j++ {
+			s.counters[j*s.w+s.fam.HashFolded(j, k)].AddN(t, n)
+		}
 	}
 }
 
 // addRW inserts n unit arrivals with fresh identifiers into the d
 // randomized-wave counters owning key; callers maintain s.now and s.count.
+// The d counters share each arrival's identifier — that is what makes the
+// position-wise merge union duplicate-insensitive across sites.
 func (s *Sketch) addRW(key uint64, t Tick, n uint64) {
 	k := hashing.Fold(key)
 	for u := uint64(0); u < n; u++ {
 		s.seq++
 		id := hashing.Mix64(s.salt ^ s.seq)
 		for j := 0; j < s.d; j++ {
-			rw := s.counters[j*s.w+s.fam.HashFolded(j, k)].(*window.RW)
-			rw.AddID(t, id)
+			s.rw.AddID(j*s.w+s.fam.HashFolded(j, k), t, id)
 		}
 	}
 }
@@ -252,8 +301,8 @@ func (s *Sketch) Advance(t Tick) {
 	if t > s.now {
 		s.now = t
 	}
-	if s.eh != nil {
-		s.eh.AdvanceAll(t)
+	if s.bank != nil {
+		s.bank.AdvanceAll(t)
 		return
 	}
 	for _, c := range s.counters {
@@ -265,9 +314,9 @@ func (s *Sketch) Advance(t Tick) {
 // are only advanced on their own arrivals; the helper first aligns them with
 // the sketch clock so expired content does not linger.
 func (s *Sketch) cellEstimateRange(idx int, r Tick) float64 {
-	if s.eh != nil {
-		s.eh.Advance(idx, s.now)
-		return s.eh.EstimateRange(idx, r)
+	if s.bank != nil {
+		s.bank.Advance(idx, s.now)
+		return s.bank.EstimateRange(idx, r)
 	}
 	c := s.counters[idx]
 	c.Advance(s.now)
@@ -277,9 +326,9 @@ func (s *Sketch) cellEstimateRange(idx int, r Tick) float64 {
 // cellEstimateSince evaluates counter idx for ticks > since, aligning the
 // counter with the sketch clock first.
 func (s *Sketch) cellEstimateSince(idx int, since Tick) float64 {
-	if s.eh != nil {
-		s.eh.Advance(idx, s.now)
-		return s.eh.EstimateSince(idx, since)
+	if s.bank != nil {
+		s.bank.Advance(idx, s.now)
+		return s.bank.EstimateSince(idx, since)
 	}
 	c := s.counters[idx]
 	c.Advance(s.now)
@@ -426,8 +475,8 @@ func (s *Sketch) EstimateTotal(r Tick) float64 {
 // reports the arena slabs directly; per-object engines sum their counters.
 func (s *Sketch) MemoryBytes() int {
 	n := 128
-	if s.eh != nil {
-		return n + s.eh.MemoryBytes()
+	if s.bank != nil {
+		return n + s.bank.MemoryBytes()
 	}
 	for _, c := range s.counters {
 		n += c.MemoryBytes()
@@ -436,10 +485,10 @@ func (s *Sketch) MemoryBytes() int {
 }
 
 // Reset empties every counter, keeping the configuration (and, for the flat
-// engine, the arena capacity).
+// engines, the arena capacity).
 func (s *Sketch) Reset() {
-	if s.eh != nil {
-		s.eh.Reset()
+	if s.bank != nil {
+		s.bank.Reset()
 	}
 	for _, c := range s.counters {
 		c.Reset()

@@ -45,16 +45,23 @@ func (s *Sketch) Marshal() []byte {
 	putU(s.count)
 	putU(s.salt)
 	putU(s.seq)
-	if s.eh != nil {
-		// Flat engine: encode each cell straight out of the arena through
+	if s.bank != nil {
+		// Flat engines: encode each cell straight out of the arena through
 		// call-local scratch buffers — the arena itself is only read, so
 		// frozen sketches (the sharded engine's published views) marshal
 		// concurrently without coordination. The bytes are identical to what
-		// a per-object EH holding the same content would write.
+		// a per-object counter holding the same content would write.
 		var cell []byte
 		var scratch []window.Bucket
 		for i := 0; i < s.d*s.w; i++ {
-			cell, scratch = s.eh.AppendMarshalCell(cell[:0], i, scratch)
+			switch {
+			case s.eh != nil:
+				cell, scratch = s.eh.AppendMarshalCell(cell[:0], i, scratch)
+			case s.dw != nil:
+				cell = s.dw.AppendMarshalCell(cell[:0], i)
+			default:
+				cell = s.rw.AppendMarshalCell(cell[:0], i)
+			}
 			putU(uint64(len(cell)))
 			buf.Write(cell)
 		}
@@ -80,15 +87,15 @@ func (s *Sketch) Marshal() []byte {
 }
 
 // WireSize reports len(s.Marshal()) without producing the encoding: the
-// fixed header fields are summed directly and, on the flat
-// exponential-histogram engine, each cell's size comes from a bucket-walk
-// that never materializes bytes. This is what lets the coordinator's
-// network accounting charge a snapshot's transfer cost at the transport
-// boundary while the merge path consumes the snapshot itself — no
-// marshal+decode round trip just to know what shipping it would cost.
-// Wave engines (no arena) fall back to encoding and measuring.
+// fixed header fields are summed directly and, on the flat engines (all
+// three paper algorithms), each cell's size comes from a slab walk that
+// never materializes bytes. This is what lets the coordinator's network
+// accounting charge a snapshot's transfer cost at the transport boundary
+// while the merge path consumes the snapshot itself — no marshal+decode
+// round trip just to know what shipping it would cost. The test-only exact
+// engine falls back to encoding and measuring.
 func (s *Sketch) WireSize() int {
-	if s.eh == nil {
+	if s.bank == nil {
 		return len(s.Marshal())
 	}
 	n := 1 + // wireECM tag
@@ -105,7 +112,7 @@ func (s *Sketch) WireSize() int {
 		window.UvarintLen(s.salt) +
 		window.UvarintLen(s.seq)
 	for i := 0; i < s.d*s.w; i++ {
-		c := s.eh.MarshalCellSize(i)
+		c := s.bank.MarshalCellSize(i)
 		n += window.UvarintLen(uint64(c)) + c
 	}
 	return n
@@ -226,27 +233,13 @@ func Unmarshal(b []byte) (*Sketch, error) {
 		}
 		enc := b[off : off+int(ln)]
 		off += int(ln)
-		switch p.Algorithm {
-		case window.AlgoEH:
-			// Decode straight into the flat arena; cross-version encodings
-			// from the per-object engine restore identically.
-			if err := s.eh.UnmarshalCell(i, enc); err != nil {
-				return nil, fmt.Errorf("core: counter %d: %w", i, err)
-			}
-		case window.AlgoDW:
-			c, err := window.UnmarshalDW(enc)
-			if err != nil {
-				return nil, fmt.Errorf("core: counter %d: %w", i, err)
-			}
-			s.counters[i] = c
-		case window.AlgoRW:
-			c, err := window.UnmarshalRW(enc)
-			if err != nil {
-				return nil, fmt.Errorf("core: counter %d: %w", i, err)
-			}
-			s.counters[i] = c
-		default:
+		// Decode straight into the flat arena; cross-version encodings from
+		// the per-object engines restore identically.
+		if s.bank == nil {
 			return nil, fmt.Errorf("core: cannot decode algorithm %v", p.Algorithm)
+		}
+		if err := s.bank.UnmarshalCell(i, enc); err != nil {
+			return nil, fmt.Errorf("core: counter %d: %w", i, err)
 		}
 	}
 	s.now = now

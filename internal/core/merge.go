@@ -59,7 +59,8 @@ func Merge(inputs ...*Sketch) (*Sketch, error) {
 		}
 		count += in.count
 	}
-	if first.params.Algorithm == window.AlgoEH {
+	switch first.params.Algorithm {
+	case window.AlgoEH:
 		// Flat engine: replay every input cell's buckets (Theorem 4
 		// half/half split, tick-ordered) straight into the output arena —
 		// the same replay MergeEH performs for per-object histograms.
@@ -70,41 +71,30 @@ func Merge(inputs ...*Sketch) (*Sketch, error) {
 			}
 			out.eh.MergeCell(idx, now, lists)
 		}
-		out.now = now
-		out.count = count
-		out.Advance(now)
-		return out, nil
-	}
-	cells := make([]window.Counter, len(first.counters))
-	switch first.params.Algorithm {
 	case window.AlgoDW:
-		for idx := range cells {
-			ins := make([]*window.DW, len(inputs))
-			for k, in := range inputs {
-				ins[k] = in.counters[idx].(*window.DW)
-			}
-			m, err := window.MergeDW(first.wcfg, ins...)
-			if err != nil {
-				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
-			}
-			cells[idx] = m
+		// Deterministic waves replay position-wise like MergeDW: each input
+		// cell's stored ranks linearize into half/half replay events, sorted
+		// by tick across inputs.
+		ins := make([]*window.DWBank, len(inputs))
+		for k, in := range inputs {
+			ins[k] = in.dw
+		}
+		for idx := 0; idx < first.d*first.w; idx++ {
+			out.dw.MergeCell(idx, now, ins)
 		}
 	case window.AlgoRW:
-		for idx := range cells {
-			ins := make([]*window.RW, len(inputs))
-			for k, in := range inputs {
-				ins[k] = in.counters[idx].(*window.RW)
-			}
-			m, err := window.MergeRW(first.wcfg, ins...)
-			if err != nil {
-				return nil, fmt.Errorf("core: merging counter %d: %w", idx, err)
-			}
-			cells[idx] = m
+		// Randomized waves union losslessly position-wise (Section 5.2),
+		// exactly as MergeRW does per object.
+		ins := make([]*window.RWBank, len(inputs))
+		for k, in := range inputs {
+			ins[k] = in.rw
+		}
+		for idx := 0; idx < first.d*first.w; idx++ {
+			out.rw.MergeCell(idx, ins)
 		}
 	default:
 		return nil, fmt.Errorf("core: algorithm %v does not support aggregation", first.params.Algorithm)
 	}
-	out.counters = cells
 	out.now = now
 	out.count = count
 	out.Advance(now)

@@ -61,7 +61,13 @@ func (f PairwiseFunc) Hash(key uint64) int {
 // ingest paths that hash one key with d row functions (an ECM-sketch update)
 // pay the mix once and reuse the folded key via HashFolded.
 func Fold(key uint64) uint64 {
-	x := Mix64(key)
+	return FoldMixed(Mix64(key))
+}
+
+// FoldMixed folds an already-mixed key (Mix64 output) into the hash field:
+// Fold(key) == FoldMixed(Mix64(key)). Callers that have paid the mix for
+// other purposes (cache slot derivation) reuse it here.
+func FoldMixed(x uint64) uint64 {
 	lo := x & mersennePrime31
 	hi := x >> 31
 	return (lo + hi) % mersennePrime31

@@ -25,9 +25,15 @@
 //     predicates it can affect: estimates of untouched keys are
 //     non-increasing under expiry, so a below-threshold predicate cannot
 //     rise and is skipped; armed (above-threshold) predicates, rate
-//     predicates and top-k predicates are re-checked. (The monotonicity
-//     argument holds for the deterministic EH/DW engines; Config's
-//     StrictAdvance disables the skip for randomized-wave deployments.)
+//     predicates and top-k predicates are re-checked. (For EH the
+//     monotonicity argument holds cell by cell. DW estimates can *rise*
+//     when expiry pops a wave position, but the engines report every
+//     expiry-mutated cell through the same change feed as arrivals —
+//     core.Sketch advances its banks with AdvanceAllNoting — so such
+//     cells are "touched", never skipped, and the fast path stays safe.
+//     Randomized waves resample at level switches, which perturbs
+//     untouched cells' estimates without mutating them; Config's
+//     StrictAdvance disables the skip for those deployments.)
 //
 // Evaluation runs synchronously on the mutating goroutine — after the
 // engine's own locks are released — so the fired crossings are a
@@ -229,9 +235,13 @@ type Config struct {
 	// set on coordinator surfaces, which never observe raw keys.
 	RequireKeys bool
 	// StrictAdvance re-checks every predicate on pure clock advances,
-	// for engines whose estimates are not non-increasing under expiry
-	// (the randomized-wave algorithm). Off, below-threshold predicates
-	// are skipped on advances — the EH/DW-safe fast path.
+	// for engines whose estimates can change on cells the change feed
+	// does not report as mutated. Only the randomized-wave algorithm
+	// needs it (sampling noise at level switches); EH is monotone under
+	// expiry, and DW's expiry-driven rises are reported cell-granularly
+	// through the change feed (window.AdvanceAllNoting), so both run the
+	// fast path — below-threshold predicates skipped on advances — with
+	// StrictAdvance off.
 	StrictAdvance bool
 }
 

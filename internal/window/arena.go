@@ -257,49 +257,241 @@ func (b *EHBank) AddN(i int, t Tick, n uint64) {
 }
 
 // AddBatchRow applies one row of a validated batch: event e inserts ns[e]
-// arrivals at ticks[e] into cell base+pos[e]. Ticks must already be
-// non-decreasing and ≥ 1 (the engine-level batch validation guarantees
-// this, making AddN's own clamp checks predictable no-ops); keeping the
-// loop inside the bank spares a cross-package call per event.
+// arrivals at ticks[e] into cell base+pos[e]. A nil ns means every event is
+// a unit arrival, letting the sweep skip the multiplicity loop entirely.
+// Ticks must already be non-decreasing and ≥ 1, and multiplicities ≥ 1 (the
+// engine-level batch validation guarantees this). The body is AddN inlined —
+// the position, tick and multiplicity arrays stream sequentially, the bank's
+// slices live in registers across events, and no per-event call crosses the
+// package boundary. Expiry and version stamping run once per event, exactly
+// where AddN runs them, so bucket structure and delta-cursor versions stay
+// byte-identical to the sequential path.
 func (b *EHBank) AddBatchRow(base int, pos []int32, ticks []Tick, ns []uint64) {
+	stride := b.stride
+	capLv := b.capPerLv
+	winLen := b.cfg.Length
+	cells := b.cells
+	maxLv := b.maxLv
+	dirs := b.dirs
+	slab := b.slab
 	for e, p := range pos {
-		b.AddN(base+int(p), ticks[e], ns[e])
+		i := base + int(p)
+		c := &cells[i]
+		t := ticks[e]
+		if t < c.now {
+			t = c.now // clamp slight out-of-order arrivals, as AddN does
+		}
+		c.now = t
+		if !c.started || c.total == 0 {
+			c.started = true
+			c.oldEnd = t
+			c.oldLv = 0
+		}
+		if c.nLv == 0 {
+			b.addLevel(i)
+			maxLv, dirs, slab = b.maxLv, b.dirs, b.slab
+		}
+		d := &dirs[i*maxLv]
+		n := uint64(1)
+		if ns != nil {
+			n = ns[e]
+		}
+		for {
+			pp := int(d.head) + int(d.n)
+			if pp >= stride {
+				pp -= stride
+			}
+			slab[int(d.off)+pp] = bucket{start: t, end: t}
+			d.n++
+			c.total++
+			if int(d.n) > capLv {
+				// Most cascades are a single level-0→1 merge that propagates
+				// no further (level 1 overflows only every ~capLv merges);
+				// that case runs inline without touching slab/dirs pointers.
+				nx := (*ehLevel)(nil)
+				if int(c.nLv) >= 2 {
+					nx = &dirs[i*maxLv+1]
+				}
+				if nx != nil && int(nx.n) < capLv {
+					end := mergeOldest(d, nx, slab, stride)
+					if c.oldLv == 0 {
+						c.oldLv = 1
+						c.oldEnd = end
+					}
+				} else {
+					b.cascade(i, c, 0)
+					maxLv, dirs, slab = b.maxLv, b.dirs, b.slab
+					d = &dirs[i*maxLv]
+				}
+			}
+			if n--; n == 0 {
+				break
+			}
+		}
+		b.noteCellMutation(i)
+		if t >= winLen && c.oldEnd <= t-winLen {
+			// Inline of expire's no-op fast path: only call when the oldest
+			// bucket's end has actually left the window.
+			b.expire(c, i)
+		}
 	}
+}
+
+// AddBatchRowOrdered applies one row of a validated batch in the grouped
+// order named by order (indices into pos/ticks/ns, grouped by cell
+// position): consecutive touches of the same cell reuse its hot header,
+// directory and slab lines instead of random-walking the arena once per
+// event. Grouping is semantics-preserving because cells are independent and
+// the grouping keeps each cell's arrivals in batch order.
+//
+// The insert loop is AddN's body inlined the same way AddBatchRow's is (nil
+// ns again means all-unit arrivals), with the cell header, directory pointer
+// and level-0 existence check hoisted across each run of same-cell events.
+// Version stamping and expiry run once per event, exactly where AddN runs
+// them: bank versions ride inside delta cursors, so even their cadence is
+// pinned by the golden wire vectors.
+func (b *EHBank) AddBatchRowOrdered(base int, pos []int32, ticks []Tick, ns []uint64, order []int32) {
+	stride := b.stride
+	capLv := b.capPerLv
+	winLen := b.cfg.Length
+	cells := b.cells
+	maxLv := b.maxLv
+	dirs := b.dirs
+	slab := b.slab
+	kmax := len(order)
+	for k := 0; k < kmax; {
+		e := int(order[k])
+		p := pos[e]
+		i := base + int(p)
+		c := &cells[i]
+		if c.nLv == 0 {
+			b.addLevel(i)
+			maxLv, dirs, slab = b.maxLv, b.dirs, b.slab
+		}
+		d := &dirs[i*maxLv]
+		for {
+			t := ticks[e]
+			if t < c.now {
+				t = c.now // clamp slight out-of-order arrivals, as AddN does
+			}
+			c.now = t
+			if !c.started || c.total == 0 {
+				c.started = true
+				c.oldEnd = t
+				c.oldLv = 0
+			}
+			n := uint64(1)
+			if ns != nil {
+				n = ns[e]
+			}
+			for {
+				pp := int(d.head) + int(d.n)
+				if pp >= stride {
+					pp -= stride
+				}
+				slab[int(d.off)+pp] = bucket{start: t, end: t}
+				d.n++
+				c.total++
+				if int(d.n) > capLv {
+					// Single-level fast path; see AddBatchRow.
+					nx := (*ehLevel)(nil)
+					if int(c.nLv) >= 2 {
+						nx = &dirs[i*maxLv+1]
+					}
+					if nx != nil && int(nx.n) < capLv {
+						end := mergeOldest(d, nx, slab, stride)
+						if c.oldLv == 0 {
+							c.oldLv = 1
+							c.oldEnd = end
+						}
+					} else {
+						b.cascade(i, c, 0)
+						maxLv, dirs, slab = b.maxLv, b.dirs, b.slab
+						d = &dirs[i*maxLv]
+					}
+				}
+				if n--; n == 0 {
+					break
+				}
+			}
+			b.noteCellMutation(i)
+			if t >= winLen && c.oldEnd <= t-winLen {
+				b.expire(c, i)
+			}
+			k++
+			if k == kmax {
+				break
+			}
+			e = int(order[k])
+			if pos[e] != p {
+				break
+			}
+		}
+	}
+}
+
+// mergeOldest pops the two oldest buckets of ring d and pushes their union
+// onto ring nx, returning the union's end. Small enough to inline into the
+// batch sweeps' single-level fast path.
+func mergeOldest(d, nx *ehLevel, slab []bucket, stride int) Tick {
+	p0 := int(d.head)
+	p1 := p0 + 1
+	if p1 >= stride {
+		p1 -= stride
+	}
+	off := int(d.off)
+	older := slab[off+p0]
+	newer := slab[off+p1]
+	h := p1 + 1
+	if h >= stride {
+		h -= stride
+	}
+	d.head = uint16(h)
+	d.n -= 2
+	pp := int(nx.head) + int(nx.n)
+	if pp >= stride {
+		pp -= stride
+	}
+	slab[int(nx.off)+pp] = bucket{start: older.start, end: newer.end}
+	nx.n++
+	return newer.end
 }
 
 // cascade merges the two oldest buckets of any size class exceeding its
 // budget into one bucket of the next class, starting at level from.
+//
+// The loop fires roughly once per insert amortized, so it stays lean: the
+// directory base is strength-reduced out of the level lookups and the
+// next-level push is ring arithmetic inline, with pointers re-resolved only
+// on the rare paths that may move the directory or the slab.
 func (b *EHBank) cascade(i int, c *ehCell, from int) {
+	db := i * b.maxLv
+	stride := b.stride
 	for lv := from; lv < int(c.nLv); lv++ {
-		if int(b.level(i, lv).n) <= b.capPerLv {
+		d := &b.dirs[db+lv]
+		if int(d.n) <= b.capPerLv {
 			break
 		}
 		if lv+1 == int(c.nLv) {
-			b.addLevel(i)
+			b.addLevel(i) // may re-lay the directory out (growDirs)
+			db = i * b.maxLv
+			d = &b.dirs[db+lv]
 		}
-		b.ensureRoom(i, c, lv+1)
-		d := b.level(i, lv) // resolve after addLevel/ensureRoom, which may move the directory
-		// Pop the two oldest buckets with one ring adjustment.
-		p0 := int(d.head)
-		p1 := p0 + 1
-		if p1 >= b.stride {
-			p1 -= b.stride
+		nx := &b.dirs[db+lv+1]
+		if int(nx.n) >= stride {
+			// Full rings only occur while restoring corrupt encodings.
+			b.ensureRoom(i, c, lv+1)
+			db = i * b.maxLv
+			d = &b.dirs[db+lv]
+			nx = &b.dirs[db+lv+1]
 		}
-		older := b.slab[int(d.off)+p0]
-		newer := b.slab[int(d.off)+p1]
-		h := p1 + 1
-		if h >= b.stride {
-			h -= b.stride
-		}
-		d.head = uint16(h)
-		d.n -= 2
-		b.pushBack(b.level(i, lv+1), bucket{start: older.start, end: newer.end})
+		end := mergeOldest(d, nx, b.slab, stride)
 		if lv+1 > int(c.oldLv) {
 			// The merge consumed the two globally oldest buckets (lv was the
 			// oldest level) and their union, just pushed into the previously
 			// empty level above, is the new globally oldest bucket.
 			c.oldLv = int16(lv + 1)
-			c.oldEnd = newer.end
+			c.oldEnd = end
 		}
 	}
 }
@@ -322,33 +514,36 @@ func (b *EHBank) ensureRoom(i int, c *ehCell, lv int) {
 	b.pushBack(b.level(i, lv+1), bucket{start: older.start, end: newer.end})
 }
 
-// expire drops buckets of cell i whose newest arrival left the window. The
-// cached (oldLv, oldEnd) pair short-circuits the common case — nothing to
+// expire drops buckets of cell i whose newest arrival left the window,
+// reporting whether any bucket was actually dropped. The cached
+// (oldLv, oldEnd) pair short-circuits the common case — nothing to
 // expire — without touching the level directory or the slab.
-func (b *EHBank) expire(c *ehCell, i int) {
+func (b *EHBank) expire(c *ehCell, i int) bool {
 	if c.now < b.cfg.Length {
-		return
+		return false
 	}
 	cut := c.now - b.cfg.Length // ticks ≤ cut are outside the window
 	if c.oldEnd > cut {
-		return
+		return false
 	}
+	popped := false
 	for {
 		lv := b.oldestLevel(i, c)
 		if lv < 0 {
 			c.oldLv = 0
 			c.oldEnd = emptyOldEnd
-			return
+			return popped
 		}
 		c.oldLv = int16(lv)
 		d := b.level(i, lv)
 		f := b.front(d)
 		if f.end > cut {
 			c.oldEnd = f.end
-			return
+			return popped
 		}
 		b.popFront(d)
 		c.total -= uint64(1) << uint(lv)
+		popped = true
 	}
 }
 
@@ -377,6 +572,23 @@ func (b *EHBank) Advance(i int, t Tick) {
 func (b *EHBank) AdvanceAll(t Tick) {
 	for i := range b.cells {
 		b.Advance(i, t)
+	}
+}
+
+// AdvanceAllNoting moves every cell's window to tick t like AdvanceAll and
+// calls note(i) for each cell whose retained content the move actually
+// changed (expiry dropped buckets). Delta receivers replaying a producer's
+// clock use this to keep their changed-cell feed exact: an expired cell's
+// estimate moves even though no new encoding for it was shipped.
+func (b *EHBank) AdvanceAllNoting(t Tick, note func(int)) {
+	for i := range b.cells {
+		c := &b.cells[i]
+		if t > c.now {
+			c.now = t
+		}
+		if b.expire(c, i) {
+			note(i)
+		}
 	}
 }
 

@@ -24,6 +24,12 @@ const (
 	// Standalone encodings (Marshal, AppendMarshalCell) keep the
 	// self-describing wireEH form byte-for-byte.
 	wireEHBare byte = 0xE4
+	// wireDWBare / wireRWBare are the config-elided wave cell forms used
+	// inside delta payloads, mirroring wireEHBare: the full wireDW/wireRW
+	// body minus the embedded Config. Level/copy counts stay (one byte
+	// each) as a cheap shape check against the receiving bank.
+	wireDWBare byte = 0xE5
+	wireRWBare byte = 0xE6
 )
 
 var errTruncated = errors.New("window: truncated encoding")
@@ -474,6 +480,154 @@ func UnmarshalDW(b []byte) (*DW, error) {
 	return w, nil
 }
 
+// AppendMarshalCell appends cell i's encoding to dst. A bank cell and a DW
+// holding the same content encode to byte-identical output — both emit the
+// wireDW layout in the same level order — so flat sketches serialize onto
+// the exact wire format of the per-object engine. The bank is only read.
+func (b *DWBank) AppendMarshalCell(dst []byte, i int) []byte {
+	dst = append(dst, wireDW)
+	dst = appendConfig(dst, b.cfg)
+	return b.appendCellBody(dst, i)
+}
+
+// AppendMarshalCellBare appends cell i's config-elided encoding (wireDWBare)
+// to dst for delta payloads; see AppendMarshalCellBare on EHBank.
+func (b *DWBank) AppendMarshalCellBare(dst []byte, i int) []byte {
+	dst = append(dst, wireDWBare)
+	return b.appendCellBody(dst, i)
+}
+
+func (b *DWBank) appendCellBody(dst []byte, i int) []byte {
+	c := &b.cells[i]
+	dst = binary.AppendUvarint(dst, c.now)
+	dst = binary.AppendUvarint(dst, c.rank)
+	dst = binary.AppendUvarint(dst, uint64(b.nLv))
+	base := i * b.nLv
+	for j := 0; j < b.nLv; j++ {
+		d := &b.dirs[base+j]
+		dst = binary.AppendUvarint(dst, uint64(d.n))
+		if d.evicted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		var pt Tick
+		var pr uint64
+		for k := 0; k < int(d.n); k++ {
+			e := b.waveAt(d, k)
+			dst = binary.AppendUvarint(dst, e.t-pt)
+			dst = binary.AppendUvarint(dst, e.rank-pr)
+			pt, pr = e.t, e.rank
+		}
+	}
+	return dst
+}
+
+// MarshalCellSize reports len of the encoding AppendMarshalCell would
+// produce for cell i, without producing the bytes.
+func (b *DWBank) MarshalCellSize(i int) int {
+	c := &b.cells[i]
+	n := 1 + configSize(b.cfg) + UvarintLen(c.now) + UvarintLen(c.rank) + UvarintLen(uint64(b.nLv))
+	base := i * b.nLv
+	for j := 0; j < b.nLv; j++ {
+		d := &b.dirs[base+j]
+		n += UvarintLen(uint64(d.n)) + 1
+		var pt Tick
+		var pr uint64
+		for k := 0; k < int(d.n); k++ {
+			e := b.waveAt(d, k)
+			n += UvarintLen(e.t-pt) + UvarintLen(e.rank-pr)
+			pt, pr = e.t, e.rank
+		}
+	}
+	return n
+}
+
+// UnmarshalCell decodes a DW encoding (as written by DW.Marshal,
+// AppendMarshalCell or AppendMarshalCellBare) into cell i, which must be
+// empty. Full-form encodings embed their Config, which must match the
+// bank's; bare encodings inherit it. The level count must match the bank's
+// geometry either way.
+func (b *DWBank) UnmarshalCell(i int, enc []byte) error {
+	r := wireReader{b: enc}
+	tag, err := r.byte1()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case wireDW:
+		cfg, err := r.config()
+		if err != nil {
+			return err
+		}
+		if !configEqual(cfg, b.cfg) {
+			return fmt.Errorf("window: DW encoding config %+v does not match bank config %+v", cfg, b.cfg)
+		}
+	case wireDWBare:
+		// Config elided; the bank's own is authoritative.
+	default:
+		return fmt.Errorf("window: expected DW encoding, got tag 0x%02x", tag)
+	}
+	now, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	rank, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	nl, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nl != uint64(b.nLv) {
+		return fmt.Errorf("window: DW encoding has %d levels, bank implies %d", nl, b.nLv)
+	}
+	c := &b.cells[i]
+	base := i * b.nLv
+	oldest := emptyOldEnd
+	for j := 0; j < b.nLv; j++ {
+		cnt, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev, err := r.byte1()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(len(enc)) {
+			return errors.New("window: corrupt DW encoding")
+		}
+		d := &b.dirs[base+j]
+		var pt Tick
+		var pr uint64
+		for k := uint64(0); k < cnt; k++ {
+			dt, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			dr, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			pt += dt
+			pr += dr
+			b.wavePush(d, waveEntry{t: pt, rank: pr})
+		}
+		d.evicted = ev == 1
+		if d.n > 0 {
+			if f := b.waveFront(d).t; f < oldest {
+				oldest = f
+			}
+		}
+	}
+	c.rank = rank
+	c.now = now
+	c.oldEnd = oldest
+	b.noteCellMutation(i)
+	return nil
+}
+
 // Marshal encodes the randomized wave: per-copy, per-level entry lists with
 // delta-encoded ticks and raw identifiers. Identifiers are incompressible,
 // which is the dominant reason RW transfer volume exceeds EH by an order of
@@ -592,4 +746,167 @@ func UnmarshalRW(b []byte) (*RW, error) {
 	w.salt = salt
 	w.seq = seq
 	return w, nil
+}
+
+// AppendMarshalCell appends cell i's encoding to dst. A bank cell and an RW
+// holding the same content (including salt and sequence) encode to
+// byte-identical output.
+func (b *RWBank) AppendMarshalCell(dst []byte, i int) []byte {
+	dst = append(dst, wireRW)
+	dst = appendConfig(dst, b.cfg)
+	return b.appendCellBody(dst, i)
+}
+
+// AppendMarshalCellBare appends cell i's config-elided encoding (wireRWBare)
+// to dst for delta payloads; see AppendMarshalCellBare on EHBank.
+func (b *RWBank) AppendMarshalCellBare(dst []byte, i int) []byte {
+	dst = append(dst, wireRWBare)
+	return b.appendCellBody(dst, i)
+}
+
+func (b *RWBank) appendCellBody(dst []byte, i int) []byte {
+	c := &b.cells[i]
+	dst = binary.AppendUvarint(dst, c.now)
+	dst = binary.AppendUvarint(dst, c.count)
+	dst = binary.AppendUvarint(dst, c.salt)
+	dst = binary.AppendUvarint(dst, c.seq)
+	dst = binary.AppendUvarint(dst, uint64(b.reps))
+	dst = binary.AppendUvarint(dst, uint64(b.nLv))
+	base := i * b.reps * b.nLv
+	for rj := 0; rj < b.reps*b.nLv; rj++ {
+		d := &b.dirs[base+rj]
+		dst = binary.AppendUvarint(dst, uint64(d.n))
+		if d.evicted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		var pt Tick
+		for k := 0; k < int(d.n); k++ {
+			e := b.rwAt(d, k)
+			dst = binary.AppendUvarint(dst, e.t-pt)
+			dst = binary.AppendUvarint(dst, e.id)
+			pt = e.t
+		}
+	}
+	return dst
+}
+
+// MarshalCellSize reports len of the encoding AppendMarshalCell would
+// produce for cell i, without producing the bytes.
+func (b *RWBank) MarshalCellSize(i int) int {
+	c := &b.cells[i]
+	n := 1 + configSize(b.cfg) + UvarintLen(c.now) + UvarintLen(c.count) +
+		UvarintLen(c.salt) + UvarintLen(c.seq) +
+		UvarintLen(uint64(b.reps)) + UvarintLen(uint64(b.nLv))
+	base := i * b.reps * b.nLv
+	for rj := 0; rj < b.reps*b.nLv; rj++ {
+		d := &b.dirs[base+rj]
+		n += UvarintLen(uint64(d.n)) + 1
+		var pt Tick
+		for k := 0; k < int(d.n); k++ {
+			e := b.rwAt(d, k)
+			n += UvarintLen(e.t-pt) + UvarintLen(e.id)
+			pt = e.t
+		}
+	}
+	return n
+}
+
+// UnmarshalCell decodes an RW encoding (as written by RW.Marshal,
+// AppendMarshalCell or AppendMarshalCellBare) into cell i, which must be
+// empty. Full-form encodings embed their Config, which must match the
+// bank's; bare encodings inherit it. The copy/level shape must match the
+// bank's geometry either way.
+func (b *RWBank) UnmarshalCell(i int, enc []byte) error {
+	r := wireReader{b: enc}
+	tag, err := r.byte1()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case wireRW:
+		cfg, err := r.config()
+		if err != nil {
+			return err
+		}
+		if !configEqual(cfg, b.cfg) {
+			return fmt.Errorf("window: RW encoding config %+v does not match bank config %+v", cfg, b.cfg)
+		}
+	case wireRWBare:
+		// Config elided; the bank's own is authoritative.
+	default:
+		return fmt.Errorf("window: expected RW encoding, got tag 0x%02x", tag)
+	}
+	now, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	salt, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	ncopies, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	nlevels, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if ncopies != uint64(b.reps) || nlevels != uint64(b.nLv) {
+		return fmt.Errorf("window: RW encoding shape %dx%d, bank implies %dx%d",
+			ncopies, nlevels, b.reps, b.nLv)
+	}
+	c := &b.cells[i]
+	base := i * b.reps * b.nLv
+	oldest := emptyOldEnd
+	for rj := 0; rj < b.reps*b.nLv; rj++ {
+		cnt, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev, err := r.byte1()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(len(enc)) {
+			return errors.New("window: corrupt RW encoding")
+		}
+		d := &b.dirs[base+rj]
+		var pt Tick
+		for k := uint64(0); k < cnt; k++ {
+			dt, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			id, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			pt += dt
+			b.rwPush(d, rwEntry{t: pt, id: id})
+		}
+		d.evicted = ev == 1
+		if d.n > 0 {
+			if f := b.rwFront(d).t; f < oldest {
+				oldest = f
+			}
+		}
+	}
+	c.now = now
+	c.count = count
+	c.salt = salt
+	c.seq = seq
+	c.oldEnd = oldest
+	b.noteCellMutation(i)
+	return nil
 }

@@ -294,14 +294,20 @@ func MergeDW(out Config, inputs ...*DW) (*DW, error) {
 // between ranks r1 < r2 holds r2−r1 arrivals, replayed half at each boundary
 // tick like an exponential-histogram bucket.
 func (w *DW) replayLog() []replayEvent {
-	entries := w.distinctEntries()
+	return waveReplayEvents(nil, w.distinctEntries())
+}
+
+// waveReplayEvents converts rank-sorted distinct entries into replay events
+// and appends them to dst. Shared by the per-object wave and the flat bank so
+// their merge paths stay byte-identical: the oldest stored entry stands for
+// itself only (arrivals before it have either expired or were evicted beyond
+// reconstruction), and each segment between consecutive ranks replays half at
+// each boundary tick like an exponential-histogram bucket.
+func waveReplayEvents(dst []replayEvent, entries []waveEntry) []replayEvent {
 	if len(entries) == 0 {
-		return nil
+		return dst
 	}
-	events := make([]replayEvent, 0, 2*len(entries))
-	// The oldest stored entry stands for itself only; arrivals before it
-	// have either expired or were evicted beyond reconstruction.
-	events = append(events, replayEvent{t: entries[0].t, n: 1})
+	dst = append(dst, replayEvent{t: entries[0].t, n: 1})
 	for i := 1; i < len(entries); i++ {
 		prev, cur := entries[i-1], entries[i]
 		n := cur.rank - prev.rank
@@ -310,13 +316,13 @@ func (w *DW) replayLog() []replayEvent {
 		}
 		half := n / 2
 		if n-half > 0 {
-			events = append(events, replayEvent{t: prev.t, n: n - half})
+			dst = append(dst, replayEvent{t: prev.t, n: n - half})
 		}
 		if half > 0 {
-			events = append(events, replayEvent{t: cur.t, n: half})
+			dst = append(dst, replayEvent{t: cur.t, n: half})
 		}
 	}
-	return events
+	return dst
 }
 
 // distinctEntries returns all stored entries across levels, sorted by rank
@@ -329,6 +335,13 @@ func (w *DW) distinctEntries() []waveEntry {
 			all = append(all, d.at(i))
 		}
 	}
+	return sortDedupEntriesByRank(all)
+}
+
+// sortDedupEntriesByRank sorts wave entries by rank and removes duplicates in
+// place. Equal ranks within one wave always name the same arrival, so the
+// result is a deterministic linearization of the stored stream positions.
+func sortDedupEntriesByRank(all []waveEntry) []waveEntry {
 	sort.Slice(all, func(a, b int) bool { return all[a].rank < all[b].rank })
 	out := all[:0]
 	var last uint64

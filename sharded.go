@@ -9,7 +9,6 @@ import (
 
 	"ecmsketch/internal/core"
 	"ecmsketch/internal/hashing"
-	"ecmsketch/internal/window"
 )
 
 // Sharded is a lock-striped ECM-sketch engine for concurrent workloads.
@@ -84,6 +83,10 @@ type Sharded struct {
 	refreshStop chan struct{}
 	refreshDone chan struct{}
 	closeOnce   sync.Once
+
+	// async, when non-nil, is the per-stripe ingest pipeline (Async config);
+	// writers enqueue grouped sub-batches instead of taking stripe locks.
+	async *asyncPipeline
 }
 
 // shardedView is one immutable published state of the merged query engine.
@@ -146,6 +149,23 @@ type ShardedConfig struct {
 	// default) keeps the previous reader-driven rebuild behavior and needs
 	// no Close.
 	RefreshInterval time.Duration
+	// Async moves ingest onto a per-stripe pipeline: every stripe gets an
+	// owner goroutine consuming a bounded queue of pre-grouped sub-batches,
+	// and writers only group, copy and enqueue — they never take stripe
+	// locks, so concurrent writers scale with stripes instead of contending
+	// on them. The trade is read-your-writes: a write is visible to queries,
+	// delta cursors and standing-query evaluation only once its stripe owner
+	// has applied it. Flush is the barrier — it returns after everything
+	// enqueued before the call is applied, and a read after Flush observes a
+	// consistent post-flush state. Async engines hold P goroutines until
+	// Close (which flushes, stops the owners, and reverts writes to the
+	// synchronous path). Off by default: zero-configuration engines keep
+	// strictly synchronous semantics.
+	Async bool
+	// AsyncQueue bounds each stripe's queue depth in sub-batches; writers
+	// block (backpressure) when a stripe's queue is full. 0 means 256.
+	// Ignored unless Async is set.
+	AsyncQueue int
 }
 
 // NewSharded builds a lock-striped engine of identically configured,
@@ -180,6 +200,22 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	if cfg.RefreshInterval < 0 {
 		return nil, fmt.Errorf("ecmsketch: RefreshInterval must be non-negative, got %v", cfg.RefreshInterval)
+	}
+	if cfg.AsyncQueue < 0 {
+		return nil, fmt.Errorf("ecmsketch: AsyncQueue must be non-negative, got %d", cfg.AsyncQueue)
+	}
+	if cfg.Async {
+		depth := cfg.AsyncQueue
+		if depth == 0 {
+			depth = 256
+		}
+		a := &asyncPipeline{on: true, qs: make([]chan stripeMsg, pow)}
+		sh.async = a
+		a.done.Add(pow)
+		for i := range a.qs {
+			a.qs[i] = make(chan stripeMsg, depth)
+			go sh.stripeOwner(i, a.qs[i])
+		}
 	}
 	if cfg.RefreshInterval > 0 {
 		sh.refreshStop = make(chan struct{})
@@ -227,17 +263,21 @@ func (sh *Sharded) refreshView() {
 	_, _ = sh.rebuildLocked()
 }
 
-// Close stops the background view refresher, if any, and waits for it to
-// exit. It is idempotent and safe to call on engines built without a
-// RefreshInterval (a no-op there). The engine remains fully usable after
-// Close; only the background refreshing stops.
+// Close stops the engine's background goroutines: the view refresher, if
+// any, and — on Async engines — the per-stripe ingest owners, after
+// draining every queued write. It is idempotent and a no-op on engines
+// built without either. The engine remains fully usable after Close;
+// writes simply revert to the synchronous path.
 func (sh *Sharded) Close() error {
-	if sh.refreshStop != nil {
-		sh.closeOnce.Do(func() {
+	sh.closeOnce.Do(func() {
+		if sh.async != nil {
+			sh.async.stop()
+		}
+		if sh.refreshStop != nil {
 			close(sh.refreshStop)
 			<-sh.refreshDone
-		})
-	}
+		}
+	})
 	return nil
 }
 
@@ -302,6 +342,9 @@ func (sh *Sharded) Add(key uint64, t Tick) { sh.AddN(key, t, 1) }
 
 // AddN registers n arrivals of key at tick t.
 func (sh *Sharded) AddN(key uint64, t Tick, n uint64) {
+	if sh.async != nil && sh.addNAsync(key, t, n) {
+		return
+	}
 	sh.observe(t)
 	s := sh.shardFor(key)
 	s.mu.Lock()
@@ -334,6 +377,9 @@ func (sh *Sharded) AddBatch(events []Event) {
 	if len(events) == 0 {
 		return
 	}
+	if sh.async != nil && sh.addBatchAsync(events) {
+		return
+	}
 	if len(sh.shards) == 1 {
 		// The lone stripe's sketch clock tracks the engine clock exactly, so
 		// its own batch validation is the engine-level one.
@@ -351,6 +397,41 @@ func (sh *Sharded) AddBatch(events []Event) {
 	}
 	sc := batchScratchPool.Get().(*shardedBatchScratch)
 	defer batchScratchPool.Put(sc)
+	sh.groupByStripe(sc, events)
+	// Gather each stripe's chain into one scratch sub-batch and hand it to
+	// the sketch's own batch pipeline (row-major arena sweep for EH), so
+	// striping does not forfeit the devirtualized hot path. The engine-level
+	// ticks are already clamped, so the per-sketch validation is a no-op
+	// pass over an in-order sequence.
+	for si := range sh.shards {
+		i := sc.heads[si]
+		if i < 0 {
+			continue
+		}
+		sub := sc.sub[:0]
+		for ; i >= 0; i = sc.next[i] {
+			ev := events[i]
+			ev.Tick = sc.ticks[i]
+			sub = append(sub, ev)
+		}
+		s := &sh.shards[si]
+		s.mu.Lock()
+		s.sk.AddBatch(sub)
+		s.noteMutation()
+		s.mu.Unlock()
+		sc.sub = sub[:0] // retain any growth for the next stripe
+	}
+	if nt := sh.loadNotifier(); nt != nil {
+		nt.NoteEvents(events)
+	}
+}
+
+// groupByStripe threads per-stripe index chains through sc's pooled scratch
+// for events — no per-stripe sub-slices are materialized — while clamping
+// ticks once against the engine clock (see Ingestor), and raises the
+// engine's high-water tick. Both the synchronous apply loop and the async
+// enqueue path consume the chains.
+func (sh *Sharded) groupByStripe(sc *shardedBatchScratch, events []Event) {
 	sc.resize(len(sh.shards), len(events))
 	heads, tails, next, ticks := sc.heads, sc.tails, sc.next, sc.ticks
 	for i := range heads {
@@ -375,32 +456,6 @@ func (sh *Sharded) AddBatch(events []Event) {
 		ticks[i] = lo
 	}
 	sh.observe(lo)
-	// Gather each stripe's chain into one scratch sub-batch and hand it to
-	// the sketch's own batch pipeline (row-major arena sweep for EH), so
-	// striping does not forfeit the devirtualized hot path. The engine-level
-	// ticks are already clamped, so the per-sketch validation is a no-op
-	// pass over an in-order sequence.
-	for si := range sh.shards {
-		i := heads[si]
-		if i < 0 {
-			continue
-		}
-		sub := sc.sub[:0]
-		for ; i >= 0; i = next[i] {
-			ev := events[i]
-			ev.Tick = ticks[i]
-			sub = append(sub, ev)
-		}
-		s := &sh.shards[si]
-		s.mu.Lock()
-		s.sk.AddBatch(sub)
-		s.noteMutation()
-		s.mu.Unlock()
-		sc.sub = sub[:0] // retain any growth for the next stripe
-	}
-	if nt := sh.loadNotifier(); nt != nil {
-		nt.NoteEvents(events)
-	}
 }
 
 // shardedBatchScratch is the pooled working memory of Sharded.AddBatch:
@@ -433,8 +488,194 @@ func (sc *shardedBatchScratch) resize(stripes, events int) {
 	}
 }
 
+// asyncPipeline is the per-stripe ingest pipeline of an Async engine: one
+// bounded queue plus one owner goroutine per stripe. Writers hold mu for
+// reading (enqueue), stop holds it for writing — the lifecycle gate that
+// makes shutdown race-free against in-flight enqueues without a lock on
+// the per-event path.
+type asyncPipeline struct {
+	mu   sync.RWMutex
+	on   bool
+	qs   []chan stripeMsg
+	done sync.WaitGroup
+	// bufs pools the event chunks shipped through the queues; owners return
+	// them after applying, so steady-state async ingest allocates nothing.
+	bufs sync.Pool
+}
+
+// stripeMsg is one unit of work on a stripe queue: exactly one of events
+// (apply this sub-batch), adv (advance the stripe clock) or flush (barrier
+// acknowledgement) is set.
+type stripeMsg struct {
+	events []Event
+	adv    *advanceMsg
+	flush  *sync.WaitGroup
+}
+
+// advanceMsg fans one engine-level Advance out to every stripe; the last
+// owner to apply it delivers the notifier's NoteAdvance, so standing-query
+// evaluation sees the fully advanced engine.
+type advanceMsg struct {
+	t       Tick
+	pending atomic.Int32
+}
+
+func (a *asyncPipeline) getBuf() []Event {
+	if p := a.bufs.Get(); p != nil {
+		return (*p.(*[]Event))[:0]
+	}
+	return nil
+}
+
+func (a *asyncPipeline) putBuf(b []Event) {
+	a.bufs.Put(&b)
+}
+
+// stop flushes nothing but closes every queue and waits for the owners to
+// drain and exit; writes arriving after stop apply synchronously.
+func (a *asyncPipeline) stop() {
+	a.mu.Lock()
+	if !a.on {
+		a.mu.Unlock()
+		return
+	}
+	a.on = false
+	for _, q := range a.qs {
+		close(q)
+	}
+	a.mu.Unlock()
+	a.done.Wait()
+}
+
+// stripeOwner is stripe i's single mutator in async mode: it applies
+// queued sub-batches under the stripe lock (uncontended by other writers —
+// only queries and snapshots ever share it) and delivers change notes from
+// its own goroutine.
+func (sh *Sharded) stripeOwner(i int, q chan stripeMsg) {
+	defer sh.async.done.Done()
+	s := &sh.shards[i]
+	for m := range q {
+		switch {
+		case m.flush != nil:
+			m.flush.Done()
+		case m.adv != nil:
+			s.mu.Lock()
+			s.sk.Advance(m.adv.t)
+			s.noteMutation()
+			s.mu.Unlock()
+			if m.adv.pending.Add(-1) == 0 {
+				if nt := sh.loadNotifier(); nt != nil {
+					nt.NoteAdvance()
+				}
+			}
+		default:
+			s.mu.Lock()
+			s.sk.AddBatch(m.events)
+			s.noteMutation()
+			s.mu.Unlock()
+			if nt := sh.loadNotifier(); nt != nil {
+				nt.NoteEvents(m.events)
+			}
+			sh.async.putBuf(m.events)
+		}
+	}
+}
+
+// addBatchAsync groups events per stripe and enqueues one copied sub-batch
+// per touched stripe. Reports false when the pipeline is stopped (Close
+// raced the call) so the caller falls back to the synchronous path.
+func (sh *Sharded) addBatchAsync(events []Event) bool {
+	a := sh.async
+	a.mu.RLock()
+	if !a.on {
+		a.mu.RUnlock()
+		return false
+	}
+	sc := batchScratchPool.Get().(*shardedBatchScratch)
+	sh.groupByStripe(sc, events)
+	for si := range sh.shards {
+		i := sc.heads[si]
+		if i < 0 {
+			continue
+		}
+		buf := a.getBuf()
+		for ; i >= 0; i = sc.next[i] {
+			ev := events[i]
+			ev.Tick = sc.ticks[i]
+			buf = append(buf, ev)
+		}
+		a.qs[si] <- stripeMsg{events: buf}
+	}
+	batchScratchPool.Put(sc)
+	a.mu.RUnlock()
+	return true
+}
+
+// addNAsync enqueues a single arrival to its stripe's queue. Reports false
+// when the pipeline is stopped.
+func (sh *Sharded) addNAsync(key uint64, t Tick, n uint64) bool {
+	a := sh.async
+	a.mu.RLock()
+	if !a.on {
+		a.mu.RUnlock()
+		return false
+	}
+	sh.observe(t)
+	buf := append(a.getBuf(), Event{Key: key, Tick: t, N: n})
+	a.qs[hashing.Mix64(key)&sh.mask] <- stripeMsg{events: buf}
+	a.mu.RUnlock()
+	return true
+}
+
+// advanceAsync fans an Advance out to every stripe queue, keeping it
+// ordered behind previously enqueued batches. Reports false when the
+// pipeline is stopped.
+func (sh *Sharded) advanceAsync(t Tick) bool {
+	a := sh.async
+	a.mu.RLock()
+	if !a.on {
+		a.mu.RUnlock()
+		return false
+	}
+	sh.observe(t)
+	adv := &advanceMsg{t: t}
+	adv.pending.Store(int32(len(a.qs)))
+	for _, q := range a.qs {
+		q <- stripeMsg{adv: adv}
+	}
+	a.mu.RUnlock()
+	return true
+}
+
+// Flush is the async-ingest barrier: it returns once every write enqueued
+// before the call has been applied to its stripe, so a subsequent query,
+// delta pull or standing-query evaluation observes all of them. On a
+// synchronous engine (Async off, or after Close) it is a no-op — writes
+// are already applied when their call returns.
+func (sh *Sharded) Flush() {
+	a := sh.async
+	if a == nil {
+		return
+	}
+	a.mu.RLock()
+	if !a.on {
+		a.mu.RUnlock()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(a.qs))
+	for _, q := range a.qs {
+		q <- stripeMsg{flush: &wg}
+	}
+	a.mu.RUnlock()
+	wg.Wait()
+}
+
 // Advance moves the window clock of every stripe forward.
 func (sh *Sharded) Advance(t Tick) {
+	if sh.async != nil && sh.advanceAsync(t) {
+		return
+	}
 	sh.observe(t)
 	for i := range sh.shards {
 		s := &sh.shards[i]
@@ -604,8 +845,8 @@ func (sh *Sharded) Snapshot() (*Sketch, error) {
 // (see DeltaSnapshotter). The cursor is the vector of per-stripe
 // arrival-mutation versions plus the engine epoch; a stripe whose version
 // is unchanged contributes zero bytes, and within a changed stripe only the
-// cells whose version moved ship (whole-stripe encodings for the wave
-// algorithms, which have no per-cell change tracking). Unlike full
+// cells whose version moved ship — for all three algorithms, now that the
+// wave engines share the flat arena's change tracking. Unlike full
 // snapshots, delta pulls never build or touch the merged view: the puller
 // holds the stripes and merges on its side, so a steady-state pull loop
 // costs the site a few stripe clones instead of a P-way merge.
@@ -653,12 +894,9 @@ func (sh *Sharded) DeltaSnapshot(since Cursor) ([]byte, Cursor, bool, error) {
 			continue // settled between the atomic check and the lock
 		}
 		snap.Advance(engineNow)
-		var sub []byte
-		if sh.params.Algorithm == window.AlgoEH {
-			sub = snap.AppendDeltaSince(nil, sh.epoch, since.Vers[i])
-		} else {
-			sub = snap.Marshal() // whole-stripe replacement
-		}
+		// All three paper algorithms live on flat arenas with per-cell change
+		// tracking, so every changed stripe ships cell-granular.
+		sub := snap.AppendDeltaSince(nil, sh.epoch, since.Vers[i])
 		changed = append(changed, core.PartDelta{Index: i, Payload: sub})
 	}
 	return core.EncodeMultiDelta(sh.epoch, engineNow, len(sh.shards), changed), cur, false, nil
