@@ -1,7 +1,9 @@
 package ecmsketch
 
 import (
+	"crypto/x509"
 	"net/http"
+	"time"
 
 	"ecmsketch/internal/coord"
 	"ecmsketch/internal/distrib"
@@ -63,6 +65,34 @@ func NewHTTPSiteWithAuth(baseURL string, hc *http.Client, token string) Site {
 	s := coord.NewHTTPSite(baseURL, hc)
 	s.SetAuthToken(token)
 	return s
+}
+
+// RefreshStats describes one successful Coordinator.Refresh round: how many
+// members contributed (and how many of those were stale baselines or
+// excluded outright), the bytes pulled, and whether the persistent merged
+// view was patched cell-by-cell or rebuilt wholesale.
+type RefreshStats = coord.RefreshStats
+
+// SiteStatus is one coordinator member's health record: consecutive
+// failures, backoff rounds until its next probe, and whether a retained
+// baseline lets it contribute while unreachable.
+type SiteStatus = coord.SiteStatus
+
+// NewPullClient returns an HTTP client tuned for coordinator pulls: one
+// keep-alive transport shared by every site pulled through it (idle pools
+// sized for hundreds of site hosts), dial/TLS/overall timeouts, and — when
+// rootCAs is non-nil — a private trust pool for https:// sites instead of
+// the system roots.
+func NewPullClient(timeout time.Duration, rootCAs *x509.CertPool) *http.Client {
+	return coord.NewPullClient(timeout, rootCAs)
+}
+
+// PullStagger is the deterministic offset in [0, window) at which a
+// coordinator fetches the site named name within each pull round — a stable
+// hash of the name, so a fleet of sites spreads over the window instead of
+// being hit in one burst (see Coordinator.SetPullStagger).
+func PullStagger(name string, window time.Duration) time.Duration {
+	return coord.PullStagger(name, window)
 }
 
 // StreamEvent is one synthetic-workload arrival routed to a site (key,

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ecmsketch"
+)
+
+// The -coordtree mode simulates the paper's multi-level coordinator
+// hierarchy (Section 5.1) at scale, in process: a 3-level tree of
+// coordinators over b³ leaf sites (b³ = -treesites, rounded to the nearest
+// cube; 1000 by default), with a slow-moving stream trickling into a
+// fraction of the leaves every interval. Three configurations of the same
+// tree run in lockstep over identically seeded streams:
+//
+//   - full:        full-snapshot pulls at every level, wholesale re-merge —
+//     the pre-delta behavior.
+//   - delta:       cursor-based delta pulls at the leaf level, but each
+//     coordinator rebuilds its view wholesale, so coordinator-to-coordinator
+//     transfers are still full snapshots — the pre-PR-8 behavior.
+//   - incremental: delta pulls at every level. Each coordinator patches one
+//     persistent root from the changed cells (Refresh) and serves
+//     cursor-based deltas upward from it, so every edge of the tree ships
+//     deltas in steady state.
+//
+// Recorded per mode: bootstrap bytes, steady-state bytes per interval
+// summed over every tree edge, merge time per interval, and the staleness
+// distribution (p50/p99 of the delay from the leaves finishing an
+// interval's arrivals to the root view reflecting them). The three roots
+// are asserted byte-identical every interval — the hierarchy-level
+// equivalence gate CI runs at 3×27 scale.
+//
+// Usage:
+//
+//	ecmbench -coordtree -label tree-1000 -out BENCH_coord.json
+//	ecmbench -coordtree -treesites 27 -treeintervals 6   # CI smoke
+const (
+	coordTreeLevels  = 3
+	coordTreeKeys    = 600 // distinct keys per leaf
+	coordTreePreload = 3000
+	coordTreeChurn   = 4  // keys mutated per touched leaf per interval
+	coordTreeTouch   = 20 // percent of leaves touched per interval
+	coordTreeWarmup  = 2
+)
+
+func coordTreeParams() ecmsketch.Params {
+	return ecmsketch.Params{Epsilon: 0.15, Delta: 0.15, WindowLength: 1 << 16, Seed: 77}
+}
+
+// CoordTreeResult is one mode of the -coordtree bench.
+type CoordTreeResult struct {
+	Mode              string  `json:"mode"` // full | delta | incremental
+	Sites             int     `json:"sites"`
+	Levels            int     `json:"levels"`
+	Fanout            int     `json:"fanout"`
+	Coordinators      int     `json:"coordinators"`
+	Intervals         int     `json:"intervals"`
+	BootstrapBytes    int64   `json:"bootstrap_bytes"`
+	SteadyBytesPerInt float64 `json:"steady_bytes_per_interval"`
+	MergeNsPerInt     float64 `json:"merge_ns_per_interval"`
+	StalenessP50Ns    int64   `json:"staleness_p50_ns"`
+	StalenessP99Ns    int64   `json:"staleness_p99_ns"`
+	DeltaPulls        uint64  `json:"delta_pulls"`
+	FullPulls         uint64  `json:"full_pulls"`
+}
+
+// CoordTreeRun is one labelled -coordtree invocation.
+type CoordTreeRun struct {
+	Label string `json:"label"`
+	Sites int    `json:"sites"`
+	// Reductions are steady-state full-mode bytes over each cheaper mode's —
+	// the headline the delta-serving hierarchy is judged on.
+	DeltaReduction       float64           `json:"steady_byte_reduction_delta"`
+	IncrementalReduction float64           `json:"steady_byte_reduction_incremental"`
+	Results              []CoordTreeResult `json:"results"`
+}
+
+// staleView adapts a wholesale-rebuilt coordinator's latest view as a pull
+// source for its parent: full snapshots only, so a delta-pulling parent
+// degrades to full transfers — exactly how a pre-PR-8 coordinator served.
+type staleView struct {
+	view *ecmsketch.Sketch
+}
+
+func (s *staleView) Snapshot() (*ecmsketch.Sketch, error) { return s.view.Snapshot() }
+
+// coordTree is one configured instance of the 3-level hierarchy.
+type coordTree struct {
+	mode   string
+	leaves []*ecmsketch.Sketch
+	// nodes holds every coordinator, bottom level first; node i's parent
+	// pulls it through either the coordinator itself (incremental) or its
+	// staleView (wholesale).
+	nodes []*ecmsketch.Coordinator
+	views []*staleView // wholesale modes only, aligned with nodes
+	root  *ecmsketch.Coordinator
+}
+
+// newCoordTreeLeaves builds the b³ leaf engines. The three mode trees share
+// one leaf set: a sketch instance carries a per-instance delta epoch in its
+// encoding, so byte-identity across modes is only meaningful over the very
+// same leaves (which is also the honest comparison — three pull strategies
+// over one fleet).
+func newCoordTreeLeaves(b int) ([]*ecmsketch.Sketch, error) {
+	p := coordTreeParams()
+	leaves := make([]*ecmsketch.Sketch, b*b*b)
+	for i := range leaves {
+		sk, err := ecmsketch.New(p)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = sk
+	}
+	return leaves, nil
+}
+
+// buildCoordTree wires the shared leaves under b² + b + 1 coordinators.
+func buildCoordTree(mode string, b int, leaves []*ecmsketch.Sketch) (*coordTree, error) {
+	t := &coordTree{mode: mode, leaves: leaves}
+	incr := mode == "incremental"
+	useDelta := mode != "full"
+	newNode := func(sites []ecmsketch.Site) *ecmsketch.Coordinator {
+		co := ecmsketch.NewCoordinator(sites...)
+		co.SetDeltaPulls(useDelta)
+		t.nodes = append(t.nodes, co)
+		if !incr {
+			t.views = append(t.views, &staleView{})
+		}
+		return co
+	}
+	// childSite exposes coordinator child j of the just-built level to its
+	// parent: the live coordinator (serves deltas) or its frozen view.
+	childSite := func(j int, name string) ecmsketch.Site {
+		if incr {
+			return ecmsketch.NewLocalSite(name, t.nodes[j])
+		}
+		return ecmsketch.NewLocalSite(name, t.views[j])
+	}
+	for g := 0; g < b*b; g++ { // level 1: over leaves
+		sites := make([]ecmsketch.Site, b)
+		for k := 0; k < b; k++ {
+			sites[k] = ecmsketch.NewLocalSite(fmt.Sprintf("leaf-%d", g*b+k), t.leaves[g*b+k])
+		}
+		newNode(sites)
+	}
+	for g := 0; g < b; g++ { // level 2: over level-1 coordinators
+		sites := make([]ecmsketch.Site, b)
+		for k := 0; k < b; k++ {
+			sites[k] = childSite(g*b+k, fmt.Sprintf("low-%d", g*b+k))
+		}
+		newNode(sites)
+	}
+	rootSites := make([]ecmsketch.Site, b) // level 3: the root
+	for k := 0; k < b; k++ {
+		rootSites[k] = childSite(b*b+k, fmt.Sprintf("mid-%d", k))
+	}
+	t.root = newNode(rootSites)
+	return t, nil
+}
+
+// preload seeds every leaf with the same deterministic stream shape (keys
+// biased per leaf) and advances all clocks to a shared tick.
+func (t *coordTree) preload() {
+	for i, sk := range t.leaves {
+		for e := 0; e < coordTreePreload; e++ {
+			sk.Add(uint64(e%coordTreeKeys)+uint64(i)<<20, uint64(e/8+1))
+		}
+		sk.Advance(coordTreePreload / 8)
+	}
+}
+
+// mutate trickles churn into a deterministic subset of leaves — the
+// slow-moving regime where most sites have nothing new to report — and
+// advances every clock.
+func (t *coordTree) mutate(interval int) {
+	base := uint64(coordTreePreload/8) + uint64(interval)*100
+	for i, sk := range t.leaves {
+		if (i+interval)%(100/coordTreeTouch) == 0 {
+			for k := 0; k < coordTreeChurn; k++ {
+				sk.Add(uint64((interval*coordTreeChurn+k*37)%coordTreeKeys)+uint64(i)<<20, base)
+			}
+		}
+		sk.Advance(base + 10)
+	}
+}
+
+// sweep refreshes every coordinator bottom-up once and returns the root
+// view plus the time the merges took.
+func (t *coordTree) sweep() (*ecmsketch.Sketch, time.Duration, error) {
+	start := time.Now()
+	if t.mode == "incremental" {
+		for _, co := range t.nodes {
+			if err := co.Refresh(); err != nil {
+				return nil, 0, err
+			}
+		}
+		root, err := t.root.Snapshot()
+		return root, time.Since(start), err
+	}
+	for i, co := range t.nodes {
+		view, _, err := co.AggregateFlat()
+		if err != nil {
+			return nil, 0, err
+		}
+		t.views[i].view = view
+	}
+	return t.views[len(t.views)-1].view, time.Since(start), nil
+}
+
+// pulledBytes sums payload transfers over every edge of the tree.
+func (t *coordTree) pulledBytes() int64 {
+	var total int64
+	for _, co := range t.nodes {
+		total += co.PulledBytes()
+	}
+	return total
+}
+
+func (t *coordTree) pullCounts() (deltas, fulls uint64) {
+	for _, co := range t.nodes {
+		deltas += co.DeltaPulls()
+		fulls += co.FullPulls()
+	}
+	return
+}
+
+func runCoordTreeBench(label, out string, sites, intervals int, check bool) error {
+	b := int(math.Round(math.Cbrt(float64(sites))))
+	if b < 2 {
+		b = 2
+	}
+	actual := b * b * b
+	run := CoordTreeRun{Label: label, Sites: actual}
+	modes := []string{"full", "delta", "incremental"}
+	leaves, err := newCoordTreeLeaves(b)
+	if err != nil {
+		return err
+	}
+	trees := make([]*coordTree, len(modes))
+	for i, mode := range modes {
+		t, err := buildCoordTree(mode, b, leaves)
+		if err != nil {
+			return err
+		}
+		trees[i] = t
+	}
+	trees[0].preload()
+	fmt.Printf("coordtree: %d sites, %d levels, fanout %d, %d coordinators/tree, %d intervals\n",
+		actual, coordTreeLevels, b, b*b+b+1, intervals)
+
+	results := make([]CoordTreeResult, len(modes))
+	staleness := make([][]time.Duration, len(modes))
+	var mergeNs, steady [3]int64
+	for interval := 0; interval < intervals; interval++ {
+		if interval > 0 {
+			trees[0].mutate(interval) // shared leaves: mutate once
+		}
+		roots := make([][]byte, len(modes))
+		for i, t := range trees {
+			before := t.pulledBytes()
+			root, elapsed, err := t.sweep()
+			if err != nil {
+				return fmt.Errorf("%s tree interval %d: %w", t.mode, interval, err)
+			}
+			pulled := t.pulledBytes() - before
+			if interval == 0 {
+				results[i].BootstrapBytes = pulled
+			} else if interval >= coordTreeWarmup {
+				steady[i] += pulled
+				mergeNs[i] += elapsed.Nanoseconds()
+				staleness[i] = append(staleness[i], elapsed)
+			}
+			if check {
+				roots[i] = root.Marshal()
+			}
+		}
+		if check {
+			for i := 1; i < len(roots); i++ {
+				if string(roots[0]) != string(roots[i]) {
+					return fmt.Errorf("interval %d: %s root differs from full root — hierarchy equivalence broken",
+						interval, modes[i])
+				}
+			}
+		}
+	}
+
+	steadyIntervals := intervals - coordTreeWarmup
+	for i, t := range trees {
+		r := &results[i]
+		r.Mode = t.mode
+		r.Sites, r.Levels, r.Fanout = actual, coordTreeLevels, b
+		r.Coordinators = b*b + b + 1
+		r.Intervals = intervals
+		r.SteadyBytesPerInt = float64(steady[i]) / float64(steadyIntervals)
+		r.MergeNsPerInt = float64(mergeNs[i]) / float64(steadyIntervals)
+		r.StalenessP50Ns, r.StalenessP99Ns = percentiles(staleness[i])
+		r.DeltaPulls, r.FullPulls = t.pullCounts()
+		fmt.Printf("%-11s bootstrap %9dB  steady %11.0f B/interval  merge %8.2f ms/interval  staleness p50 %6.2f ms p99 %6.2f ms  (delta %d / full %d)\n",
+			r.Mode, r.BootstrapBytes, r.SteadyBytesPerInt, r.MergeNsPerInt/1e6,
+			float64(r.StalenessP50Ns)/1e6, float64(r.StalenessP99Ns)/1e6,
+			r.DeltaPulls, r.FullPulls)
+	}
+	if d := results[1].SteadyBytesPerInt; d > 0 {
+		run.DeltaReduction = results[0].SteadyBytesPerInt / d
+	}
+	if d := results[2].SteadyBytesPerInt; d > 0 {
+		run.IncrementalReduction = results[0].SteadyBytesPerInt / d
+	}
+	run.Results = results
+	fmt.Printf("steady-state byte reduction vs full: delta %.1f×, incremental %.1f×\n",
+		run.DeltaReduction, run.IncrementalReduction)
+	if check && run.IncrementalReduction <= run.DeltaReduction {
+		return fmt.Errorf("incremental mode reduction %.1f× not above delta mode %.1f× — upward delta serving is not engaging",
+			run.IncrementalReduction, run.DeltaReduction)
+	}
+	return appendRun(out, "coordtree", run)
+}
+
+// percentiles reports the p50 and p99 of a latency sample.
+func percentiles(d []time.Duration) (p50, p99 int64) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	p50 = s[len(s)/2].Nanoseconds()
+	p99 = s[(len(s)*99)/100].Nanoseconds()
+	return
+}

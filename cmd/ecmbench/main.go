@@ -35,6 +35,10 @@ func main() {
 		dwire   = flag.Bool("deltawire", false, "measure full-pull vs delta-pull coordinator bytes and latency over a slow-moving stream (loopback HTTP) and append JSON results to -out")
 		pushfan = flag.Bool("pushfan", false, "measure standing-query SSE fan-out: notify latency and memory across many in-process subscribers, append JSON results to -out")
 		subs    = flag.Int("subs", 10000, "subscriber count for -pushfan")
+		ctree   = flag.Bool("coordtree", false, "simulate a 3-level coordinator hierarchy (full vs delta vs incremental re-merge) over -treesites leaves, gate root byte-identity across modes, and append JSON results to -out")
+		tsites  = flag.Int("treesites", 1000, "leaf-site count for -coordtree (rounded to the nearest cube)")
+		tints   = flag.Int("treeintervals", 14, "pull intervals per mode for -coordtree")
+		tcheck  = flag.Bool("treecheck", true, "-coordtree: assert the three modes' root views byte-identical every interval")
 		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
 		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
@@ -85,6 +89,17 @@ func main() {
 			path = "BENCH_coord.json"
 		}
 		if err := runDeltaWireBench(*label, path); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ctree {
+		path := *out
+		if path == "" {
+			path = "BENCH_coord.json"
+		}
+		if err := runCoordTreeBench(*label, path, *tsites, *tints, *tcheck); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"net/http"
@@ -41,38 +42,56 @@ import (
 
 func main() {
 	var (
-		sites     = flag.String("sites", "", "comma-separated site base URLs")
-		key       = flag.String("key", "", "string key to point-query")
-		ikey      = flag.Uint64("ikey", 0, "integer key to point-query (when key is empty)")
-		useIKey   = flag.Bool("use-ikey", false, "query -ikey instead of -key")
-		rng       = flag.Uint64("range", 0, "query range in ticks (0 = whole window)")
-		selfjoin  = flag.Bool("selfjoin", false, "answer a self-join query")
-		total     = flag.Bool("total", false, "estimate total arrivals in range")
-		out       = flag.String("out", "", "write the merged sketch to this file")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
-		serve     = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
-		interval  = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
-		delta     = flag.Bool("delta", true, "server mode: pull incremental deltas (GET /v1/snapshot?since=) instead of full snapshots every interval; sites predating the delta protocol transparently degrade to full pulls")
-		token     = flag.String("token", "", "server mode: require this bearer token on the served API")
-		siteToken = flag.String("site-token", "", "bearer token sent with every site pull (for sites started with -token)")
+		sites       = flag.String("sites", "", "comma-separated site base URLs")
+		key         = flag.String("key", "", "string key to point-query")
+		ikey        = flag.Uint64("ikey", 0, "integer key to point-query (when key is empty)")
+		useIKey     = flag.Bool("use-ikey", false, "query -ikey instead of -key")
+		rng         = flag.Uint64("range", 0, "query range in ticks (0 = whole window)")
+		selfjoin    = flag.Bool("selfjoin", false, "answer a self-join query")
+		total       = flag.Bool("total", false, "estimate total arrivals in range")
+		out         = flag.String("out", "", "write the merged sketch to this file")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-site HTTP timeout")
+		serve       = flag.String("serve", "", "serve the /v1 query API over the merged sketch on this address instead of exiting")
+		interval    = flag.Duration("interval", 10*time.Second, "site re-pull period in server mode")
+		delta       = flag.Bool("delta", true, "server mode: pull incremental deltas (GET /v1/snapshot?since=) instead of full snapshots every interval; sites predating the delta protocol transparently degrade to full pulls")
+		incremental = flag.Bool("incremental", true, "server mode: patch one persistent merged view from the changed cells each pull instead of re-merging from scratch, and serve cursor-based deltas upward on GET /v1/snapshot?since=")
+		resilient   = flag.Bool("resilient", true, "server mode: keep serving on site failures — unreachable sites contribute their retained baseline (or are excluded) and re-enter via exponential-backoff probes")
+		stagger     = flag.Duration("stagger", 0, "server mode: spread each pull round's site fetches deterministically over this window (0 = fetch all at once)")
+		token       = flag.String("token", "", "server mode: require this bearer token on the served API")
+		siteToken   = flag.String("site-token", "", "bearer token sent with every site pull (for sites started with -token)")
+		tlsCert     = flag.String("tls-cert", "", "server mode: serve TLS with this certificate file (requires -tls-key)")
+		tlsKey      = flag.String("tls-key", "", "server mode: private key file for -tls-cert")
+		siteCA      = flag.String("site-ca", "", "PEM file of root CAs to trust when pulling https:// sites (default: system roots)")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
-	if len(urls) == 0 {
+	if len(urls) == 0 && *serve == "" {
 		fmt.Fprintln(os.Stderr, "ecmcoord: -sites is required")
 		os.Exit(2)
 	}
-	client := &http.Client{Timeout: *timeout}
+	client := newSiteClient(*timeout, *siteCA)
 	co := newCoordinator(client, urls, *siteToken)
 	if *serve != "" {
 		if *interval <= 0 {
 			fmt.Fprintln(os.Stderr, "ecmcoord: -interval must be positive in server mode")
 			os.Exit(2)
 		}
+		if (*tlsCert == "") != (*tlsKey == "") {
+			fmt.Fprintln(os.Stderr, "ecmcoord: -tls-cert and -tls-key must be set together")
+			os.Exit(2)
+		}
 		// One-shot pulls are full by construction; only the re-pull loop has
 		// a previous cursor to delta against.
 		co.SetDeltaPulls(*delta)
-		runServe(co, *serve, *interval, *token)
+		co.SetResilient(*resilient)
+		co.SetPullStagger(*stagger)
+		cs := newCoordServer(co, *interval)
+		// Incremental patching needs cell-granular change feeds, which only
+		// delta pulls produce; without -delta it degrades to tree re-merge.
+		cs.incremental = *incremental && *delta
+		cs.siteClient = client
+		cs.siteToken = *siteToken
+		runServe(cs, *serve, *token, *tlsCert, *tlsKey)
 		return
 	}
 	merged, height, err := co.AggregateTree()
@@ -105,6 +124,26 @@ func main() {
 		}
 		fmt.Printf("merged sketch written to %s\n", *out)
 	}
+}
+
+// newSiteClient builds the pull client every site shares: one keep-alive
+// transport (see ecmsketch.NewPullClient) with the per-site timeout, trusting
+// the PEM roots in caFile — if any — instead of the system pool.
+func newSiteClient(timeout time.Duration, caFile string) *http.Client {
+	var roots *x509.CertPool
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecmcoord: reading -site-ca:", err)
+			os.Exit(2)
+		}
+		roots = x509.NewCertPool()
+		if !roots.AppendCertsFromPEM(pem) {
+			fmt.Fprintf(os.Stderr, "ecmcoord: no certificates found in %s\n", caFile)
+			os.Exit(2)
+		}
+	}
+	return ecmsketch.NewPullClient(timeout, roots)
 }
 
 // newCoordinator builds the shared coordinator core over HTTP sites.

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,20 @@ type coordServer struct {
 	co       *ecmsketch.Coordinator
 	interval time.Duration
 	mux      *http.ServeMux
+
+	// incremental switches the refresh loop from wholesale re-merge
+	// (AggregateTree every interval) to change-driven patching of one
+	// persistent root (Coordinator.Refresh), and the snapshot route from
+	// full-only to cursor-based delta serving — the coordinator then speaks
+	// upward exactly the protocol it speaks downward, so stacked
+	// coordinators pull deltas from it.
+	incremental bool
+
+	// siteClient and siteToken build the HTTP sites behind dynamic
+	// registrations (POST /v1/sites), matching the statically configured
+	// pulls.
+	siteClient *http.Client
+	siteToken  string
 
 	// refreshMu serializes refresh calls (the ticker loop and POST
 	// /v1/refresh): without it, a slow periodic pull finishing after a
@@ -75,6 +91,9 @@ func newCoordServer(co *ecmsketch.Coordinator, interval time.Duration) *coordSer
 	cs.mux.HandleFunc("GET /v1/sketch", cs.handleSnapshot)
 	cs.mux.HandleFunc("GET /v1/snapshot", cs.handleSnapshot)
 	cs.mux.HandleFunc("POST /v1/refresh", cs.handleRefresh)
+	cs.mux.HandleFunc("GET /v1/sites", cs.handleSitesGet)
+	cs.mux.HandleFunc("POST /v1/sites", cs.handleSitesAdd)
+	cs.mux.HandleFunc("DELETE /v1/sites", cs.handleSitesRemove)
 	cs.standing = ecmsketch.NewStandingRegistry(ecmsketch.StandingConfig{RequireKeys: true})
 	svc := &standing.Service{Reg: cs.standing}
 	cs.mux.HandleFunc("POST /v1/subscribe", svc.HandleSubscribe)
@@ -92,7 +111,20 @@ func (cs *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { cs.mu
 func (cs *coordServer) refresh() error {
 	cs.refreshMu.Lock()
 	defer cs.refreshMu.Unlock()
-	root, height, err := cs.co.AggregateTree()
+	var root *ecmsketch.Sketch
+	var height int
+	var err error
+	if cs.incremental {
+		// Change-driven: patch the coordinator's persistent root from the
+		// cells the delta pulls replaced, then publish one clone of it for
+		// lock-free queries. The root itself stays live for delta serving.
+		if err = cs.co.Refresh(); err == nil {
+			root, err = cs.co.Snapshot()
+			height = 1
+		}
+	} else {
+		root, height, err = cs.co.AggregateTree()
+	}
 	if err != nil {
 		cs.pullErrs.Add(1)
 		msg := err.Error()
@@ -146,17 +178,26 @@ func (cs *coordServer) Close() {
 }
 
 // runServe is the CLI entry of server mode. A non-empty token puts the whole
-// surface — watch streams included — behind a bearer check.
-func runServe(co *ecmsketch.Coordinator, addr string, interval time.Duration, token string) {
-	cs := newCoordServer(co, interval)
+// surface — watch streams included — behind a bearer check; non-empty
+// certFile/keyFile serve TLS (the flags a NewPullClient with a matching root
+// CA pool verifies from the pulling side).
+func runServe(cs *coordServer, addr, token, certFile, keyFile string) {
 	if err := cs.refresh(); err != nil {
 		// Sites may simply not be up yet; the loop keeps retrying.
-		log.Printf("ecmcoord: initial pull failed (will retry every %v): %v", interval, err)
+		log.Printf("ecmcoord: initial pull failed (will retry every %v): %v", cs.interval, err)
 	}
 	go cs.run()
-	log.Printf("ecmcoord serving merged view of %d sites on %s (re-pull every %v)",
-		len(co.Sites()), addr, interval)
-	log.Fatal(http.ListenAndServe(addr, wire.RequireBearer(token, cs)))
+	mode := "tree re-merge"
+	if cs.incremental {
+		mode = "incremental re-merge"
+	}
+	log.Printf("ecmcoord serving merged view of %d sites on %s (re-pull every %v, %s)",
+		len(cs.co.Sites()), addr, cs.interval, mode)
+	handler := wire.RequireBearer(token, cs)
+	if certFile != "" || keyFile != "" {
+		log.Fatal(http.ListenAndServeTLS(addr, certFile, keyFile, handler))
+	}
+	log.Fatal(http.ListenAndServe(addr, handler))
 }
 
 // view returns the current merged view, or nil (and a 503) before the first
@@ -302,6 +343,21 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		"fullPulls":   u64(cs.co.FullPulls()),
 		"apiVersion":  "v1",
 	}
+	if cs.incremental {
+		out["mode"] = "incremental"
+		lr := cs.co.LastRefresh()
+		out["lastRefresh"] = map[string]any{
+			"round":        u64(lr.Round),
+			"contributors": lr.Contributors,
+			"stale":        lr.Stale,
+			"excluded":     lr.Excluded,
+			"pulledBytes":  u64(uint64(lr.PulledBytes)),
+			"changedCells": lr.ChangedCells,
+			"rebuiltAll":   lr.RebuiltAll,
+		}
+	} else {
+		out["mode"] = "tree"
+	}
 	subs, queries, watchers, dropped := cs.standing.Stats()
 	out["standing"] = map[string]any{
 		"subscriptions": subs,
@@ -324,17 +380,118 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot ships the merged view's bytes, making the coordinator
 // pullable by a higher-level coordinator (or persistable with curl), with
-// gzip honored for WAN hierarchies. The coordinator always serves full
-// snapshots — its view is rebuilt wholesale every pull, so it carries no
-// incremental change tracking; a delta-pulling parent presenting ?since=
-// simply keeps receiving cursorless full replies and degrades to full
-// pulls, which is correct.
+// gzip honored for WAN hierarchies.
+//
+// In incremental mode the route also speaks the delta protocol upward:
+// ?since=<cursor> is answered from the persistent root — whose cells
+// Refresh patches through ordinary arrival mutations, so their versions
+// track exactly what changed — with an incremental payload (X-Ecm-Delta:
+// delta) or a re-baselining full one, plus the X-Ecm-Cursor to present next
+// time. A stacked parent coordinator therefore pulls cell-granular deltas
+// from this coordinator through the same receiver path it uses against
+// leaf servers. In tree mode (the wholesale re-merge) there is no change
+// tracking to serve; ?since= gets a cursorless full reply and a
+// delta-pulling parent degrades to full pulls, which is correct.
 func (cs *coordServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if sinceRaw, ok := r.URL.Query()["since"]; ok && cs.incremental {
+		var since ecmsketch.Cursor
+		if len(sinceRaw) > 0 {
+			// An unparsable cursor is an unrecognized one: reply full.
+			since, _ = ecmsketch.ParseCursor(sinceRaw[0])
+		}
+		payload, cur, full, err := cs.co.DeltaSnapshot(since)
+		if err != nil {
+			// The only error surface is "no merged view yet" — same 503
+			// contract as the query routes.
+			coordError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		kind := wire.KindDelta
+		if full {
+			kind = wire.KindFull
+		}
+		meta := wire.SnapshotMeta{Cursor: cur.String(), Kind: kind}
+		if v := cs.merged.Load(); v != nil {
+			meta.Now, meta.Count = v.sk.Now(), v.sk.Count()
+		}
+		wire.WriteSnapshot(w, r, payload, meta)
+		return
+	}
 	v := cs.view(w)
 	if v == nil {
 		return
 	}
 	wire.WriteSnapshot(w, r, v.sk.Marshal(), wire.SnapshotMeta{Now: v.sk.Now(), Count: v.sk.Count()})
+}
+
+// handleSitesGet reports the membership with per-site health: consecutive
+// failures, backoff rounds left before the next probe, and whether a
+// retained baseline lets the site keep contributing while unreachable.
+func (cs *coordServer) handleSitesGet(w http.ResponseWriter, r *http.Request) {
+	statuses := cs.co.SiteStatuses()
+	sites := make([]map[string]any, len(statuses))
+	for i, st := range statuses {
+		e := map[string]any{
+			"name":          st.Name,
+			"healthy":       st.Healthy,
+			"failures":      st.Failures,
+			"backoffRounds": st.BackoffRounds,
+			"hasBaseline":   st.HasBaseline,
+		}
+		if st.LastError != "" {
+			e["lastError"] = st.LastError
+		}
+		sites[i] = e
+	}
+	coordRespond(w, map[string]any{"sites": sites})
+}
+
+// handleSitesAdd registers a site at runtime: POST /v1/sites with
+// {"url": "http://host:port"} (optional "name" for a stable identity across
+// re-registrations at new addresses). The site joins the next pull round;
+// re-registering an existing name replaces the member and re-bootstraps it
+// from a full baseline.
+func (cs *coordServer) handleSitesAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL  string `json:"url"`
+		Name string `json:"name"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		coordError(w, http.StatusBadRequest, "bad site registration: "+err.Error())
+		return
+	}
+	if req.URL == "" {
+		coordError(w, http.StatusBadRequest, "site registration requires a url")
+		return
+	}
+	if _, err := url.ParseRequestURI(req.URL); err != nil {
+		coordError(w, http.StatusBadRequest, "bad site url: "+err.Error())
+		return
+	}
+	site := ecmsketch.NewHTTPSiteWithAuth(req.URL, cs.siteClient, cs.siteToken)
+	if req.Name != "" {
+		site.(interface{ SetName(string) }).SetName(req.Name)
+	}
+	cs.co.AddSite(site)
+	coordRespond(w, map[string]any{"ok": true, "sites": len(cs.co.Sites())})
+}
+
+// handleSitesRemove drops the member named by ?name= (the site's base URL
+// unless it registered under an explicit name). The next refresh rebuilds
+// the merged view without its contribution.
+func (cs *coordServer) handleSitesRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		coordError(w, http.StatusBadRequest, "?name= is required")
+		return
+	}
+	if !cs.co.RemoveSite(name) {
+		coordError(w, http.StatusNotFound, "no site named "+name)
+		return
+	}
+	coordRespond(w, map[string]any{"ok": true, "sites": len(cs.co.Sites())})
 }
 
 // handleRefresh forces an immediate re-pull: POST /v1/refresh. Deployments

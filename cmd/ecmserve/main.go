@@ -39,8 +39,14 @@ func main() {
 		ttl     = flag.Duration("merge-ttl", 250*time.Millisecond, "staleness bound of cached global-query view (0 = always fresh)")
 		refresh = flag.Duration("refresh", 0, "background merged-view refresh period (0 = rebuild on the reader that trips merge-ttl)")
 		token   = flag.String("token", "", "require this bearer token on every request (empty = open)")
+		tlsCert = flag.String("tls-cert", "", "serve TLS with this certificate file (requires -tls-key); pullers trusting a private CA pass it to ecmcoord -site-ca or ecmclient.WithRootCAs")
+		tlsKey  = flag.String("tls-key", "", "private key file for -tls-cert")
 	)
 	flag.Parse()
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "ecmserve: -tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
 	srv, err := ecmserver.New(ecmserver.Config{
 		Epsilon:         *epsilon,
 		Delta:           *delta,
@@ -60,5 +66,8 @@ func main() {
 	}
 	log.Printf("ecmserve listening on %s (eps=%v delta=%v window=%d algo=%s shards=%d)",
 		*addr, *epsilon, *delta, *window, *algo, srv.Engine().Shards())
+	if *tlsCert != "" {
+		log.Fatal(http.ListenAndServeTLS(*addr, *tlsCert, *tlsKey, srv))
+	}
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -19,6 +19,7 @@ package ecmclient
 
 import (
 	"bytes"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"time"
 
 	"ecmsketch"
 	"ecmsketch/internal/wire"
@@ -54,6 +56,16 @@ func WithHTTPClient(hc *http.Client) Option {
 // the credential a server started with a non-empty AuthToken requires.
 func WithAuthToken(token string) Option {
 	return func(c *Client) { c.token = token }
+}
+
+// WithRootCAs verifies https:// servers against the given trust pool
+// instead of the system roots — for deployments running ecmserve/ecmcoord
+// behind a private CA (-tls-cert/-tls-key). It replaces the transport with
+// the shared keep-alive pull client (30-second overall timeout); compose
+// custom timeouts via WithHTTPClient(ecmsketch.NewPullClient(...)) instead
+// of stacking both options.
+func WithRootCAs(roots *x509.CertPool) Option {
+	return func(c *Client) { c.hc = ecmsketch.NewPullClient(30*time.Second, roots) }
 }
 
 // New builds a client for the ecmserver instance at baseURL
@@ -114,6 +126,18 @@ func (c *Client) get(path string, q url.Values, out any) error {
 		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) del(path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
 	if err != nil {
 		return err
 	}
@@ -541,4 +565,47 @@ func (c *Client) Snapshot() (*ecmsketch.Sketch, error) {
 		return nil, err
 	}
 	return ecmsketch.Unmarshal(raw)
+}
+
+// SiteInfo is one coordinator member's health, as reported by a running
+// ecmcoord's GET /v1/sites.
+type SiteInfo struct {
+	Name          string `json:"name"`
+	Healthy       bool   `json:"healthy"`
+	Failures      int    `json:"failures"`
+	BackoffRounds uint64 `json:"backoffRounds"`
+	LastError     string `json:"lastError"`
+	HasBaseline   bool   `json:"hasBaseline"`
+}
+
+// Sites lists a coordinator's membership with per-site health. Only
+// ecmcoord -serve deployments expose the route; against a plain ecmserve
+// the call fails with a 404.
+func (c *Client) Sites() ([]SiteInfo, error) {
+	var out struct {
+		Sites []SiteInfo `json:"sites"`
+	}
+	if err := c.get("/v1/sites", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Sites, nil
+}
+
+// RegisterSite adds the ecmserve deployment at siteURL to a running
+// coordinator's membership (POST /v1/sites); it joins the next pull round.
+// A non-empty name gives the site a stable identity across re-registrations
+// at new addresses — re-registering an existing name replaces the member
+// and re-bootstraps it from a full baseline.
+func (c *Client) RegisterSite(siteURL, name string) error {
+	body, err := json.Marshal(map[string]string{"url": siteURL, "name": name})
+	if err != nil {
+		return err
+	}
+	return c.post("/v1/sites", nil, bytes.NewReader(body), "application/json", nil)
+}
+
+// UnregisterSite removes the member named name (the site's base URL unless
+// it registered under an explicit name) from a running coordinator.
+func (c *Client) UnregisterSite(name string) error {
+	return c.del("/v1/sites", url.Values{"name": {name}}, nil)
 }

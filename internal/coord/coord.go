@@ -42,9 +42,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecmsketch/internal/core"
 	"ecmsketch/internal/wire"
@@ -167,18 +169,30 @@ type HTTPSite struct {
 }
 
 // NewHTTPSite builds a site pulling from the ecmserver instance at baseURL
-// (e.g. "http://collector-3:8080"). A nil client uses http.DefaultClient;
-// pass one with a Timeout for production pulls.
+// (e.g. "http://collector-3:8080"). A nil client uses the package's shared
+// pull client — one keep-alive transport across every such site, with a
+// 30-second overall timeout (see NewPullClient); pass an explicit client to
+// change timeouts or trust private root CAs.
 func NewHTTPSite(baseURL string, hc *http.Client) *HTTPSite {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = defaultPullClient
 	}
 	base := strings.TrimRight(baseURL, "/")
 	return &HTTPSite{name: base, base: base, hc: hc}
 }
 
-// Name identifies the site (its base URL).
+// Name identifies the site (its base URL, unless renamed with SetName).
 func (s *HTTPSite) Name() string { return s.name }
+
+// SetName gives the site a stable identity independent of its address, so a
+// site re-registering from a new host/port replaces its old membership entry
+// instead of accumulating a duplicate. Configure before handing the site to
+// a coordinator; the name keys membership, health, and pull staggering.
+func (s *HTTPSite) SetName(name string) {
+	if name != "" {
+		s.name = name
+	}
+}
 
 // SetAuthToken makes every pull carry "Authorization: Bearer <tok>" — the
 // credential an ecmserver started with a non-empty AuthToken requires. An
@@ -244,14 +258,13 @@ func (s *HTTPSite) fetch(pathAndQuery string) (wire.SnapshotReply, error) {
 	return wire.FetchSnapshotAuth(s.hc, s.base+pathAndQuery, s.token)
 }
 
-// Coordinator aggregates a set of sites' summaries into one sketch of the
-// combined stream. It is safe for concurrent use: concurrent AggregateTree
-// calls each pull their own snapshots and share only the atomic Network
-// counters (and, in delta mode, the per-site receiver states, which carry
-// their own locks).
+// Coordinator aggregates a dynamic set of sites' summaries into one sketch
+// of the combined stream. It is safe for concurrent use: pull rounds
+// (AggregateTree, AggregateFlat, Refresh) serialize on an internal lock,
+// membership calls and root queries interleave freely with them, and the
+// per-site receiver states carry their own locks.
 type Coordinator struct {
-	sites []Site
-	net   *Network
+	net *Network
 
 	// pulled counts payload bytes actually fetched from sites (one
 	// snapshot per site per pull), as opposed to the Network's
@@ -260,9 +273,24 @@ type Coordinator struct {
 	pulled atomic.Int64
 
 	// delta switches pulls to the cursor-based incremental protocol;
-	// states holds one receiver per site (baseline parts + cursor).
-	delta  bool
-	states []*siteDeltaState
+	// resilient switches site failures from round-fatal to health-managed
+	// (retained baselines keep serving, flapping sites back off); stagger
+	// spreads each site's fetch inside a round by a deterministic
+	// per-name offset in [0, stagger).
+	delta     bool
+	resilient bool
+	stagger   time.Duration
+
+	// mu guards the membership list and the pull-round counter.
+	mu      sync.RWMutex
+	members []*member
+	round   uint64
+
+	// pullMu serializes pull rounds: a round holds every member's receiver
+	// lock at once (so Refresh can patch the root from shared baselines
+	// without cloning them), and two interleaved rounds would deadlock on
+	// each other's members.
+	pullMu sync.Mutex
 
 	fullPulls, deltaPulls atomic.Uint64
 
@@ -275,6 +303,13 @@ type Coordinator struct {
 	changedMu    sync.Mutex
 	changedCells []int
 	changedAll   bool
+
+	// rootMu guards the incrementally maintained merged view (Refresh,
+	// Snapshot, DeltaSnapshot) and its provenance.
+	rootMu    sync.Mutex
+	root      *core.Sketch
+	contrib   []*member
+	lastStats RefreshStats
 }
 
 // maxChangedCells bounds the accumulated changed-cell set; past it the
@@ -298,11 +333,11 @@ func New(sites ...Site) *Coordinator { return NewWithNetwork(new(Network), sites
 // the simulated Cluster threads its historical accounting through the
 // shared merge path.
 func NewWithNetwork(net *Network, sites ...Site) *Coordinator {
-	states := make([]*siteDeltaState, len(sites))
-	for i := range states {
-		states[i] = new(siteDeltaState)
+	c := &Coordinator{net: net}
+	for _, s := range sites {
+		c.members = append(c.members, &member{site: s})
 	}
-	return &Coordinator{sites: sites, net: net, states: states}
+	return c
 }
 
 // SetDeltaPulls toggles cursor-based incremental pulls (see the package
@@ -314,6 +349,21 @@ func NewWithNetwork(net *Network, sites ...Site) *Coordinator {
 // cursors, which the next delta pull revalidates against the sites anyway).
 func (c *Coordinator) SetDeltaPulls(on bool) { c.delta = on }
 
+// SetResilient switches site-failure handling from round-fatal (any failed
+// site fails the whole pull, the strict default) to health-managed: a
+// failing site is served from its retained baseline when one exists (delta
+// mode) or excluded from the round otherwise, and repeated failures back it
+// off exponentially — skipping 1, 2, 4, … up to 32 rounds between probes —
+// until a successful probe re-admits it. Configure before the first pull.
+func (c *Coordinator) SetResilient(on bool) { c.resilient = on }
+
+// SetPullStagger spreads each site's fetch inside a pull round by a
+// deterministic offset in [0, window) derived from the site's name (see
+// PullStagger) — so a fleet of coordinators sharing an interval does not
+// stampede its sites at the tick. Zero (the default) fetches immediately.
+// Configure before the first pull.
+func (c *Coordinator) SetPullStagger(window time.Duration) { c.stagger = window }
+
 // DeltaPulls and FullPulls report how many per-site pulls were answered
 // incrementally vs with a full baseline since construction (delta mode
 // only). A healthy steady state shows full pulls only at bootstrap and
@@ -321,8 +371,17 @@ func (c *Coordinator) SetDeltaPulls(on bool) { c.delta = on }
 func (c *Coordinator) DeltaPulls() uint64 { return c.deltaPulls.Load() }
 func (c *Coordinator) FullPulls() uint64  { return c.fullPulls.Load() }
 
-// Sites exposes the coordinator's site set.
-func (c *Coordinator) Sites() []Site { return c.sites }
+// Sites exposes a snapshot of the coordinator's current site set, in
+// membership order.
+func (c *Coordinator) Sites() []Site {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Site, len(c.members))
+	for i, m := range c.members {
+		out[i] = m.site
+	}
+	return out
+}
 
 // Network exposes the communication accounting of the aggregation-tree
 // model: one message per tree edge, identical across transports.
@@ -362,81 +421,137 @@ func (c *Coordinator) TakeChangedCells() (cells []int, all bool) {
 	return cells, all
 }
 
-// pull fetches every site's snapshot concurrently and verifies the
-// summaries are mutually mergeable, naming the offending site on failure.
-// Nothing is charged here: transfer charges are per aggregation edge, in
-// AggregateTree, using the sizes the transports report.
-func (c *Coordinator) pull() ([]*core.Sketch, []int, error) {
-	parts := make([]*core.Sketch, len(c.sites))
-	sizes := make([]int, len(c.sites))
-	errs := make([]error, len(c.sites))
-	var wg sync.WaitGroup
-	for i, site := range c.sites {
-		wg.Add(1)
-		go func(i int, site Site) {
-			defer wg.Done()
-			if c.delta {
-				parts[i], sizes[i], errs[i] = c.pullSiteDelta(i, site)
-			} else {
-				parts[i], sizes[i], errs[i] = site.Snapshot()
-				if errs[i] == nil {
-					// A full pull carries no cell-granular change
-					// information: everything may have moved.
-					c.noteChanged(nil, true)
-				}
-			}
-		}(i, site)
-	}
-	wg.Wait()
-	// Every successfully fetched payload is charged to the pulled counter
-	// even if the pull as a whole fails below: those bytes crossed the
-	// transport regardless of whether a sibling site erred.
-	for i, err := range errs {
-		if err == nil {
-			c.pulled.Add(int64(sizes[i]))
-		}
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("coord: site %s: %w", c.sites[i].Name(), err)
-		}
-	}
-	for i := 1; i < len(parts); i++ {
-		if !parts[0].Compatible(parts[i]) {
-			return nil, nil, fmt.Errorf("coord: site %s: sketch parameters incompatible with site %s",
-				c.sites[i].Name(), c.sites[0].Name())
-		}
-	}
-	return parts, sizes, nil
+// pullOutcome is one member's contribution to a pull round.
+type pullOutcome struct {
+	part  *core.Sketch // nil when the member is excluded this round
+	owned bool         // part is an independent clone, valid past release
+	size  int          // payload bytes fetched this round
+	stale bool         // served from the retained baseline without contact
+	cells []int        // merged-view cells this pull replaced
+	all   bool         // the whole summary may have moved
+	err   error        // round-fatal in strict mode; recorded when resilient
 }
 
-// pullSiteDelta performs one incremental pull of site i: present the held
-// cursor, apply what comes back, and materialize the site's summary from
-// the retained baseline. When the application fails — the site restarted,
-// the cursor went stale, the payload arrived torn — the receiver state has
-// already dropped its baseline, and the coordinator transparently re-pulls
-// a full baseline in the same interval; both transfers are charged. The
-// merged result is byte-identical to what a full pull would have fetched.
-func (c *Coordinator) pullSiteDelta(i int, site Site) (*core.Sketch, int, error) {
-	st := c.states[i]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	payload, cur, full, size, err := site.Delta(st.ds.Cursor())
+// roundResult is one pull round's members, outcomes, and the release that
+// unlocks every member's receiver state (and the round lock). Parts that
+// are not owned alias the receiver baselines and must not outlive release.
+type roundResult struct {
+	round   uint64
+	members []*member
+	outs    []pullOutcome
+	release func()
+}
+
+// beginRound snapshots the membership and advances the round counter.
+func (c *Coordinator) beginRound() ([]*member, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	return slices.Clone(c.members), c.round
+}
+
+// pullRound fetches every member concurrently (staggered when configured)
+// and returns the outcomes with every member's receiver lock still held, so
+// callers can merge straight from the shared baselines. Nothing is charged
+// to the Network here — the aggregation shapes charge their own edges — but
+// fetched bytes are counted toward PulledBytes regardless of what the
+// caller does next: they crossed the transport.
+func (c *Coordinator) pullRound() roundResult {
+	c.pullMu.Lock()
+	members, round := c.beginRound()
+	outs := make([]pullOutcome, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			if c.stagger > 0 {
+				time.Sleep(PullStagger(m.site.Name(), c.stagger))
+			}
+			m.st.mu.Lock()
+			outs[i] = c.pullMemberLocked(m, round)
+		}(i, m)
+	}
+	wg.Wait()
+	for i := range outs {
+		c.pulled.Add(int64(outs[i].size))
+	}
+	release := func() {
+		for _, m := range members {
+			m.st.mu.Unlock()
+		}
+		c.pullMu.Unlock()
+	}
+	return roundResult{round: round, members: members, outs: outs, release: release}
+}
+
+// pullMemberLocked pulls one member (receiver lock held by the caller). In
+// resilient mode a backed-off member is not contacted at all, and a failed
+// contact degrades to the retained baseline (or exclusion) instead of an
+// error; strict mode surfaces the error for the round to fail on.
+func (c *Coordinator) pullMemberLocked(m *member, round uint64) pullOutcome {
+	if c.resilient && m.backedOff(round) {
+		return c.staleOutcome(m)
+	}
+	var o pullOutcome
+	if c.delta {
+		o = c.pullDeltaLocked(m)
+	} else {
+		part, size, err := m.site.Snapshot()
+		// A full pull carries no cell-granular change information:
+		// everything may have moved.
+		o = pullOutcome{part: part, owned: true, size: size, all: true, err: err}
+	}
+	if o.err == nil {
+		m.noteSuccess()
+		c.noteChanged(o.cells, o.all)
+		return o
+	}
+	m.noteFailure(round, o.err)
+	if !c.resilient {
+		return o
+	}
+	o = c.staleOutcome(m)
+	return o
+}
+
+// staleOutcome serves a member from its retained baseline — the previous
+// view, unchanged, at zero transfer — or excludes it when there is none.
+func (c *Coordinator) staleOutcome(m *member) pullOutcome {
+	if c.delta && m.st.ds.HasBaseline() {
+		if sk, err := m.st.ds.MaterializeShared(); err == nil {
+			return pullOutcome{part: sk, stale: true}
+		}
+	}
+	return pullOutcome{}
+}
+
+// pullDeltaLocked performs one incremental pull of a member: present the
+// held cursor, apply what comes back, and materialize the site's summary
+// from the retained baseline. When the application fails — the site
+// restarted, the cursor went stale, the payload arrived torn — the receiver
+// state has already dropped its baseline, and the coordinator transparently
+// re-pulls a full baseline in the same round; both transfers are charged.
+// The merged result is byte-identical to what a full pull would have
+// fetched.
+func (c *Coordinator) pullDeltaLocked(m *member) pullOutcome {
+	ds := &m.st.ds
+	payload, cur, full, size, err := m.site.Delta(ds.Cursor())
 	if err != nil {
-		return nil, 0, err
+		return pullOutcome{err: err}
 	}
 	total := size
-	if applyErr := st.ds.Apply(payload, cur, full); applyErr != nil {
-		payload, cur, full, size, err = site.Delta(core.Cursor{})
+	if applyErr := ds.Apply(payload, cur, full); applyErr != nil {
+		payload, cur, full, size, err = m.site.Delta(core.Cursor{})
 		total += size
 		if err != nil {
-			return nil, total, err
+			return pullOutcome{err: err}
 		}
 		if !full {
-			return nil, total, fmt.Errorf("incremental payload for a zero cursor (after %v)", applyErr)
+			return pullOutcome{err: fmt.Errorf("incremental payload for a zero cursor (after %v)", applyErr)}
 		}
-		if err := st.ds.Apply(payload, cur, full); err != nil {
-			return nil, total, fmt.Errorf("re-baseline failed: %w (after %v)", err, applyErr)
+		if err := ds.Apply(payload, cur, full); err != nil {
+			return pullOutcome{err: fmt.Errorf("re-baseline failed: %w (after %v)", err, applyErr)}
 		}
 	}
 	if full {
@@ -444,13 +559,56 @@ func (c *Coordinator) pullSiteDelta(i int, site Site) (*core.Sketch, int, error)
 	} else {
 		c.deltaPulls.Add(1)
 	}
-	cells, all := st.ds.TakeChangedCells()
-	c.noteChanged(cells, all)
-	sk, err := st.ds.Materialize()
+	cells, all := ds.TakeChangedCells()
+	sk, err := ds.MaterializeShared()
 	if err != nil {
-		return nil, total, err
+		return pullOutcome{err: err}
 	}
-	return sk, total, nil
+	return pullOutcome{part: sk, size: total, cells: cells, all: all}
+}
+
+// foldOutcomes turns a round's outcomes into mergeable parts plus their
+// leaf transfer sizes: strict mode surfaces the first site error; resilient
+// mode drops excluded members. clone makes shared parts independent of the
+// receiver states, for results that must outlive the round's release.
+func (c *Coordinator) foldOutcomes(r roundResult, clone bool) ([]*core.Sketch, []int, error) {
+	if len(r.members) == 0 {
+		return nil, nil, errors.New("coord: no sites to aggregate")
+	}
+	for i, o := range r.outs {
+		if o.err != nil {
+			return nil, nil, fmt.Errorf("coord: site %s: %w", r.members[i].site.Name(), o.err)
+		}
+	}
+	parts := make([]*core.Sketch, 0, len(r.outs))
+	sizes := make([]int, 0, len(r.outs))
+	names := make([]string, 0, len(r.outs))
+	for i, o := range r.outs {
+		if o.part == nil {
+			continue
+		}
+		p := o.part
+		if clone && !o.owned {
+			var err error
+			if p, err = p.Snapshot(); err != nil {
+				return nil, nil, fmt.Errorf("coord: site %s: cloning retained baseline: %w",
+					r.members[i].site.Name(), err)
+			}
+		}
+		parts = append(parts, p)
+		sizes = append(sizes, o.size)
+		names = append(names, r.members[i].site.Name())
+	}
+	if len(parts) == 0 {
+		return nil, nil, errors.New("coord: no sites available (every site excluded by health backoff)")
+	}
+	for i := 1; i < len(parts); i++ {
+		if !parts[0].Compatible(parts[i]) {
+			return nil, nil, fmt.Errorf("coord: site %s: sketch parameters incompatible with site %s",
+				names[i], names[0])
+		}
+	}
+	return parts, sizes, nil
 }
 
 // AggregateTree pulls every site's summary and merges bottom-up over a
@@ -463,10 +621,11 @@ func (c *Coordinator) pullSiteDelta(i int, site Site) (*core.Sketch, int, error)
 // level, its summary still traveling one hop upward. The root sketch
 // summarizing the union stream is returned with the tree height.
 func (c *Coordinator) AggregateTree() (*core.Sketch, int, error) {
-	if len(c.sites) == 0 {
-		return nil, 0, errors.New("coord: no sites to aggregate")
-	}
-	level, lsz, err := c.pull()
+	r := c.pullRound()
+	defer r.release()
+	// Parts are cloned out of the shared receiver baselines because a
+	// single-leaf tree returns the leaf itself as the root.
+	level, lsz, err := c.foldOutcomes(r, true)
 	if err != nil {
 		return nil, 0, err
 	}

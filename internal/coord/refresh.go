@@ -1,0 +1,213 @@
+package coord
+
+// Incremental re-merge and delta re-serving: Refresh maintains one
+// persistent merged root instead of rebuilding the aggregation from scratch
+// every interval. Each round pulls the sites (delta pulls, normally),
+// collects the union of merged-view cells the deltas replaced, and patches
+// exactly those cells of the root with core.PatchMerged — whose output is
+// pinned byte-identical to a from-scratch flat merge (AggregateFlat) over
+// the same parts. Sites with zero changed cells contribute nothing but
+// their retained baseline to the replay, and cost nothing beyond it.
+//
+// Because the root is a long-lived sketch patched through ordinary arrival
+// mutations, its cell versions move exactly like a leaf engine's — so the
+// coordinator can serve the cursor-based delta protocol upward from the
+// root (Snapshot / DeltaSnapshot satisfy the same source contracts leaf
+// engines do), and stacked coordinators pull deltas from coordinators the
+// way coordinators pull deltas from sites.
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"ecmsketch/internal/core"
+)
+
+// RefreshStats describes one successful Refresh round.
+type RefreshStats struct {
+	// Round is the pull-round number the refresh ran as.
+	Round uint64
+	// Contributors is how many members' summaries entered the merge;
+	// Stale of them were served from retained baselines without contact,
+	// and Excluded members contributed nothing at all.
+	Contributors, Stale, Excluded int
+	// PulledBytes is the payload volume fetched this round.
+	PulledBytes int64
+	// ChangedCells is the size of the changed-cell union the root was
+	// patched from (with duplicates across sites; meaningless when
+	// RebuiltAll). RebuiltAll marks a full re-derivation of every root
+	// cell: the first round, a contributor-set change, or a pull that lost
+	// cell granularity.
+	ChangedCells int
+	RebuiltAll   bool
+}
+
+// Refresh runs one incremental re-merge round: pull every member, then
+// bring the persistent merged root up to date by re-deriving only the cells
+// the pulls changed. On any error — a site failure in strict mode, every
+// site excluded in resilient mode — the root is left as it was, still
+// serving the previous view.
+//
+// The Network accounting charges the leaf transfers only (the flat merge
+// has no internal edges); the tree-model equivalent is AggregateTree.
+func (c *Coordinator) Refresh() error {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	r := c.pullRound()
+	defer r.release()
+	if len(r.members) == 0 {
+		return errors.New("coord: no sites to aggregate")
+	}
+	for i, o := range r.outs {
+		if o.err != nil {
+			return fmt.Errorf("coord: site %s: %w", r.members[i].site.Name(), o.err)
+		}
+	}
+
+	stats := RefreshStats{Round: r.round}
+	var parts []*core.Sketch
+	var contrib []*member
+	var union []int
+	anyAll := false
+	for i, o := range r.outs {
+		if o.part == nil {
+			stats.Excluded++
+			continue
+		}
+		parts = append(parts, o.part)
+		contrib = append(contrib, r.members[i])
+		if o.stale {
+			stats.Stale++
+			continue
+		}
+		stats.PulledBytes += int64(o.size)
+		c.net.Charge(o.size)
+		if o.all {
+			anyAll = true
+		} else {
+			union = append(union, o.cells...)
+		}
+	}
+	if len(parts) == 0 {
+		return errors.New("coord: no sites available (every site excluded by health backoff)")
+	}
+	for i := 1; i < len(parts); i++ {
+		if !parts[0].Compatible(parts[i]) {
+			return fmt.Errorf("coord: site %s: sketch parameters incompatible with site %s",
+				contrib[i].site.Name(), contrib[0].site.Name())
+		}
+	}
+
+	same := slices.Equal(c.contrib, contrib)
+	switch {
+	case c.root == nil:
+		root, err := core.Merge(parts...)
+		if err != nil {
+			return fmt.Errorf("coord: %w", err)
+		}
+		c.root = root
+		stats.RebuiltAll = true
+	default:
+		all := anyAll || !same
+		cells := union
+		if all {
+			cells = nil
+		}
+		if err := core.PatchMerged(c.root, parts, cells, all, nil); err != nil {
+			// Parameters changed under us, or the engine has no cell bank:
+			// rebuild from scratch. The fresh epoch invalidates downstream
+			// cursors, and those pullers re-baseline — exactly as they
+			// would against a restarted leaf.
+			root, mergeErr := core.Merge(parts...)
+			if mergeErr != nil {
+				return fmt.Errorf("coord: %w", mergeErr)
+			}
+			c.root = root
+			c.noteChanged(nil, true)
+			all = true
+		}
+		stats.RebuiltAll = all
+		if !same {
+			// The contributor set changed: every root cell may have moved,
+			// and the standing-query feed must not under-report.
+			c.noteChanged(nil, true)
+		}
+	}
+	stats.Contributors = len(parts)
+	stats.ChangedCells = len(union)
+	c.contrib = contrib
+	c.lastStats = stats
+	return nil
+}
+
+// LastRefresh reports the most recent successful Refresh round's stats.
+func (c *Coordinator) LastRefresh() RefreshStats {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	return c.lastStats
+}
+
+// errNoView is returned by the serving surface before the first successful
+// Refresh.
+var errNoView = errors.New("coord: no merged view yet (Refresh has not succeeded)")
+
+// Snapshot returns an independent clone of the incrementally maintained
+// merged view. It satisfies the same SnapshotSource contract leaf engines
+// do, so a coordinator nests under a parent coordinator via NewLocalSite —
+// the in-process form of a coordinator hierarchy.
+func (c *Coordinator) Snapshot() (*core.Sketch, error) {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	if c.root == nil {
+		return nil, errNoView
+	}
+	return c.root.Snapshot()
+}
+
+// DeltaSnapshot serves the cursor-based incremental protocol from the
+// merged root: a parent presenting the cursor from its previous pull
+// receives only the root cells Refresh re-derived since — in steady state a
+// small fraction of the merged view — and any unrecognized cursor receives
+// a full baseline. Satisfies DeltaSnapshotSource, so stacked coordinators
+// pull deltas through the exact receiver path they use against leaves.
+func (c *Coordinator) DeltaSnapshot(since core.Cursor) ([]byte, core.Cursor, bool, error) {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	if c.root == nil {
+		return nil, core.Cursor{}, false, errNoView
+	}
+	return c.root.DeltaSnapshot(since)
+}
+
+// AggregateFlat pulls every site and merges the summaries with one flat
+// n-way ⊕ — the aggregation shape Refresh maintains incrementally, returned
+// from scratch. Its result is byte-identical to the root Refresh maintains
+// over the same parts (the equivalence the incremental tests pin). Leaf
+// transfers are charged to the Network; the flat shape has no internal
+// edges, so the returned height is 1 (0 for a single site, as in the tree
+// model).
+func (c *Coordinator) AggregateFlat() (*core.Sketch, int, error) {
+	r := c.pullRound()
+	defer r.release()
+	parts, sizes, err := c.foldOutcomes(r, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range parts {
+		if sizes[i] > 0 {
+			c.net.Charge(sizes[i])
+		}
+	}
+	// Merging under the round's locks: the shared parts stay pinned until
+	// release, and Merge allocates its own output.
+	root, err := core.Merge(parts...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("coord: %w", err)
+	}
+	height := 1
+	if len(parts) == 1 {
+		height = 0
+	}
+	return root, height, nil
+}

@@ -417,10 +417,14 @@ type DeltaState struct {
 	vers  []uint64
 	parts []*Sketch
 	now   Tick
-	// merged caches the cross-part Merge of Materialize; invalidated
-	// whenever content or clock moves, so idle re-pulls cost one arena
-	// clone instead of a P-way merge.
-	merged *Sketch
+	// merged caches the cross-part Merge of Materialize. Instead of being
+	// invalidated wholesale, it is patched in place (PatchMerged) from the
+	// cells deltas actually changed — mergedDirty/mergedDirtyAll mirror the
+	// external change feed for that purpose — so a steady-state pull costs
+	// re-deriving a handful of cells, not a P-way merge.
+	merged         *Sketch
+	mergedDirty    []int
+	mergedDirtyAll bool
 
 	// changed accumulates the cell indices replaced by applied deltas
 	// since the last TakeChangedCells — the change feed coordinators hand
@@ -439,15 +443,24 @@ type DeltaState struct {
 // degrades to "everything changed" rather than growing without bound.
 const maxTrackedCells = 4096
 
+// noteCell records one changed cell into both accumulations: the external
+// change feed (TakeChangedCells) and the merged-cache dirty set. A negative
+// index signals that cell granularity was lost and every cell may have
+// changed.
 func (st *DeltaState) noteCell(idx int) {
-	if st.changedAll {
+	noteInto(&st.changed, &st.changedAll, idx)
+	noteInto(&st.mergedDirty, &st.mergedDirtyAll, idx)
+}
+
+func noteInto(cells *[]int, all *bool, idx int) {
+	if *all {
 		return
 	}
-	if len(st.changed) >= maxTrackedCells {
-		st.changed, st.changedAll = nil, true
+	if idx < 0 || len(*cells) >= maxTrackedCells {
+		*cells, *all = nil, true
 		return
 	}
-	st.changed = append(st.changed, idx)
+	*cells = append(*cells, idx)
 }
 
 // TakeChangedCells returns and clears the cell indices changed by applies
@@ -481,7 +494,8 @@ func (st *DeltaState) FullApplies() uint64  { return st.fulls }
 func (st *DeltaState) DeltaApplies() uint64 { return st.deltas }
 
 // Reset drops the baseline; the next Cursor is zero and the next pull must
-// be full.
+// be full. A coordinator that keeps serving its previous view across a
+// site's bad pull snapshots the materialization before resetting.
 func (st *DeltaState) Reset() { *st = DeltaState{fulls: st.fulls, deltas: st.deltas} }
 
 // Apply absorbs one pull: payload plus the cursor and full flag the
@@ -528,7 +542,6 @@ func (st *DeltaState) apply(payload []byte, cur Cursor, full bool) error {
 		if n := st.parts[0].Now(); n > st.now {
 			st.now = n
 		}
-		st.merged = nil
 		return nil
 	case wireMultiDelta:
 		return st.applyMultiDelta(payload, cur)
@@ -539,8 +552,8 @@ func (st *DeltaState) apply(payload []byte, cur Cursor, full bool) error {
 
 func (st *DeltaState) applyFull(payload []byte, cur Cursor) error {
 	switch payload[0] {
-	case wireECM:
-		sk, err := Unmarshal(payload)
+	case wireECM, wireSparse:
+		sk, err := UnmarshalAny(payload)
 		if err != nil {
 			return err
 		}
@@ -555,13 +568,18 @@ func (st *DeltaState) applyFull(payload []byte, cur Cursor) error {
 		if !cur.IsZero() && cur.Epoch != epoch {
 			return errors.New("core: baseline epoch does not match its cursor")
 		}
+		for _, p := range parts {
+			p.Advance(now) // settle to the engine clock up front
+		}
 		st.parts = parts
 		st.now = now
 	default:
 		return fmt.Errorf("core: unknown snapshot tag 0x%02x", payload[0])
 	}
-	// A fresh baseline invalidates any cell-granular accumulation.
+	// A fresh baseline invalidates any cell-granular accumulation and the
+	// merged cache (the old parts are gone; patching has nothing to patch).
 	st.changed, st.changedAll = nil, true
+	st.merged, st.mergedDirty, st.mergedDirtyAll = nil, nil, false
 	if cur.IsZero() {
 		// Producer does not speak cursors (legacy server, plain snapshot
 		// source): keep pulling full.
@@ -573,7 +591,6 @@ func (st *DeltaState) applyFull(payload []byte, cur Cursor) error {
 		st.epoch = cur.Epoch
 		st.vers = append([]uint64(nil), cur.Vers...)
 	}
-	st.merged = nil
 	return nil
 }
 
@@ -640,19 +657,21 @@ func (st *DeltaState) applyMultiDelta(payload []byte, cur Cursor) error {
 		}
 		sub := payload[off : off+int(ln)]
 		off += int(ln)
-		if len(sub) > 0 && sub[0] == wireECM {
-			// Whole-part replacement: how engines without cell-granular
-			// change tracking (the wave algorithms) ship a changed stripe.
-			// The part's new version comes from the cursor alone.
-			sk, err := Unmarshal(sub)
+		if len(sub) > 0 && (sub[0] == wireECM || sub[0] == wireSparse) {
+			// Whole-part replacement: how a producer without cell-granular
+			// change tracking ships a changed stripe. The part's new version
+			// comes from the cursor alone.
+			sk, err := UnmarshalAny(sub)
 			if err != nil {
 				return fmt.Errorf("core: part %d: %w", idx, err)
 			}
 			sk.Advance(sk.Now())
 			st.parts[idx] = sk
 			newVers[idx] = cur.Vers[idx]
-			// No cell granularity on replacement: anything may differ.
+			// No cell granularity on replacement: anything may differ, and
+			// the merged cache cannot be patched across a part-object swap.
 			st.changed, st.changedAll = nil, true
+			st.merged, st.mergedDirty, st.mergedDirtyAll = nil, nil, false
 			continue
 		}
 		ver, err := st.parts[idx].applyDelta(sub, st.epoch, st.vers[idx], st.noteCell)
@@ -674,10 +693,17 @@ func (st *DeltaState) applyMultiDelta(payload []byte, cur Cursor) error {
 	st.vers = newVers
 	if now > st.now {
 		st.now = now
-		st.merged = nil
 	}
-	if nChanged > 0 {
-		st.merged = nil
+	// Settle every part — changed or not — to the engine clock with expiry
+	// noting. Sub-deltas only advance their own part to its stripe clock,
+	// and an unchanged part ships zero bytes yet still expires under the
+	// moving engine clock: both gaps would otherwise leak expired content
+	// past the change feed (and past the merged-cache patch, which trusts
+	// the feed to name every divergent cell).
+	for _, p := range st.parts {
+		if p.Now() < st.now {
+			p.AdvanceNoting(st.now, st.noteCell)
+		}
 	}
 	return nil
 }
@@ -714,7 +740,7 @@ func decodeMultiFull(payload []byte) (epoch uint64, now Tick, parts []*Sketch, e
 		if ln > uint64(len(payload)-off) {
 			return 0, 0, nil, errors.New("core: truncated multipart baseline part")
 		}
-		sk, err := Unmarshal(payload[off : off+int(ln)])
+		sk, err := UnmarshalAny(payload[off : off+int(ln)])
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("core: baseline part %d: %w", i, err)
 		}
@@ -732,26 +758,57 @@ func decodeMultiFull(payload []byte) (epoch uint64, now Tick, parts []*Sketch, e
 // (with the same order-preserving ⊕, over parts advanced to the engine
 // clock, that the producer's own full snapshot path uses — which is what
 // makes delta reconstruction byte-identical to full pulls). The result is
-// freshly owned on every call; the cross-part merge is cached between
-// calls and re-done only when a delta changed something.
+// freshly owned on every call.
 func (st *DeltaState) Materialize() (*Sketch, error) {
+	m, err := st.MaterializeShared()
+	if err != nil {
+		return nil, err
+	}
+	return m.Snapshot()
+}
+
+// MaterializeShared is Materialize without the defensive clone: it returns
+// the combined summary the state holds internally — the single part itself,
+// or the cached cross-part merge, patched in place (PatchMerged) from the
+// cells the applied deltas actually changed rather than re-merged P-ways.
+// The caller must treat the result as read-only and must not retain it
+// across a later Apply, which mutates it; a coordinator serving many sites
+// uses this to feed its own merge without one arena clone per site per
+// interval. The patched cache is byte-identical (Marshal) to a from-scratch
+// Merge of the parts — the identity the delta equivalence tests pin.
+func (st *DeltaState) MaterializeShared() (*Sketch, error) {
 	if !st.HasBaseline() {
 		return nil, errors.New("core: no baseline to materialize")
 	}
+	// Applies settle parts to the engine clock already; this catches states
+	// populated before that invariant held (and costs nothing when settled).
 	for _, p := range st.parts {
 		if p.Now() < st.now {
-			p.Advance(st.now)
+			p.AdvanceNoting(st.now, st.noteCell)
 		}
 	}
 	if len(st.parts) == 1 {
-		return st.parts[0].Snapshot()
+		st.mergedDirty, st.mergedDirtyAll = nil, false
+		return st.parts[0], nil
 	}
-	if st.merged == nil {
+	switch {
+	case st.merged == nil:
 		m, err := Merge(st.parts...)
 		if err != nil {
 			return nil, err
 		}
 		st.merged = m
+	case st.mergedDirtyAll || len(st.mergedDirty) > 0 || st.merged.Now() < st.now:
+		if err := PatchMerged(st.merged, st.parts, st.mergedDirty, st.mergedDirtyAll, nil); err != nil {
+			// Patching validates before mutating, so the cache is intact but
+			// stale; rebuild it from scratch.
+			m, merr := Merge(st.parts...)
+			if merr != nil {
+				return nil, merr
+			}
+			st.merged = m
+		}
 	}
-	return st.merged.Snapshot()
+	st.mergedDirty, st.mergedDirtyAll = nil, false
+	return st.merged, nil
 }

@@ -65,6 +65,7 @@ type cellBank interface {
 	EstimateRange(i int, r Tick) float64
 	Version() uint64
 	CellChangedSince(i int, since uint64) bool
+	CellUntouched(i int) bool
 	ResetCell(i int)
 	Reset()
 	MemoryBytes() int
@@ -307,6 +308,28 @@ func (s *Sketch) Advance(t Tick) {
 	}
 	for _, c := range s.counters {
 		c.Advance(t)
+	}
+}
+
+// AdvanceNoting moves the window of every counter forward to tick t like
+// Advance and calls note(i) for each cell whose retained content the move
+// actually changed (expiry dropped content). Receivers replaying a
+// producer's clock use it to keep their changed-cell feed exact; the
+// test-only per-object engines have no per-cell expiry reporting, so there
+// the move falls back to Advance and note(-1) signals that granularity was
+// lost (any cell may have changed) whenever the clock actually moved.
+func (s *Sketch) AdvanceNoting(t Tick, note func(int)) {
+	if s.bank != nil {
+		if t > s.now {
+			s.now = t
+		}
+		s.bank.AdvanceAllNoting(t, note)
+		return
+	}
+	moved := t > s.now
+	s.Advance(t)
+	if moved && note != nil {
+		note(-1)
 	}
 }
 

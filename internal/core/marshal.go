@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,41 +9,50 @@ import (
 	"ecmsketch/internal/window"
 )
 
-const wireECM byte = 0xEC
+const (
+	wireECM byte = 0xEC
+	// wireSparse is the elided-cell sketch encoding (MarshalSparse): the
+	// same header as wireECM, then the indices of cells whose encoding a
+	// fresh sketch advanced to the header clock reproduces exactly, then the
+	// remaining cells in config-elided bare form. Multipart baselines use it
+	// per stripe, where most cells are untouched.
+	wireSparse byte = 0xF0
+)
+
+func appendF64(dst []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(dst, tmp[:]...)
+}
+
+// appendMarshalHeader appends the fixed sketch header shared by the dense
+// (wireECM) and sparse (wireSparse) encodings: every field between the tag
+// byte and the cell payloads.
+func (s *Sketch) appendMarshalHeader(dst []byte) []byte {
+	dst = appendF64(dst, s.params.Epsilon)
+	dst = appendF64(dst, s.params.Delta)
+	dst = append(dst, byte(s.params.Query), byte(s.params.Algorithm), byte(s.params.Model))
+	dst = binary.AppendUvarint(dst, s.params.WindowLength)
+	dst = binary.AppendUvarint(dst, s.params.UpperBound)
+	dst = binary.AppendUvarint(dst, s.params.Seed)
+	dst = binary.AppendUvarint(dst, uint64(s.w))
+	dst = binary.AppendUvarint(dst, uint64(s.d))
+	dst = appendF64(dst, s.split.EpsCM)
+	dst = appendF64(dst, s.split.EpsSW)
+	dst = binary.AppendUvarint(dst, s.now)
+	dst = binary.AppendUvarint(dst, s.count)
+	dst = binary.AppendUvarint(dst, s.salt)
+	dst = binary.AppendUvarint(dst, s.seq)
+	return dst
+}
 
 // Marshal encodes the sketch: configuration header followed by each
 // counter's own encoding, length-prefixed. The encoded size is what the
 // distributed experiments charge as network volume when a site ships its
 // local sketch to an aggregator.
 func (s *Sketch) Marshal() []byte {
-	var buf bytes.Buffer
-	buf.WriteByte(wireECM)
-	var tmp [binary.MaxVarintLen64]byte
-	putU := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf.Write(tmp[:n])
-	}
-	putF := func(v float64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		buf.Write(b[:])
-	}
-	putF(s.params.Epsilon)
-	putF(s.params.Delta)
-	buf.WriteByte(byte(s.params.Query))
-	buf.WriteByte(byte(s.params.Algorithm))
-	buf.WriteByte(byte(s.params.Model))
-	putU(s.params.WindowLength)
-	putU(s.params.UpperBound)
-	putU(s.params.Seed)
-	putU(uint64(s.w))
-	putU(uint64(s.d))
-	putF(s.split.EpsCM)
-	putF(s.split.EpsSW)
-	putU(s.now)
-	putU(s.count)
-	putU(s.salt)
-	putU(s.seq)
+	dst := []byte{wireECM}
+	dst = s.appendMarshalHeader(dst)
 	if s.bank != nil {
 		// Flat engines: encode each cell straight out of the arena through
 		// call-local scratch buffers — the arena itself is only read, so
@@ -62,10 +70,10 @@ func (s *Sketch) Marshal() []byte {
 			default:
 				cell = s.rw.AppendMarshalCell(cell[:0], i)
 			}
-			putU(uint64(len(cell)))
-			buf.Write(cell)
+			dst = binary.AppendUvarint(dst, uint64(len(cell)))
+			dst = append(dst, cell...)
 		}
-		return buf.Bytes()
+		return dst
 	}
 	for _, c := range s.counters {
 		var enc []byte
@@ -80,10 +88,10 @@ func (s *Sketch) Marshal() []byte {
 			// Exact counters are test-only and not serialized.
 			enc = nil
 		}
-		putU(uint64(len(enc)))
-		buf.Write(enc)
+		dst = binary.AppendUvarint(dst, uint64(len(enc)))
+		dst = append(dst, enc...)
 	}
-	return buf.Bytes()
+	return dst
 }
 
 // WireSize reports len(s.Marshal()) without producing the encoding: the
@@ -118,14 +126,19 @@ func (s *Sketch) WireSize() int {
 	return n
 }
 
-// Unmarshal reconstructs a sketch from Marshal output. The decoded sketch
-// answers every query identically to the encoded one and remains mergeable
-// with its lineage.
-func Unmarshal(b []byte) (*Sketch, error) {
-	if len(b) == 0 || b[0] != wireECM {
-		return nil, errors.New("core: not an ECM-sketch encoding")
-	}
-	off := 1
+// marshalHeader is the decoded fixed sketch header shared by the dense and
+// sparse encodings.
+type marshalHeader struct {
+	p                Params
+	now              Tick
+	count, salt, seq uint64
+}
+
+// readMarshalHeader decodes the header appendMarshalHeader wrote, starting
+// at off (just past the tag byte), and returns the offset of the first cell
+// payload.
+func readMarshalHeader(b []byte, off int) (marshalHeader, int, error) {
+	var h marshalHeader
 	getU := func() (uint64, error) {
 		v, n := binary.Uvarint(b[off:])
 		if n <= 0 {
@@ -151,79 +164,96 @@ func Unmarshal(b []byte) (*Sketch, error) {
 		return v, nil
 	}
 
-	var p Params
 	var err error
-	if p.Epsilon, err = getF(); err != nil {
-		return nil, err
+	if h.p.Epsilon, err = getF(); err != nil {
+		return h, 0, err
 	}
-	if p.Delta, err = getF(); err != nil {
-		return nil, err
+	if h.p.Delta, err = getF(); err != nil {
+		return h, 0, err
 	}
 	q, err := getB()
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
-	p.Query = QueryKind(q)
+	h.p.Query = QueryKind(q)
 	a, err := getB()
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
-	p.Algorithm = window.Algorithm(a)
+	h.p.Algorithm = window.Algorithm(a)
 	m, err := getB()
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
-	p.Model = window.Model(m)
-	if p.WindowLength, err = getU(); err != nil {
-		return nil, err
+	h.p.Model = window.Model(m)
+	if h.p.WindowLength, err = getU(); err != nil {
+		return h, 0, err
 	}
-	if p.UpperBound, err = getU(); err != nil {
-		return nil, err
+	if h.p.UpperBound, err = getU(); err != nil {
+		return h, 0, err
 	}
-	if p.Seed, err = getU(); err != nil {
-		return nil, err
+	if h.p.Seed, err = getU(); err != nil {
+		return h, 0, err
 	}
 	wu, err := getU()
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
 	du, err := getU()
 	if err != nil {
-		return nil, err
+		return h, 0, err
 	}
 	if wu == 0 || du == 0 || wu > 1<<20 || du > 1<<8 || wu*du > 1<<22 {
-		return nil, fmt.Errorf("core: corrupt dimensions %dx%d", du, wu)
+		return h, 0, fmt.Errorf("core: corrupt dimensions %dx%d", du, wu)
 	}
-	p.Width, p.Depth = int(wu), int(du)
+	h.p.Width, h.p.Depth = int(wu), int(du)
 	var split Split
 	if split.EpsCM, err = getF(); err != nil {
-		return nil, err
+		return h, 0, err
 	}
 	if split.EpsSW, err = getF(); err != nil {
-		return nil, err
+		return h, 0, err
 	}
-	p.Split = &split
-	now, err := getU()
+	h.p.Split = &split
+	if h.now, err = getU(); err != nil {
+		return h, 0, err
+	}
+	if h.count, err = getU(); err != nil {
+		return h, 0, err
+	}
+	if h.salt, err = getU(); err != nil {
+		return h, 0, err
+	}
+	if h.seq, err = getU(); err != nil {
+		return h, 0, err
+	}
+	return h, off, nil
+}
+
+// Unmarshal reconstructs a sketch from Marshal output. The decoded sketch
+// answers every query identically to the encoded one and remains mergeable
+// with its lineage.
+func Unmarshal(b []byte) (*Sketch, error) {
+	if len(b) == 0 || b[0] != wireECM {
+		return nil, errors.New("core: not an ECM-sketch encoding")
+	}
+	h, off, err := readMarshalHeader(b, 1)
 	if err != nil {
 		return nil, err
 	}
-	count, err := getU()
+	s, err := New(h.p)
 	if err != nil {
 		return nil, err
 	}
-	salt, err := getU()
-	if err != nil {
-		return nil, err
+	getU := func() (uint64, error) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, errors.New("core: truncated encoding")
+		}
+		off += n
+		return v, nil
 	}
-	seq, err := getU()
-	if err != nil {
-		return nil, err
-	}
-	s, err := New(p)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < int(du)*int(wu); i++ {
+	for i := 0; i < s.d*s.w; i++ {
 		ln, err := getU()
 		if err != nil {
 			return nil, err
@@ -236,15 +266,15 @@ func Unmarshal(b []byte) (*Sketch, error) {
 		// Decode straight into the flat arena; cross-version encodings from
 		// the per-object engines restore identically.
 		if s.bank == nil {
-			return nil, fmt.Errorf("core: cannot decode algorithm %v", p.Algorithm)
+			return nil, fmt.Errorf("core: cannot decode algorithm %v", h.p.Algorithm)
 		}
 		if err := s.bank.UnmarshalCell(i, enc); err != nil {
 			return nil, fmt.Errorf("core: counter %d: %w", i, err)
 		}
 	}
-	s.now = now
-	s.count = count
-	s.salt = salt
-	s.seq = seq
+	s.now = h.now
+	s.count = h.count
+	s.salt = h.salt
+	s.seq = h.seq
 	return s, nil
 }

@@ -1,0 +1,125 @@
+package core
+
+// Incremental re-merge: maintain an existing Merge output in place instead
+// of re-merging P-ways every interval. PatchMerged re-derives exactly the
+// cells named by the change feed and re-advances the rest, and the result is
+// byte-identical (Marshal) to a from-scratch Merge over the same inputs —
+// the equivalence the coordinator's incremental refresh and the DeltaState
+// materialize cache are pinned against.
+//
+// Why patching is exact: Merge's per-cell output is a deterministic function
+// of (that cell's input lists, the merged clock). A cell whose input lists
+// did not change replays to the same pre-advance state it had last interval,
+// and window expiry is monotone in the clock — advancing the retained state
+// from the old merged clock to the new one drops exactly the content a
+// from-scratch replay followed by a single advance would drop. So unchanged
+// cells need only the advance, and changed cells need only their own replay.
+// (This holds for the flat P-way Merge; the pairwise AggregateTree shape
+// re-replays already-merged histograms, whose half/half splits are not
+// stable under patching — which is why the incremental path is defined
+// against Merge and the coordinator's incremental mode merges flat.)
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"ecmsketch/internal/hashing"
+	"ecmsketch/internal/window"
+)
+
+// PatchMerged updates dst — a sketch produced by Merge(inputs...) — to the
+// inputs' current state, given the indices of every cell whose content
+// changed in any input since dst was produced (or all == true when cell
+// granularity was lost). cells may hold duplicates and need not be sorted.
+// Input order must match the order dst was merged in: the merged identifier
+// salt folds over inputs in sequence.
+//
+// Mutated cells bump dst's bank version and per-cell stamps like any other
+// arrival mutation, so a dst serving delta snapshots advertises exactly the
+// patched cells to its own pullers; clock-driven expiry on untouched cells
+// deliberately does not bump versions (receivers replay expiry themselves)
+// but is reported to note, when non-nil, for the change feed.
+//
+// On error dst is unmodified: validation happens before the first mutation.
+func PatchMerged(dst *Sketch, inputs []*Sketch, cells []int, all bool, note func(int)) error {
+	if dst == nil || len(inputs) == 0 {
+		return errors.New("core: PatchMerged requires a destination and at least one input")
+	}
+	if dst.bank == nil {
+		return fmt.Errorf("core: algorithm %v does not support incremental re-merge", dst.params.Algorithm)
+	}
+	for i, in := range inputs {
+		if in == nil {
+			return fmt.Errorf("core: PatchMerged input %d is nil", i)
+		}
+		if !dst.Compatible(in) {
+			return fmt.Errorf("core: PatchMerged input %d incompatible with destination", i)
+		}
+	}
+
+	// Scalars, exactly as Merge computes them.
+	salt := uint64(0x9e37_79b9_7f4a_7c15)
+	var now Tick
+	var count uint64
+	for _, in := range inputs {
+		salt = hashing.Mix64(salt ^ in.salt)
+		if in.now > now {
+			now = in.now
+		}
+		count += in.count
+	}
+
+	n := dst.d * dst.w
+	if !all {
+		cells = slices.Clone(cells)
+		slices.Sort(cells)
+		cells = slices.Compact(cells)
+		for _, idx := range cells {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("core: PatchMerged cell index %d out of range", idx)
+			}
+		}
+	}
+	forEach := func(merge func(idx int)) {
+		if all {
+			for idx := 0; idx < n; idx++ {
+				dst.bank.ResetCell(idx)
+				merge(idx)
+			}
+			return
+		}
+		for _, idx := range cells {
+			dst.bank.ResetCell(idx)
+			merge(idx)
+		}
+	}
+	switch {
+	case dst.eh != nil:
+		lists := make([][]window.Bucket, len(inputs))
+		forEach(func(idx int) {
+			for k, in := range inputs {
+				lists[k] = in.eh.AppendBuckets(lists[k][:0], idx)
+			}
+			dst.eh.MergeCell(idx, now, lists)
+		})
+	case dst.dw != nil:
+		ins := make([]*window.DWBank, len(inputs))
+		for k, in := range inputs {
+			ins[k] = in.dw
+		}
+		forEach(func(idx int) { dst.dw.MergeCell(idx, now, ins) })
+	default:
+		ins := make([]*window.RWBank, len(inputs))
+		for k, in := range inputs {
+			ins[k] = in.rw
+		}
+		forEach(func(idx int) { dst.rw.MergeCell(idx, ins) })
+	}
+	dst.salt = salt
+	dst.count = count
+	dst.seq = 0
+	dst.now = now
+	dst.AdvanceNoting(now, note)
+	return nil
+}

@@ -775,6 +775,15 @@ func (b *EHBank) MemoryBytes() int {
 	return 96 + len(b.cells)*(cellBytes+verBytes) + len(b.dirs)*levelBytes + cap(b.slab)*bucketBytes
 }
 
+// CellUntouched reports whether cell i holds no retained content: no live
+// buckets (never touched, or everything expired). Together with the cell
+// clock this is the sparse-baseline elision predicate — an untouched cell at
+// the sketch clock encodes byte-identically to a fresh cell advanced there,
+// so a baseline need not ship it.
+func (b *EHBank) CellUntouched(i int) bool {
+	return b.cells[i].total == 0
+}
+
 // ResetCell empties cell i, keeping its carved level chunks for refills —
 // the receiving half of a delta application replaces a changed cell by
 // resetting it and decoding the shipped encoding into the empty cell.

@@ -496,6 +496,30 @@ func (b *RWBank) MemoryBytes() int {
 	return 96 + len(b.seeds)*8 + len(b.cells)*(cellBytes+verBytes) + len(b.dirs)*levelBytes + cap(b.slab)*entryBytes
 }
 
+// CellUntouched reports whether cell i is in its never-touched state: zero
+// count and sequence, no stored entries, no eviction marks. The cell's
+// identifier salt is excluded — it is process-random even for untouched
+// cells, so sparse-baseline elision ships it separately (CellIDSalt).
+func (b *RWBank) CellUntouched(i int) bool {
+	c := &b.cells[i]
+	if c.count != 0 || c.seq != 0 {
+		return false
+	}
+	base := i * b.reps * b.nLv
+	for rj := 0; rj < b.reps*b.nLv; rj++ {
+		d := &b.dirs[base+rj]
+		if d.n != 0 || d.evicted {
+			return false
+		}
+	}
+	return true
+}
+
+// CellIDSalt reports cell i's auto-identifier salt (the inverse of
+// SetCellIDSalt): sparse baselines ship it for elided cells, since it is the
+// one process-random field in an otherwise untouched cell's encoding.
+func (b *RWBank) CellIDSalt(i int) uint64 { return b.cells[i].salt }
+
 // ResetCell empties cell i, keeping its identifier salt (like RW.Reset) and
 // its carved level chunks for refills.
 func (b *RWBank) ResetCell(i int) {

@@ -449,6 +449,25 @@ func (b *DWBank) MemoryBytes() int {
 	return 96 + len(b.cells)*(cellBytes+verBytes) + len(b.dirs)*levelBytes + cap(b.slab)*entryBytes
 }
 
+// CellUntouched reports whether cell i is in its never-touched state: zero
+// rank, no stored entries, no eviction marks. Unlike EH, a wave cell whose
+// entries all expired is NOT untouched — its rank and eviction flags persist
+// in the encoding — so only never-written cells qualify for sparse-baseline
+// elision.
+func (b *DWBank) CellUntouched(i int) bool {
+	if b.cells[i].rank != 0 {
+		return false
+	}
+	base := i * b.nLv
+	for j := 0; j < b.nLv; j++ {
+		d := &b.dirs[base+j]
+		if d.n != 0 || d.evicted {
+			return false
+		}
+	}
+	return true
+}
+
 // ResetCell empties cell i, keeping its carved level chunks for refills —
 // the receiving half of a delta application replaces a changed cell by
 // resetting it and decoding the shipped encoding into the empty cell.
