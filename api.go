@@ -119,6 +119,35 @@ type BatchQuerier interface {
 	QueryBatch(q QueryBatch) (QueryResult, error)
 }
 
+// DirectQuerier is the zero-merge read side: multi-key point queries where
+// each key is answered from the single stripe that owns it, with no merged
+// view built or consulted. The trade against QueryBatch is explicit:
+//
+//   - zero merge error (each key's cells are read where its arrivals
+//     landed) and no rebuild cost on the read path, but
+//   - no consistency across the batch — on a concurrent engine the
+//     per-stripe answers form an inconsistent cut that writers may
+//     interleave with, and
+//   - point queries only: Total/SelfJoin aggregates need the merged view
+//     and are rejected.
+//
+// On single-sketch backends (Sketch, SafeSketch) direct and batched point
+// answers coincide. Implemented by every front end; the remote client
+// forwards to POST /v1/query?direct=1.
+type DirectQuerier interface {
+	QueryDirect(q QueryBatch) (QueryResult, error)
+}
+
+// SetMergeParallelism caps the worker pool Merge, PatchMerged and the
+// sharded engine's view rebuild fan cell replay across; n <= 0 restores the
+// automatic choice (GOMAXPROCS), 1 forces the sequential path. Parallel and
+// sequential paths produce byte-identical sketches; the knob exists for
+// benchmarking and for capping merge CPU next to latency-critical ingest.
+func SetMergeParallelism(n int) { core.SetMergeParallelism(n) }
+
+// MergeParallelism reports the configured merge worker cap (0 = automatic).
+func MergeParallelism() int { return core.MergeParallelism() }
+
 // Snapshotter produces merge-ready summaries: the wire encoding consumed by
 // Unmarshal/Merge, and a decoded independent copy. A Sharded engine and a
 // remote Client synthesize their snapshot by merging (resp. fetching) on
@@ -207,6 +236,10 @@ var (
 	_ BatchQuerier = (*Sketch)(nil)
 	_ BatchQuerier = (*SafeSketch)(nil)
 	_ BatchQuerier = (*Sharded)(nil)
+
+	_ DirectQuerier = (*Sketch)(nil)
+	_ DirectQuerier = (*SafeSketch)(nil)
+	_ DirectQuerier = (*Sharded)(nil)
 
 	_ DeltaSnapshotter = (*Sketch)(nil)
 	_ DeltaSnapshotter = (*SafeSketch)(nil)

@@ -39,6 +39,9 @@ func main() {
 		tsites  = flag.Int("treesites", 1000, "leaf-site count for -coordtree (rounded to the nearest cube)")
 		tints   = flag.Int("treeintervals", 14, "pull intervals per mode for -coordtree")
 		tcheck  = flag.Bool("treecheck", true, "-coordtree: assert the three modes' root views byte-identical every interval")
+		mscale  = flag.Bool("mergescale", false, "measure parallel merge scaling (coordinator refresh + sharded view rebuild vs worker count) plus direct-vs-merged point reads, gate parallel/sequential byte-identity every interval, and append JSON results to -out")
+		mints   = flag.Int("mergeintervals", 12, "steady-state intervals per worker setting for -mergescale")
+		mcheck  = flag.Bool("mergecheck", true, "-mergescale: gate root byte-identity, the workers=4 regression bound, and the direct-read contract")
 		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
 		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
@@ -100,6 +103,17 @@ func main() {
 			path = "BENCH_coord.json"
 		}
 		if err := runCoordTreeBench(*label, path, *tsites, *tints, *tcheck); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mscale {
+		path := *out
+		if path == "" {
+			path = "BENCH_coord.json"
+		}
+		if err := runMergeScaleBench(*label, path, *mints, *mcheck); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"ecmsketch"
+)
+
+// The -mergescale mode measures how the parallel merge path scales:
+//
+//   - coordinator refresh: one incremental coordinator per worker setting
+//     (1, 2, 4, 8), all pulling the same leaf fleet, with the root patch's
+//     merge_ns recorded per interval (from RefreshStats) and the roots
+//     asserted byte-identical across settings every interval — the
+//     parallel-vs-sequential equivalence gate at hierarchy level.
+//   - sharded view rebuild: one Sharded engine per worker setting fed an
+//     identical stream, with the stripe clone+merge wall time recorded from
+//     RebuildStats after each forced rebuild.
+//   - direct vs merged point reads: the paired read-path comparison —
+//     QueryDirect (zero-merge, routed to the owning stripe) against a cold
+//     merged-view point read (the view invalidated before each query, so
+//     every read pays a rebuild) — with ViewRebuilds asserted unchanged
+//     across the direct reads.
+//
+// Worker settings drive both runtime.GOMAXPROCS and SetMergeParallelism, so
+// a multi-core host shows real scaling; a single-core host shows the
+// parallel path's overhead honestly (the checks still run — byte-identity
+// is a correctness property, not a speed one).
+//
+// Usage:
+//
+//	ecmbench -mergescale -label par-1 -out BENCH_coord.json
+//	GOMAXPROCS=4 ecmbench -mergescale -mergeintervals 6   # CI smoke
+const (
+	mergeScaleLeaves  = 16
+	mergeScaleKeys    = 400 // distinct keys per leaf
+	mergeScalePreload = 4000
+	mergeScaleChurn   = 16 // keys mutated per touched leaf per interval
+	mergeScaleWarmup  = 2
+
+	mergeScaleRebuildEvents = 50_000
+	mergeScaleDirectKeys    = 256
+	mergeScaleDirectIters   = 64
+)
+
+// mergeScaleWorkers are the worker-pool sizes benchmarked, sequential first
+// (the baseline every other setting is gated against).
+var mergeScaleWorkers = []int{1, 2, 4, 8}
+
+// mergeScaleParams sizes the sketch so the worker pool engages: 2048 cells
+// comfortably clears the per-worker floor at every benchmarked setting.
+func mergeScaleParams() ecmsketch.Params {
+	return ecmsketch.Params{
+		Epsilon: 0.1, Delta: 0.1, Width: 512, Depth: 4,
+		WindowLength: 1 << 16, Seed: 99,
+	}
+}
+
+// MergeScaleResult is one worker setting of the -mergescale bench.
+type MergeScaleResult struct {
+	Workers int `json:"workers"`
+	// RefreshMergeNsPerInt is the coordinator root patch's wall time
+	// (RefreshStats.MergeNs) averaged over the steady-state intervals;
+	// RefreshWallNsPerInt includes the pulls (the staleness a downstream
+	// reader observes per round).
+	RefreshMergeNsPerInt float64 `json:"refresh_merge_ns_per_interval"`
+	RefreshWallNsPerInt  float64 `json:"refresh_wall_ns_per_interval"`
+	// RebuildMergeNsPerInt is the sharded engine's stripe clone+merge wall
+	// time (RebuildStats) averaged over the forced rebuilds.
+	RebuildMergeNsPerInt float64 `json:"rebuild_merge_ns_per_interval"`
+	// Speedups are the sequential setting's times over this one.
+	RefreshSpeedup float64 `json:"refresh_speedup_vs_seq"`
+	RebuildSpeedup float64 `json:"rebuild_speedup_vs_seq"`
+}
+
+// MergeScaleDirect is the paired direct-vs-merged point-read comparison.
+type MergeScaleDirect struct {
+	Keys             int     `json:"keys"`
+	DirectNsPerKey   float64 `json:"direct_ns_per_key"`
+	ColdViewNsPerKey float64 `json:"cold_view_ns_per_key"`
+	Speedup          float64 `json:"speedup"`
+	// DirectRebuilds is the engine's ViewRebuilds delta across every direct
+	// read — always 0: direct reads never build the merged view.
+	DirectRebuilds uint64 `json:"direct_rebuilds"`
+}
+
+// MergeScaleRun is one labelled -mergescale invocation.
+type MergeScaleRun struct {
+	Label        string             `json:"label"`
+	HostProcs    int                `json:"host_procs"`
+	Sites        int                `json:"sites"`
+	Intervals    int                `json:"intervals"`
+	ByteIdentity bool               `json:"byte_identity"`
+	Results      []MergeScaleResult `json:"results"`
+	Direct       MergeScaleDirect   `json:"direct"`
+}
+
+// mergeScaleSet pins both knobs a worker setting controls. GOMAXPROCS is
+// raised to at least the setting so the pool is not capped below it on
+// small hosts; the merge cap itself does the limiting.
+func mergeScaleSet(workers, hostProcs int) {
+	procs := hostProcs
+	if workers > procs {
+		procs = workers
+	}
+	runtime.GOMAXPROCS(procs)
+	ecmsketch.SetMergeParallelism(workers)
+}
+
+// mergeScaleLeafFleet builds and preloads the shared leaf engines.
+func mergeScaleLeafFleet() ([]*ecmsketch.Sketch, error) {
+	p := mergeScaleParams()
+	leaves := make([]*ecmsketch.Sketch, mergeScaleLeaves)
+	for i := range leaves {
+		sk, err := ecmsketch.New(p)
+		if err != nil {
+			return nil, err
+		}
+		for e := 0; e < mergeScalePreload; e++ {
+			sk.Add(uint64(e%mergeScaleKeys)+uint64(i)<<20, uint64(e/8+1))
+		}
+		sk.Advance(mergeScalePreload / 8)
+		leaves[i] = sk
+	}
+	return leaves, nil
+}
+
+// mergeScaleMutate trickles churn into a quarter of the leaves and advances
+// every clock, deterministically per interval.
+func mergeScaleMutate(leaves []*ecmsketch.Sketch, interval int) {
+	base := uint64(mergeScalePreload/8) + uint64(interval)*100
+	for i, sk := range leaves {
+		if (i+interval)%4 == 0 {
+			for k := 0; k < mergeScaleChurn; k++ {
+				sk.Add(uint64((interval*mergeScaleChurn+k*37)%mergeScaleKeys)+uint64(i)<<20, base)
+			}
+		}
+		sk.Advance(base + 10)
+	}
+}
+
+// mergeScaleShardedStream feeds the identical deterministic stream every
+// rebuild-bench engine ingests.
+func mergeScaleShardedStream(eng *ecmsketch.Sharded) {
+	batch := make([]ecmsketch.Event, 0, 1024)
+	for e := 0; e < mergeScaleRebuildEvents; e++ {
+		batch = append(batch, ecmsketch.Event{
+			Key:  uint64(e % (mergeScaleKeys * 4)),
+			Tick: uint64(e/16 + 1),
+		})
+		if len(batch) == cap(batch) {
+			eng.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		eng.AddBatch(batch)
+	}
+}
+
+func runMergeScaleBench(label, out string, intervals int, check bool) error {
+	hostProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(hostProcs)
+	defer ecmsketch.SetMergeParallelism(0)
+	if intervals <= mergeScaleWarmup+1 {
+		intervals = mergeScaleWarmup + 2
+	}
+	run := MergeScaleRun{
+		Label: label, HostProcs: hostProcs,
+		Sites: mergeScaleLeaves, Intervals: intervals,
+	}
+	fmt.Printf("mergescale: %d leaf sites, %d intervals, host GOMAXPROCS=%d, workers %v\n",
+		mergeScaleLeaves, intervals, hostProcs, mergeScaleWorkers)
+
+	// Coordinator refresh scaling: one incremental coordinator per worker
+	// setting over one shared leaf fleet (each keeps its own pull cursors, so
+	// every coordinator sees the same deltas). Roots are compared across
+	// settings every interval.
+	leaves, err := mergeScaleLeafFleet()
+	if err != nil {
+		return err
+	}
+	coords := make([]*ecmsketch.Coordinator, len(mergeScaleWorkers))
+	for i := range coords {
+		sites := make([]ecmsketch.Site, len(leaves))
+		for j, sk := range leaves {
+			sites[j] = ecmsketch.NewLocalSite(fmt.Sprintf("leaf-%d", j), sk)
+		}
+		co := ecmsketch.NewCoordinator(sites...)
+		co.SetDeltaPulls(true)
+		coords[i] = co
+	}
+	results := make([]MergeScaleResult, len(mergeScaleWorkers))
+	var refreshMerge, refreshWall = make([]int64, len(coords)), make([]int64, len(coords))
+	for interval := 0; interval < intervals; interval++ {
+		if interval > 0 {
+			mergeScaleMutate(leaves, interval)
+		}
+		var seqRoot []byte
+		for i, co := range coords {
+			mergeScaleSet(mergeScaleWorkers[i], hostProcs)
+			start := time.Now()
+			if err := co.Refresh(); err != nil {
+				return fmt.Errorf("workers=%d interval %d: %w", mergeScaleWorkers[i], interval, err)
+			}
+			wall := time.Since(start).Nanoseconds()
+			if interval >= mergeScaleWarmup {
+				refreshMerge[i] += co.LastRefresh().MergeNs
+				refreshWall[i] += wall
+			}
+			if !check {
+				continue
+			}
+			root, err := co.Snapshot()
+			if err != nil {
+				return err
+			}
+			enc := root.Marshal()
+			if i == 0 {
+				seqRoot = enc
+			} else if !bytes.Equal(seqRoot, enc) {
+				return fmt.Errorf("interval %d: workers=%d root differs from sequential root — parallel merge equivalence broken",
+					interval, mergeScaleWorkers[i])
+			}
+		}
+	}
+	run.ByteIdentity = check
+
+	// Sharded rebuild scaling: twin engines, identical streams, forced
+	// rebuilds. (Byte-identity of the parallel rebuild is pinned by the
+	// engine's unit tests; twin engines are not byte-comparable — each
+	// carries instance-random identifier salts — so this half measures time
+	// only.)
+	rebuildNs := make([]int64, len(mergeScaleWorkers))
+	for i, w := range mergeScaleWorkers {
+		mergeScaleSet(w, hostProcs)
+		eng, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: mergeScaleParams(), Shards: 8})
+		if err != nil {
+			return err
+		}
+		mergeScaleShardedStream(eng)
+		base := uint64(mergeScaleRebuildEvents/16 + 1)
+		for interval := 0; interval < intervals; interval++ {
+			for k := 0; k < 64; k++ { // churn every stripe so the rebuild clones them all
+				eng.Add(uint64(k*131), base+uint64(interval))
+			}
+			eng.SelfJoin(0) // forces the view rebuild (MergeTTL 0: always fresh)
+			if interval >= mergeScaleWarmup {
+				ns, _ := eng.RebuildStats()
+				rebuildNs[i] += ns
+			}
+		}
+		eng.Close()
+	}
+
+	steady := float64(intervals - mergeScaleWarmup)
+	for i, w := range mergeScaleWorkers {
+		r := &results[i]
+		r.Workers = w
+		r.RefreshMergeNsPerInt = float64(refreshMerge[i]) / steady
+		r.RefreshWallNsPerInt = float64(refreshWall[i]) / steady
+		r.RebuildMergeNsPerInt = float64(rebuildNs[i]) / steady
+		if refreshMerge[i] > 0 {
+			r.RefreshSpeedup = float64(refreshMerge[0]) / float64(refreshMerge[i])
+		}
+		if rebuildNs[i] > 0 {
+			r.RebuildSpeedup = float64(rebuildNs[0]) / float64(rebuildNs[i])
+		}
+		fmt.Printf("workers=%d  refresh merge %9.2f µs/interval (%.2fx)  wall %9.2f µs  rebuild %9.2f µs/interval (%.2fx)\n",
+			w, r.RefreshMergeNsPerInt/1e3, r.RefreshSpeedup,
+			r.RefreshWallNsPerInt/1e3, r.RebuildMergeNsPerInt/1e3, r.RebuildSpeedup)
+	}
+	run.Results = results
+
+	// Paired read-path comparison on one engine at the host's natural
+	// setting: zero-merge direct reads vs cold merged-view point reads.
+	runtime.GOMAXPROCS(hostProcs)
+	ecmsketch.SetMergeParallelism(0)
+	direct, err := runMergeScaleDirect()
+	if err != nil {
+		return err
+	}
+	run.Direct = direct
+	fmt.Printf("direct reads %9.1f ns/key  cold merged-view reads %9.1f ns/key  (%.1fx, %d rebuilds during direct)\n",
+		direct.DirectNsPerKey, direct.ColdViewNsPerKey, direct.Speedup, direct.DirectRebuilds)
+
+	if check {
+		if r4 := results[2]; r4.RefreshMergeNsPerInt > results[0].RefreshMergeNsPerInt*1.2 {
+			return fmt.Errorf("workers=4 refresh merge %.0fns slower than sequential %.0fns beyond 20%% tolerance — parallel path regressed",
+				r4.RefreshMergeNsPerInt, results[0].RefreshMergeNsPerInt)
+		}
+		if direct.DirectRebuilds != 0 {
+			return fmt.Errorf("direct reads triggered %d view rebuilds — zero-merge contract broken", direct.DirectRebuilds)
+		}
+		if direct.Speedup < 5 {
+			return fmt.Errorf("direct reads only %.1fx faster than cold merged-view reads (want >= 5x)", direct.Speedup)
+		}
+	}
+	return appendRun(out, "mergescale", run)
+}
+
+// runMergeScaleDirect measures QueryDirect against merged-view point reads
+// with the view invalidated before every batch (each read pays a rebuild —
+// the cost profile direct reads exist to avoid).
+func runMergeScaleDirect() (MergeScaleDirect, error) {
+	var d MergeScaleDirect
+	eng, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: mergeScaleParams(), Shards: 8})
+	if err != nil {
+		return d, err
+	}
+	defer eng.Close()
+	mergeScaleShardedStream(eng)
+	keys := make([]uint64, mergeScaleDirectKeys)
+	for i := range keys {
+		keys[i] = uint64(i * 7)
+	}
+	q := ecmsketch.QueryBatch{Keys: keys}
+	base := uint64(mergeScaleRebuildEvents/16 + 2)
+
+	// Cold merged-view reads: invalidate, query, repeat.
+	start := time.Now()
+	for it := 0; it < mergeScaleDirectIters; it++ {
+		eng.Add(1, base+uint64(it))
+		if _, err := eng.QueryBatch(q); err != nil {
+			return d, err
+		}
+	}
+	coldNs := time.Since(start).Nanoseconds()
+
+	rebuildsBefore := eng.ViewRebuilds()
+	start = time.Now()
+	for it := 0; it < mergeScaleDirectIters; it++ {
+		if _, err := eng.QueryDirect(q); err != nil {
+			return d, err
+		}
+	}
+	directNs := time.Since(start).Nanoseconds()
+	d.Keys = mergeScaleDirectKeys
+	d.DirectRebuilds = eng.ViewRebuilds() - rebuildsBefore
+	perKey := float64(mergeScaleDirectIters * mergeScaleDirectKeys)
+	d.DirectNsPerKey = float64(directNs) / perKey
+	d.ColdViewNsPerKey = float64(coldNs) / perKey
+	if directNs > 0 {
+		d.Speedup = float64(coldNs) / float64(directNs)
+	}
+	return d, nil
+}

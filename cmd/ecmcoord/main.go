@@ -62,6 +62,7 @@ func main() {
 		tlsCert     = flag.String("tls-cert", "", "server mode: serve TLS with this certificate file (requires -tls-key)")
 		tlsKey      = flag.String("tls-key", "", "server mode: private key file for -tls-cert")
 		siteCA      = flag.String("site-ca", "", "PEM file of root CAs to trust when pulling https:// sites (default: system roots)")
+		pprofOn     = flag.Bool("pprof", false, "server mode: mount net/http/pprof under /debug/pprof/ (behind -token auth when set)")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
@@ -91,6 +92,9 @@ func main() {
 		cs.incremental = *incremental && *delta
 		cs.siteClient = client
 		cs.siteToken = *siteToken
+		if *pprofOn {
+			cs.mountProfiling()
+		}
 		runServe(cs, *serve, *token, *tlsCert, *tlsKey)
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"sync"
@@ -87,6 +88,7 @@ func newCoordServer(co *ecmsketch.Coordinator, interval time.Duration) *coordSer
 	cs.mux.HandleFunc("GET /v1/selfjoin", cs.handleSelfJoin)
 	cs.mux.HandleFunc("GET /v1/total", cs.handleTotal)
 	cs.mux.HandleFunc("POST /v1/query", cs.handleQuery)
+	cs.mux.HandleFunc("GET /v1/query", cs.handleQueryGet)
 	cs.mux.HandleFunc("GET /v1/stats", cs.handleStats)
 	cs.mux.HandleFunc("GET /v1/sketch", cs.handleSnapshot)
 	cs.mux.HandleFunc("GET /v1/snapshot", cs.handleSnapshot)
@@ -103,6 +105,18 @@ func newCoordServer(co *ecmsketch.Coordinator, interval time.Duration) *coordSer
 }
 
 func (cs *coordServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { cs.mux.ServeHTTP(w, r) }
+
+// mountProfiling registers net/http/pprof under /debug/pprof/ on the
+// coordinator mux. runServe wraps the whole mux with the bearer check, so
+// with -token set the profiling surface requires the token like every API
+// route — it is never exposed unauthenticated on an authenticated server.
+func (cs *coordServer) mountProfiling() {
+	cs.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	cs.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	cs.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	cs.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	cs.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
 
 // refresh pulls and re-merges the sites once, publishing the new view on
 // success and keeping the previous one (recording the error) on failure —
@@ -302,8 +316,41 @@ func (cs *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		coordError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := v.sk.QueryBatch(q)
+	cs.answerQuery(w, r, v, q)
+}
+
+// handleQueryGet answers the GET form of /v1/query — repeated key=/ikey=
+// parameters plus range=, total=1, selfJoin=1 — sharing the parser with
+// ecmserver's GET route so the two tiers speak one spelling.
+func (cs *coordServer) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	v := cs.view(w)
+	if v == nil {
+		return
+	}
+	q, err := wire.ParseQueryParams(r)
 	if err != nil {
+		coordError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cs.answerQuery(w, r, v, q)
+}
+
+// answerQuery evaluates a parsed QueryBatch against one published view.
+// ?direct=1 is honored for client uniformity: a coordinator has no stripes
+// to route to — its published root already is the zero-extra-merge answer
+// surface — so direct reads answer from the same view with the point-only
+// contract applied (aggregates rejected, exactly as a site server rejects
+// them), and a client flipping direct=1 sees one behavior at every tier.
+func (cs *coordServer) answerQuery(w http.ResponseWriter, r *http.Request, v *mergedView, q ecmsketch.QueryBatch) {
+	var res ecmsketch.QueryResult
+	var err error
+	if wire.WantDirect(r) {
+		res, err = v.sk.QueryDirect(q)
+		if err != nil {
+			coordError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if res, err = v.sk.QueryBatch(q); err != nil {
 		coordError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -354,6 +401,11 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pulledBytes":  u64(uint64(lr.PulledBytes)),
 			"changedCells": lr.ChangedCells,
 			"rebuiltAll":   lr.RebuiltAll,
+			// The root patch's wall time and the worker-pool size its cell
+			// replay fanned across (1 = sequential): the effective
+			// parallelism of the merge step, per round.
+			"merge_ns": u64(uint64(lr.MergeNs)),
+			"workers":  lr.Workers,
 		}
 	} else {
 		out["mode"] = "tree"

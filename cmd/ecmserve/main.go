@@ -41,6 +41,7 @@ func main() {
 		token   = flag.String("token", "", "require this bearer token on every request (empty = open)")
 		tlsCert = flag.String("tls-cert", "", "serve TLS with this certificate file (requires -tls-key); pullers trusting a private CA pass it to ecmcoord -site-ca or ecmclient.WithRootCAs")
 		tlsKey  = flag.String("tls-key", "", "private key file for -tls-cert")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (behind -token auth when set)")
 	)
 	flag.Parse()
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -59,6 +60,7 @@ func main() {
 		MergeTTL:        *ttl,
 		RefreshInterval: *refresh,
 		AuthToken:       *token,
+		EnableProfiling: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmserve:", err)

@@ -239,6 +239,10 @@ func (c *Client) AddEvents(events []ecmsketch.Event) error {
 // decimal digests; pre-digest string keys with ecmsketch.KeyString (the
 // same digest the server applies to its own string keys).
 func (c *Client) Query(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
+	return c.query(q, false)
+}
+
+func (c *Client) query(q ecmsketch.QueryBatch, direct bool) (ecmsketch.QueryResult, error) {
 	type wireKey struct {
 		IKey string `json:"ikey"`
 	}
@@ -265,7 +269,11 @@ func (c *Client) Query(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
 		Now       uint64    `json:"now"`
 		Range     uint64    `json:"range"`
 	}
-	if err := c.post("/v1/query", nil, bytes.NewReader(body), "application/json", &out); err != nil {
+	var params url.Values
+	if direct {
+		params = url.Values{"direct": {"1"}}
+	}
+	if err := c.post("/v1/query", params, bytes.NewReader(body), "application/json", &out); err != nil {
 		return ecmsketch.QueryResult{}, err
 	}
 	return ecmsketch.QueryResult{
@@ -475,7 +483,10 @@ func (c *Client) TopK(r ecmsketch.Tick) ([]ecmsketch.HeavyItem, error) {
 
 // ---- ecmsketch.Ingestor / Querier / Snapshotter ----
 
-var _ ecmsketch.Engine = (*Client)(nil)
+var (
+	_ ecmsketch.Engine        = (*Client)(nil)
+	_ ecmsketch.DirectQuerier = (*Client)(nil)
+)
 
 // Add registers one arrival of key at tick t.
 func (c *Client) Add(key uint64, t ecmsketch.Tick) { c.record(c.AddKey(key, t, 1)) }
@@ -537,6 +548,19 @@ func (c *Client) EstimateTotal(r ecmsketch.Tick) float64 {
 // contract.
 func (c *Client) QueryBatch(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
 	res, err := c.Query(q)
+	c.record(err)
+	return res, err
+}
+
+// QueryDirect answers a point-only batch through the server's zero-merge
+// path (POST /v1/query?direct=1): each key is read from the single stripe
+// that owns it, with no merged view built or consulted. Zero merge error
+// and no rebuild cost, but no consistency across the batch, and aggregate
+// requests (Total/SelfJoin) are rejected by the server with 400 — the
+// ecmsketch.DirectQuerier contract, forwarded. Transport failures are
+// recorded in the sticky error like QueryBatch's.
+func (c *Client) QueryDirect(q ecmsketch.QueryBatch) (ecmsketch.QueryResult, error) {
+	res, err := c.query(q, true)
 	c.record(err)
 	return res, err
 }

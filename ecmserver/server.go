@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,13 @@ type Config struct {
 	// on every route (constant-time compared); unauthenticated requests get
 	// 401. Empty leaves the server open, as before.
 	AuthToken string
+	// EnableProfiling mounts net/http/pprof under /debug/pprof/ for CPU and
+	// heap profiling of live ingest/merge workloads. The mount registers on
+	// the same mux every API route lives on, inside the bearer wrapper: with
+	// AuthToken set, profiles require the token like everything else — the
+	// profiling surface is never reachable unauthenticated on an
+	// authenticated server.
+	EnableProfiling bool
 }
 
 // Server is an HTTP front end over a sharded ECM-sketch engine. All
@@ -130,6 +138,7 @@ func NewOver(cfg Config, engine *ecmsketch.Sharded) (*Server, error) {
 	// exist only under the versioned prefix.
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/query", s.handleQueryGet)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 
 	// Standing queries: the registry re-checks its predicates incrementally
@@ -147,6 +156,17 @@ func NewOver(cfg Config, engine *ecmsketch.Sharded) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/subscribe", svc.HandleSubscribe)
 	s.mux.HandleFunc("DELETE /v1/subscribe", svc.HandleUnsubscribe)
 	s.mux.HandleFunc("GET /v1/watch", svc.HandleWatch)
+
+	if cfg.EnableProfiling {
+		// Registered inside the mux the bearer wrapper guards — see
+		// Config.EnableProfiling. The default-mux side effects of importing
+		// net/http/pprof are irrelevant here; these are explicit routes.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	s.handler = wire.RequireBearer(cfg.AuthToken, s.mux)
 	return s, nil
@@ -446,8 +466,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.engine.QueryBatch(q)
+	s.answerQuery(w, r, q)
+}
+
+// handleQueryGet answers the GET form of /v1/query: repeated key=/ikey=
+// parameters plus range=, total=1, selfJoin=1 — the curl-friendly spelling
+// of the same batch the POST body carries. Both forms honor ?direct=1.
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	q, err := wire.ParseQueryParams(r)
 	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.answerQuery(w, r, q)
+}
+
+// answerQuery evaluates a parsed QueryBatch and writes the /v1 reply.
+// ?direct=1 routes through the zero-merge path: each key answered from its
+// owning stripe, no merged view built or consulted (aggregates rejected
+// with 400, since they need the view) — an inconsistent cut traded for
+// zero merge error and zero rebuild cost.
+func (s *Server) answerQuery(w http.ResponseWriter, r *http.Request, q ecmsketch.QueryBatch) {
+	var res ecmsketch.QueryResult
+	var err error
+	if wire.WantDirect(r) {
+		res, err = s.engine.QueryDirect(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if res, err = s.engine.QueryBatch(q); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -564,12 +612,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"count":        u64field(asStrings, s.engine.Count()),
 		"memoryBytes":  s.engine.MemoryBytes(),
 		"viewRebuilds": u64field(asStrings, s.engine.ViewRebuilds()),
+		"rebuild":      rebuildStatsField(asStrings, s.engine),
 		"epsilon":      s.cfg.Epsilon,
 		"delta":        s.cfg.Delta,
 		"window":       u64field(asStrings, s.cfg.WindowLength),
 		"algorithm":    s.cfg.Algorithm,
 		"apiVersion":   "v1",
 	})
+}
+
+// rebuildStatsField renders the merged-view rebuild timing block of
+// /v1/stats: the wall time of the most recent rebuild's stripe clone+merge
+// and the worker-pool size the per-stripe refresh fanned across (1 =
+// sequential) — together, the effective parallelism of the merge path.
+// merge_ns is a 64-bit field and honors ?strings=1 like every other.
+func rebuildStatsField(asStrings bool, engine *ecmsketch.Sharded) map[string]any {
+	mergeNs, workers := engine.RebuildStats()
+	return map[string]any{
+		"merge_ns": u64field(asStrings, uint64(mergeNs)),
+		"workers":  workers,
+	}
 }
 
 // handleSketch ships the serialized merged view, letting a coordinator pull

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
@@ -281,6 +282,10 @@ type Coordinator struct {
 	resilient bool
 	stagger   time.Duration
 
+	// pullWorkers bounds how many sites a round fetches and decodes
+	// concurrently; 0 means the automatic default (see SetPullConcurrency).
+	pullWorkers int
+
 	// mu guards the membership list and the pull-round counter.
 	mu      sync.RWMutex
 	members []*member
@@ -363,6 +368,33 @@ func (c *Coordinator) SetResilient(on bool) { c.resilient = on }
 // stampede its sites at the tick. Zero (the default) fetches immediately.
 // Configure before the first pull.
 func (c *Coordinator) SetPullStagger(window time.Duration) { c.stagger = window }
+
+// SetPullConcurrency bounds the worker pool a pull round fans site fetches
+// and payload decodes across. The default (n <= 0) is 4×GOMAXPROCS with a
+// floor of 8 — pulls are network-bound, so oversubscribing the cores keeps
+// the wire busy while decodes overlap — where the pre-pool behavior spawned
+// one goroutine per site: at a 1000-site coordinator that is a 1000-way
+// stampede of sockets and decode allocations every interval. Configure
+// before the first pull.
+func (c *Coordinator) SetPullConcurrency(n int) { c.pullWorkers = n }
+
+// pullPoolSize resolves the round's worker count for n members.
+func (c *Coordinator) pullPoolSize(n int) int {
+	w := c.pullWorkers
+	if w <= 0 {
+		w = 4 * runtime.GOMAXPROCS(0)
+		if w < 8 {
+			w = 8
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // DeltaPulls and FullPulls report how many per-site pulls were answered
 // incrementally vs with a full baseline since construction (delta mode
@@ -460,17 +492,30 @@ func (c *Coordinator) pullRound() roundResult {
 	c.pullMu.Lock()
 	members, round := c.beginRound()
 	outs := make([]pullOutcome, len(members))
+	// Bounded worker pool: workers claim members off a shared counter, so a
+	// thousand-site round runs pullPoolSize fetch+decode lanes instead of a
+	// thousand goroutines. Stagger sleeps serialize within a lane, which
+	// still spreads the fleet's fetches inside the round — the stampede the
+	// stagger exists to break is across coordinators, not within one.
 	var wg sync.WaitGroup
-	for i, m := range members {
+	var next atomic.Int64
+	for w := c.pullPoolSize(len(members)); w > 0; w-- {
 		wg.Add(1)
-		go func(i int, m *member) {
+		go func() {
 			defer wg.Done()
-			if c.stagger > 0 {
-				time.Sleep(PullStagger(m.site.Name(), c.stagger))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(members) {
+					return
+				}
+				m := members[i]
+				if c.stagger > 0 {
+					time.Sleep(PullStagger(m.site.Name(), c.stagger))
+				}
+				m.st.mu.Lock()
+				outs[i] = c.pullMemberLocked(m, round)
 			}
-			m.st.mu.Lock()
-			outs[i] = c.pullMemberLocked(m, round)
-		}(i, m)
+		}()
 	}
 	wg.Wait()
 	for i := range outs {

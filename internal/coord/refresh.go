@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"ecmsketch/internal/core"
 )
@@ -41,6 +42,12 @@ type RefreshStats struct {
 	// cell granularity.
 	ChangedCells int
 	RebuiltAll   bool
+	// MergeNs is the wall time the root patch (or bootstrap merge) took
+	// this round, and Workers the size of the pool the cell replay fanned
+	// across (1 = sequential) — together the effective parallelism of the
+	// merge step, surfaced through /v1/stats.
+	MergeNs int64
+	Workers int
 }
 
 // Refresh runs one incremental re-merge round: pull every member, then
@@ -100,6 +107,7 @@ func (c *Coordinator) Refresh() error {
 	}
 
 	same := slices.Equal(c.contrib, contrib)
+	mergeStart := time.Now()
 	switch {
 	case c.root == nil:
 		root, err := core.Merge(parts...)
@@ -134,6 +142,12 @@ func (c *Coordinator) Refresh() error {
 			c.noteChanged(nil, true)
 		}
 	}
+	stats.MergeNs = time.Since(mergeStart).Nanoseconds()
+	patched := len(union)
+	if stats.RebuiltAll {
+		patched = c.root.Depth() * c.root.Width()
+	}
+	stats.Workers = core.MergeWorkersFor(patched)
 	stats.Contributors = len(parts)
 	stats.ChangedCells = len(union)
 	c.contrib = contrib

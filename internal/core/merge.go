@@ -60,38 +60,15 @@ func Merge(inputs ...*Sketch) (*Sketch, error) {
 		count += in.count
 	}
 	switch first.params.Algorithm {
-	case window.AlgoEH:
-		// Flat engine: replay every input cell's buckets (Theorem 4
-		// half/half split, tick-ordered) straight into the output arena —
-		// the same replay MergeEH performs for per-object histograms.
-		lists := make([][]window.Bucket, len(inputs))
-		for idx := 0; idx < first.d*first.w; idx++ {
-			for k, in := range inputs {
-				lists[k] = in.eh.AppendBuckets(lists[k][:0], idx)
-			}
-			out.eh.MergeCell(idx, now, lists)
-		}
-	case window.AlgoDW:
-		// Deterministic waves replay position-wise like MergeDW: each input
-		// cell's stored ranks linearize into half/half replay events, sorted
-		// by tick across inputs.
-		ins := make([]*window.DWBank, len(inputs))
-		for k, in := range inputs {
-			ins[k] = in.dw
-		}
-		for idx := 0; idx < first.d*first.w; idx++ {
-			out.dw.MergeCell(idx, now, ins)
-		}
-	case window.AlgoRW:
-		// Randomized waves union losslessly position-wise (Section 5.2),
-		// exactly as MergeRW does per object.
-		ins := make([]*window.RWBank, len(inputs))
-		for k, in := range inputs {
-			ins[k] = in.rw
-		}
-		for idx := 0; idx < first.d*first.w; idx++ {
-			out.rw.MergeCell(idx, ins)
-		}
+	case window.AlgoEH, window.AlgoDW, window.AlgoRW:
+		// Flat engines: replay every input cell straight into the output
+		// arena — the same per-cell aggregation the per-object engines
+		// perform (EH/DW: the Theorem 4 half/half replay, tick-ordered
+		// across inputs; RW: the lossless position-wise union of Section
+		// 5.2). Cells are independent, so large arrays fan the replay across
+		// a bounded worker pool; the output is byte-identical to the
+		// sequential cell loop either way (see parallel.go).
+		applyMergeCells(out, inputs, nil, true, now, false)
 	default:
 		return nil, fmt.Errorf("core: algorithm %v does not support aggregation", first.params.Algorithm)
 	}

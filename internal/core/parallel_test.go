@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ecmsketch/internal/window"
+)
+
+// parallelParams gives the merge an array large enough (256 cells) that the
+// worker pool actually engages when parallelism is forced on.
+func parallelParams(algo window.Algorithm) Params {
+	return Params{Epsilon: 0.1, Delta: 0.1, Width: 128, Depth: 2,
+		WindowLength: 1000, Seed: 42, Algorithm: algo, UpperBound: 1 << 16}
+}
+
+// loadInputs builds n compatible sketches with overlapping, skewed activity
+// settled to a common clock.
+func loadInputs(t *testing.T, algo window.Algorithm, n int) []*Sketch {
+	t.Helper()
+	inputs := make([]*Sketch, n)
+	for i := range inputs {
+		s, err := New(parallelParams(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = s
+	}
+	tick := Tick(0)
+	for k, in := range inputs {
+		for j := 0; j < 300; j++ {
+			tick++
+			in.AddN(uint64(k*977+j*131), tick, uint64(j%5+1))
+			in.AddN(uint64(j%17), tick, 1) // shared hot keys across inputs
+		}
+	}
+	for _, in := range inputs {
+		in.Advance(tick)
+	}
+	return inputs
+}
+
+// TestParallelMergeByteIdentical pins that Merge fanned across a worker
+// pool marshals byte-identically to the sequential cell loop, for all three
+// algorithms, including the single-input degenerate shape.
+func TestParallelMergeByteIdentical(t *testing.T) {
+	defer SetMergeParallelism(0)
+	for _, algo := range []window.Algorithm{window.AlgoEH, window.AlgoDW, window.AlgoRW} {
+		t.Run(algo.String(), func(t *testing.T) {
+			inputs := loadInputs(t, algo, 4)
+			for _, nIn := range []int{1, 4} {
+				SetMergeParallelism(1)
+				seq, err := Merge(inputs[:nIn]...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				SetMergeParallelism(8)
+				par, err := Merge(inputs[:nIn]...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(seq.Marshal(), par.Marshal()) {
+					t.Fatalf("%d-input parallel merge diverged from sequential", nIn)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPatchMergedByteIdentical runs the incremental refresh loop of
+// TestPatchMergedMatchesMerge with the worker pool forced on, pinning the
+// parallel patch byte-identical to a sequential twin maintained side by
+// side — across dense, sparse, single-site and idle rounds, and through a
+// membership-change rebuild.
+func TestParallelPatchMergedByteIdentical(t *testing.T) {
+	defer SetMergeParallelism(0)
+	for _, algo := range []window.Algorithm{window.AlgoEH, window.AlgoDW, window.AlgoRW} {
+		t.Run(algo.String(), func(t *testing.T) {
+			const nInputs = 4
+			inputs := make([]*Sketch, nInputs)
+			for i := range inputs {
+				s, err := New(parallelParams(algo))
+				if err != nil {
+					t.Fatal(err)
+				}
+				inputs[i] = s
+			}
+			SetMergeParallelism(1)
+			seq, err := Merge(inputs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetMergeParallelism(8)
+			par, err := Merge(inputs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqFeed, parFeed := newPatchFeed(inputs), newPatchFeed(inputs)
+
+			tick := Tick(0)
+			for round := 0; round < 20; round++ {
+				switch round % 4 {
+				case 0: // dense: every input busy, wide key spread
+					for k, in := range inputs {
+						for j := 0; j < 120; j++ {
+							tick++
+							in.AddN(uint64(k*977+j*131+round), tick, uint64(j%5+1))
+						}
+					}
+				case 1: // single site: one input, few keys
+					in := inputs[round%nInputs]
+					for j := 0; j < 3; j++ {
+						tick += 7
+						in.AddN(uint64(round*31+j), tick, 2)
+					}
+				case 2: // skewed: two inputs hammer the same keys
+					for _, in := range inputs[:2] {
+						tick++
+						in.AddN(42, tick, 9)
+						in.AddN(43, tick, 1)
+					}
+				case 3: // idle: clocks move, windows expire
+					tick += 700
+				}
+				for _, in := range inputs {
+					in.AdvanceNoting(tick, func(idx int) {
+						seqFeed.note(idx)
+						parFeed.note(idx)
+					})
+				}
+				SetMergeParallelism(1)
+				if err := PatchMerged(seq, inputs, seqFeed.take(inputs), false, nil); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				SetMergeParallelism(8)
+				if err := PatchMerged(par, inputs, parFeed.take(inputs), false, nil); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if !bytes.Equal(seq.Marshal(), par.Marshal()) {
+					t.Fatalf("round %d: parallel patch diverged from sequential", round)
+				}
+			}
+
+			// Membership change: all=true rebuild over a shrunk input set.
+			SetMergeParallelism(1)
+			if err := PatchMerged(seq, inputs[1:], nil, true, nil); err != nil {
+				t.Fatal(err)
+			}
+			SetMergeParallelism(8)
+			if err := PatchMerged(par, inputs[1:], nil, true, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seq.Marshal(), par.Marshal()) {
+				t.Fatal("membership-change rebuild diverged from sequential")
+			}
+
+			// The patched roots must also serve deltas: a puller holding a
+			// pre-patch cursor materializes the same state from either root.
+			if _, _, _, err := par.DeltaSnapshot(Cursor{}); err != nil {
+				t.Fatalf("parallel-patched root cannot serve deltas: %v", err)
+			}
+		})
+	}
+}
+
+// TestMergeWorkersFor pins the pool-sizing policy: never more workers than
+// the configured cap, never so many that a worker gets under the minimum
+// chunk, never fewer than one.
+func TestMergeWorkersFor(t *testing.T) {
+	defer SetMergeParallelism(0)
+	SetMergeParallelism(4)
+	if got := MergeWorkersFor(0); got != 1 {
+		t.Errorf("MergeWorkersFor(0) = %d, want 1", got)
+	}
+	if got := MergeWorkersFor(minCellsPerMergeWorker - 1); got != 1 {
+		t.Errorf("tiny patch got %d workers, want 1", got)
+	}
+	if got := MergeWorkersFor(minCellsPerMergeWorker * 2); got != 2 {
+		t.Errorf("2-chunk patch got %d workers, want 2", got)
+	}
+	if got := MergeWorkersFor(1 << 20); got != 4 {
+		t.Errorf("huge patch got %d workers, want cap 4", got)
+	}
+	if MergeParallelism() != 4 {
+		t.Errorf("MergeParallelism() = %d, want 4", MergeParallelism())
+	}
+	SetMergeParallelism(-3)
+	if MergeParallelism() != 0 {
+		t.Errorf("negative cap not normalized to automatic")
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // QueryBatch is a multi-key sliding-window query request: point estimates
 // for every key in Keys, plus optionally the total count and the self-join
@@ -66,6 +69,19 @@ func (s *Sketch) QueryBatch(q QueryBatch) (QueryResult, error) {
 		res.SelfJoin = s.SelfJoin(r)
 	}
 	return res, nil
+}
+
+// QueryDirect answers the point-only form of QueryBatch. A single sketch
+// has no stripes: every key already reads its own cells with zero merge
+// error, so the direct read and the consistent batch coincide. The method
+// exists so local sketches satisfy the same DirectQuerier contract the
+// sharded engine exposes, including its aggregate rejection — a caller
+// switching a front end never has a query class silently change meaning.
+func (s *Sketch) QueryDirect(q QueryBatch) (QueryResult, error) {
+	if q.Total || q.SelfJoin {
+		return QueryResult{}, errors.New("core: direct reads answer point queries only (request aggregates via QueryBatch)")
+	}
+	return s.QueryBatch(q)
 }
 
 // totalAndSelfJoin evaluates every counter once and derives both the

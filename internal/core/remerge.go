@@ -25,7 +25,6 @@ import (
 	"slices"
 
 	"ecmsketch/internal/hashing"
-	"ecmsketch/internal/window"
 )
 
 // PatchMerged updates dst — a sketch produced by Merge(inputs...) — to the
@@ -81,41 +80,10 @@ func PatchMerged(dst *Sketch, inputs []*Sketch, cells []int, all bool, note func
 			}
 		}
 	}
-	forEach := func(merge func(idx int)) {
-		if all {
-			for idx := 0; idx < n; idx++ {
-				dst.bank.ResetCell(idx)
-				merge(idx)
-			}
-			return
-		}
-		for _, idx := range cells {
-			dst.bank.ResetCell(idx)
-			merge(idx)
-		}
-	}
-	switch {
-	case dst.eh != nil:
-		lists := make([][]window.Bucket, len(inputs))
-		forEach(func(idx int) {
-			for k, in := range inputs {
-				lists[k] = in.eh.AppendBuckets(lists[k][:0], idx)
-			}
-			dst.eh.MergeCell(idx, now, lists)
-		})
-	case dst.dw != nil:
-		ins := make([]*window.DWBank, len(inputs))
-		for k, in := range inputs {
-			ins[k] = in.dw
-		}
-		forEach(func(idx int) { dst.dw.MergeCell(idx, now, ins) })
-	default:
-		ins := make([]*window.RWBank, len(inputs))
-		for k, in := range inputs {
-			ins[k] = in.rw
-		}
-		forEach(func(idx int) { dst.rw.MergeCell(idx, ins) })
-	}
+	// Re-derive the changed cells: reset and replay each one, fanned across
+	// a bounded worker pool when the patch is large enough to warrant it
+	// (byte-identical to the sequential replay either way; see parallel.go).
+	applyMergeCells(dst, inputs, cells, all, now, true)
 	dst.salt = salt
 	dst.count = count
 	dst.seq = 0

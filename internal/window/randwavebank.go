@@ -405,12 +405,19 @@ func (b *RWBank) EstimateWindow(i int) float64 { return b.EstimateRange(i, b.cfg
 // and a deterministic fold keeps merged encodings byte-stable across
 // transports).
 func (b *RWBank) MergeCell(i int, inputs []*RWBank) {
+	b.MergeCellFrom(i, i, inputs)
+}
+
+// MergeCellFrom is MergeCell with the source index decoupled from the
+// destination: the inputs' cell src unions into cell i of b. See
+// DWBank.MergeCellFrom for why the split exists.
+func (b *RWBank) MergeCellFrom(i, src int, inputs []*RWBank) {
 	c := &b.cells[i]
 	var now Tick
 	var count uint64
 	salt := uint64(0x9e3779b97f4a7c15)
 	for _, in := range inputs {
-		ic := &in.cells[i]
+		ic := &in.cells[src]
 		if ic.now > now {
 			now = ic.now
 		}
@@ -424,7 +431,7 @@ func (b *RWBank) MergeCell(i int, inputs []*RWBank) {
 	var scratch []rwEntry
 	for r := 0; r < b.reps; r++ {
 		for j := 0; j < b.nLv; j++ {
-			scratch = collectBankLevel(scratch[:0], inputs, i, r, j)
+			scratch = collectBankLevel(scratch[:0], inputs, src, r, j)
 			d := b.level(i, r, j)
 			for _, e := range scratch {
 				b.rwPush(d, e)

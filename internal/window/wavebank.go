@@ -403,9 +403,19 @@ func (b *DWBank) appendEntries(dst []waveEntry, i int) []waveEntry {
 // by tick, and the events are replayed into the (empty) cell. now advances
 // the cell's clock to the inputs' high-water tick.
 func (b *DWBank) MergeCell(i int, now Tick, inputs []*DWBank) {
+	b.MergeCellFrom(i, i, now, inputs)
+}
+
+// MergeCellFrom is MergeCell with the source index decoupled from the
+// destination: the inputs' cell src merges into cell i of b. A worker
+// merging a chunk of a larger bank into a chunk-sized private scratch bank
+// addresses its scratch cells 0..n-1 while reading the inputs at their
+// global indices; the replay is identical to MergeCell(src, ...) on a bank
+// where the indices coincide.
+func (b *DWBank) MergeCellFrom(i, src int, now Tick, inputs []*DWBank) {
 	var events []replayEvent
 	for _, in := range inputs {
-		events = waveReplayEvents(events, sortDedupEntriesByRank(in.appendEntries(nil, i)))
+		events = waveReplayEvents(events, sortDedupEntriesByRank(in.appendEntries(nil, src)))
 	}
 	sort.Slice(events, func(x, y int) bool { return events[x].t < events[y].t })
 	for _, ev := range events {

@@ -1,0 +1,65 @@
+package wire_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ecmsketch/internal/hashing"
+	"ecmsketch/internal/wire"
+)
+
+func TestWantDirect(t *testing.T) {
+	if !wire.WantDirect(httptest.NewRequest("GET", "/v1/query?direct=1", nil)) {
+		t.Error("direct=1 not recognized")
+	}
+	for _, u := range []string{"/v1/query", "/v1/query?direct=0", "/v1/query?direct=true"} {
+		if wire.WantDirect(httptest.NewRequest("GET", u, nil)) {
+			t.Errorf("%s treated as direct", u)
+		}
+	}
+}
+
+// TestParseQueryParams pins the GET form of /v1/query: interleaved key= and
+// ikey= parameters keep request order, range/total/selfJoin parse, and the
+// key cap plus malformed inputs reject.
+func TestParseQueryParams(t *testing.T) {
+	r := httptest.NewRequest("GET",
+		"/v1/query?ikey=42&key=%2Fhome&ikey=7&range=500&total=1&selfJoin=1", nil)
+	q, err := wire.ParseQueryParams(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{42, hashing.KeyString("/home"), 7}
+	if len(q.Keys) != 3 {
+		t.Fatalf("keys = %v, want 3 entries", q.Keys)
+	}
+	for i := range want {
+		if q.Keys[i] != want[i] {
+			t.Errorf("key %d = %d, want %d (order must follow the query string)", i, q.Keys[i], want[i])
+		}
+	}
+	if q.Range != 500 || !q.Total || !q.SelfJoin {
+		t.Errorf("parsed batch = %+v", q)
+	}
+
+	if _, err := wire.ParseQueryParams(httptest.NewRequest("GET", "/v1/query?ikey=notanumber", nil)); err == nil {
+		t.Error("bad ikey accepted")
+	}
+	if _, err := wire.ParseQueryParams(httptest.NewRequest("GET", "/v1/query?key=", nil)); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := wire.ParseQueryParams(httptest.NewRequest("GET", "/v1/query?range=-1", nil)); err == nil {
+		t.Error("bad range accepted")
+	}
+
+	var sb strings.Builder
+	sb.WriteString("/v1/query?")
+	for i := 0; i <= wire.MaxQueryKeys; i++ {
+		fmt.Fprintf(&sb, "ikey=%d&", i)
+	}
+	if _, err := wire.ParseQueryParams(httptest.NewRequest("GET", sb.String(), nil)); err == nil {
+		t.Errorf("over-cap batch accepted (cap %d)", wire.MaxQueryKeys)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -118,6 +119,16 @@ func U64Field(asStrings bool, v uint64) any {
 	}
 	return v
 }
+
+// WantDirect reports whether a /v1/query request opted into the zero-merge
+// direct read path via ?direct=1: each key answered from the single stripe
+// that owns it, with no merged view built or consulted. The trade is
+// documented on the DirectQuerier contract — zero merge error and no
+// rebuild cost, but no consistency across the batch and point queries only
+// (aggregates are rejected). Both the site server and the coordinator
+// surface honor the same parameter, so a client can flip one query string
+// without caring which tier answers.
+func WantDirect(r *http.Request) bool { return r.URL.Query().Get("direct") == "1" }
 
 // CheckBearer reports whether the request carries the expected bearer
 // token. The comparison is constant-time in the token bytes, so a probing
@@ -240,6 +251,64 @@ func ParseQueryBody(body io.Reader) (core.QueryBatch, error) {
 	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
 		return q, fmt.Errorf("bad query body: unterminated object")
 	}
+	return q, nil
+}
+
+// ParseQueryParams decodes the GET form of /v1/query from the URL query
+// string: repeated key= (string, digested server-side) and ikey= (decimal
+// uint64) parameters name the queried items — mixed freely, answered in
+// request order — range= gives the window suffix, and total=1 / selfJoin=1
+// request the aggregates. The POST body form (ParseQueryBody) and this one
+// build the same QueryBatch, under the same MaxQueryKeys cap; GET is the
+// curl-friendly spelling for short batches, POST the bulk one.
+//
+// The raw query string is walked parameter by parameter (rather than
+// through url.Values, which buckets by name) so a request interleaving
+// key= and ikey= parameters gets its estimates back in the order it asked.
+func ParseQueryParams(r *http.Request) (core.QueryBatch, error) {
+	var q core.QueryBatch
+	raw := r.URL.RawQuery
+	for raw != "" {
+		var pair string
+		pair, raw, _ = strings.Cut(raw, "&")
+		if pair == "" {
+			continue
+		}
+		rawName, rawVal, _ := strings.Cut(pair, "=")
+		name, err := url.QueryUnescape(rawName)
+		if err != nil {
+			return q, fmt.Errorf("bad query parameter: %v", err)
+		}
+		if name != "key" && name != "ikey" {
+			continue
+		}
+		if len(q.Keys) == MaxQueryKeys {
+			return q, fmt.Errorf("too many keys: at most %d per query", MaxQueryKeys)
+		}
+		val, err := url.QueryUnescape(rawVal)
+		if err != nil {
+			return q, fmt.Errorf("bad %s parameter: %v", name, err)
+		}
+		if val == "" {
+			return q, fmt.Errorf("key %d: empty %s parameter", len(q.Keys), name)
+		}
+		if name == "key" {
+			q.Keys = append(q.Keys, hashing.KeyString(val))
+			continue
+		}
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("key %d: bad ikey: %v", len(q.Keys), err)
+		}
+		q.Keys = append(q.Keys, v)
+	}
+	rng, err := ParseU64(r, "range", 0)
+	if err != nil {
+		return q, err
+	}
+	q.Range = rng
+	q.Total = r.URL.Query().Get("total") == "1"
+	q.SelfJoin = r.URL.Query().Get("selfJoin") == "1"
 	return q, nil
 }
 

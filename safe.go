@@ -109,6 +109,16 @@ func (ss *SafeSketch) QueryBatch(q QueryBatch) (QueryResult, error) {
 	return ss.s.QueryBatch(q)
 }
 
+// QueryDirect answers the point-only form of QueryBatch. A single sketch
+// has no stripes to route to, so the answers coincide with QueryBatch's;
+// the method exists so every front end satisfies DirectQuerier with the
+// sharded engine's contract (aggregates rejected).
+func (ss *SafeSketch) QueryDirect(q QueryBatch) (QueryResult, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.s.QueryDirect(q)
+}
+
 // Marshal serializes the sketch.
 func (ss *SafeSketch) Marshal() []byte {
 	ss.mu.Lock()

@@ -1,6 +1,7 @@
 package ecmsketch
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -69,8 +70,12 @@ type Sharded struct {
 		versions []uint64  // stripe version each cached part reflects
 	}
 
-	// rebuilds counts completed merged-view builds (see ViewRebuilds).
-	rebuilds atomic.Uint64
+	// rebuilds counts completed merged-view builds (see ViewRebuilds);
+	// rebuildNs and rebuildWorkers record the last build's wall time and
+	// snapshot-pool width for RebuildStats.
+	rebuilds       atomic.Uint64
+	rebuildNs      atomic.Int64
+	rebuildWorkers atomic.Int64
 
 	// notifier, when set, receives change notes after every mutation —
 	// the hook standing-query evaluation hangs off. Stored behind an
@@ -775,6 +780,60 @@ func (sh *Sharded) QueryBatch(q QueryBatch) (QueryResult, error) {
 	return view.QueryBatch(q)
 }
 
+// QueryDirect answers a multi-key point query by routing each key to its
+// owning stripe — the batched form of Estimate. Because every arrival of a
+// key lands in exactly one stripe, each answer carries zero merge error,
+// and no merged view is built or touched (ViewRebuilds does not move). The
+// trade against QueryBatch is consistency: answers come from per-stripe
+// states that concurrent writers may interleave with, so the batch is an
+// inconsistent cut. Aggregates need the merged view and are rejected here;
+// request them through QueryBatch.
+func (sh *Sharded) QueryDirect(q QueryBatch) (QueryResult, error) {
+	if q.Total || q.SelfJoin {
+		return QueryResult{}, errors.New("ecmsketch: direct reads answer point queries only (aggregates need the merged view; use QueryBatch)")
+	}
+	now := sh.now.Load()
+	r := q.Range
+	if r == 0 {
+		r = sh.params.WindowLength
+	}
+	res := QueryResult{Now: now, Range: r}
+	if len(q.Keys) == 0 {
+		return res, nil
+	}
+	res.Estimates = make([]float64, len(q.Keys))
+	// Group key positions by owning stripe so each touched stripe's lock is
+	// taken once for all its keys, like ingest's grouped batches.
+	perStripe := make([][]int, len(sh.shards))
+	for i, key := range q.Keys {
+		si := int(hashing.Mix64(key) & sh.mask)
+		perStripe[si] = append(perStripe[si], i)
+	}
+	for si, idxs := range perStripe {
+		if len(idxs) == 0 {
+			continue
+		}
+		s := &sh.shards[si]
+		s.mu.Lock()
+		if now > s.sk.Now() {
+			s.sk.Advance(now)
+		}
+		for _, i := range idxs {
+			res.Estimates[i] = s.sk.Estimate(q.Keys[i], r)
+		}
+		s.mu.Unlock()
+	}
+	return res, nil
+}
+
+// RebuildStats reports the last merged-view rebuild: wall time in
+// nanoseconds and the worker-pool width its per-stripe snapshot stage ran
+// at (1 = sequential). Zeros until the first rebuild. Exposed through
+// /v1/stats next to ViewRebuilds.
+func (sh *Sharded) RebuildStats() (mergeNs int64, workers int) {
+	return sh.rebuildNs.Load(), int(sh.rebuildWorkers.Load())
+}
+
 // Now reports the engine-wide high-water tick.
 func (sh *Sharded) Now() Tick { return sh.now.Load() }
 
@@ -983,27 +1042,57 @@ func (sh *Sharded) rebuildLocked() (*Sketch, error) {
 		sh.rebuild.parts = make([]*Sketch, len(sh.shards))
 		sh.rebuild.versions = make([]uint64, len(sh.shards))
 	}
+	start := time.Now()
+	// Per-stripe clone+advance is independent work (each stripe's lock and
+	// its cache slots are its own), so fan it across a worker pool; the
+	// parts land in the same cache slots in the same state as a sequential
+	// sweep, so the merge below — itself parallel on large arrays, see
+	// core.SetMergeParallelism — stays byte-identical either way.
+	workers := runtime.GOMAXPROCS(0)
+	if p := core.MergeParallelism(); p > 0 && p < workers {
+		workers = p
+	}
+	if workers > len(sh.shards) {
+		workers = len(sh.shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sh.shards) {
+						return
+					}
+					if err := sh.refreshPart(i, now); err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range sh.shards {
+			if err := sh.refreshPart(i, now); err != nil {
+				return nil, err
+			}
+		}
+	}
 	var vsum uint64
 	for i := range sh.shards {
-		s := &sh.shards[i]
-		ver := s.version.Load()
-		if sh.rebuild.parts[i] == nil || sh.rebuild.versions[i] != ver {
-			s.mu.Lock()
-			ver = s.version.Load() // stable while mu is held
-			part, err := s.sk.Snapshot()
-			s.mu.Unlock()
-			if err != nil {
-				return nil, fmt.Errorf("ecmsketch: snapshotting shard %d: %w", i, err)
-			}
-			sh.rebuild.parts[i] = part
-			sh.rebuild.versions[i] = ver
-		}
-		// Align every part — cached or fresh — with the engine clock, so
-		// the merge sees the same expiry frontier a single sketch would.
-		if now > sh.rebuild.parts[i].Now() {
-			sh.rebuild.parts[i].Advance(now)
-		}
-		vsum += ver
+		vsum += sh.rebuild.versions[i]
 	}
 	view, err := Merge(sh.rebuild.parts...)
 	if err != nil {
@@ -1013,5 +1102,32 @@ func (sh *Sharded) rebuildLocked() (*Sketch, error) {
 	// never moves, so concurrent queries on it are pure reads.
 	sh.view.Store(&shardedView{sk: view, version: vsum, builtAt: time.Now()})
 	sh.rebuilds.Add(1)
+	sh.rebuildNs.Store(time.Since(start).Nanoseconds())
+	sh.rebuildWorkers.Store(int64(workers))
 	return view, nil
+}
+
+// refreshPart brings stripe i's cached snapshot up to date (an arena clone
+// under the stripe lock when its version moved, a no-op otherwise) and
+// aligns it with the engine clock, so the merge sees the same expiry
+// frontier a single sketch would. Only the rebuild holder runs it; distinct
+// stripes may refresh concurrently.
+func (sh *Sharded) refreshPart(i int, now Tick) error {
+	s := &sh.shards[i]
+	ver := s.version.Load()
+	if sh.rebuild.parts[i] == nil || sh.rebuild.versions[i] != ver {
+		s.mu.Lock()
+		ver = s.version.Load() // stable while mu is held
+		part, err := s.sk.Snapshot()
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("ecmsketch: snapshotting shard %d: %w", i, err)
+		}
+		sh.rebuild.parts[i] = part
+		sh.rebuild.versions[i] = ver
+	}
+	if now > sh.rebuild.parts[i].Now() {
+		sh.rebuild.parts[i].Advance(now)
+	}
+	return nil
 }
