@@ -42,6 +42,8 @@ func main() {
 		mscale  = flag.Bool("mergescale", false, "measure parallel merge scaling (coordinator refresh + sharded view rebuild vs worker count) plus direct-vs-merged point reads, gate parallel/sequential byte-identity every interval, and append JSON results to -out")
 		mints   = flag.Int("mergeintervals", 12, "steady-state intervals per worker setting for -mergescale")
 		mcheck  = flag.Bool("mergecheck", true, "-mergescale: gate root byte-identity, the workers=4 regression bound, and the direct-read contract")
+		recov   = flag.Bool("recover", false, "measure durable-state costs (checkpoint write/restore time, WAL replay events/s, ingest overhead WAL on/off) on a file-backed store and append JSON results to -out")
+		revents = flag.Int("recoverevents", 200000, "pre-checkpoint event count for -recover (a quarter more is ingested as the WAL replay set)")
 		label   = flag.String("label", "dev", "label recorded with -ingest/-query results")
 		out     = flag.String("out", "", "output file for -ingest/-query results (default BENCH_ingest.json / BENCH_query.json)")
 	)
@@ -114,6 +116,17 @@ func main() {
 			path = "BENCH_coord.json"
 		}
 		if err := runMergeScaleBench(*label, path, *mints, *mcheck); err != nil {
+			fmt.Fprintln(os.Stderr, "ecmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *recov {
+		path := *out
+		if path == "" {
+			path = "BENCH_durable.json"
+		}
+		if err := runRecoverBench(*label, path, *revents); err != nil {
 			fmt.Fprintln(os.Stderr, "ecmbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,196 @@
+package main
+
+// The -recover mode measures the durable subsystem end to end on a
+// file-backed store in a temp directory: checkpoint write and restore
+// time, WAL replay throughput against the state it rebuilds, and the
+// ingest overhead of running with the WAL on versus off. Results append to
+// BENCH_durable.json so durability-layer changes leave a recorded perf
+// trajectory like the ingest and coordinator benches do.
+//
+// Usage:
+//
+//	ecmbench -recover -label dev -out BENCH_durable.json
+//	ecmbench -recover -recoverevents 50000 -label ci-smoke -out /tmp/d.json
+//
+// Each algorithm ingests -recoverevents events, checkpoints, ingests a
+// further quarter of that as the replay set, and crashes without flushing
+// state (the WAL is synced; the checkpoint is not rewritten). Recovery
+// time is then split into its two phases by recovering twice: once from a
+// cleanly closed engine (snapshot restore only) and once from the crashed
+// one (restore + replay).
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ecmsketch"
+)
+
+// RecoverResult is one algorithm's durability measurement.
+type RecoverResult struct {
+	Algo          string `json:"algo"`
+	Events        int    `json:"events"`         // ingested before the checkpoint
+	ReplayEvents  int    `json:"replay_events"`  // ingested after it, recovered via WAL
+	SnapshotBytes int    `json:"snapshot_bytes"` // checkpoint blob size (state size proxy)
+	WALBytes      int64  `json:"wal_bytes"`      // WAL volume the crash recovery read
+
+	CheckpointNs int64 `json:"checkpoint_ns"` // snapshot write (seal + capture + save)
+	RestoreNs    int64 `json:"restore_ns"`    // snapshot load into a fresh engine
+	ReplayNs     int64 `json:"replay_ns"`     // WAL replay on top of the restore
+
+	ReplayEventsPerSec float64 `json:"replay_events_per_sec"`
+	IngestNsWALOff     float64 `json:"ingest_ns_per_event_wal_off"`
+	IngestNsWALOn      float64 `json:"ingest_ns_per_event_wal_on"`
+	WALOverheadPct     float64 `json:"wal_overhead_pct"`
+}
+
+// RecoverRun is one labelled invocation of the -recover mode.
+type RecoverRun struct {
+	Label   string          `json:"label"`
+	Events  int             `json:"events"`
+	Results []RecoverResult `json:"results"`
+}
+
+// recoverParams is the ingest-bench operating point with a window long
+// enough that the replay set stays live state, not expired history.
+func recoverParams(algo string) ecmsketch.Params {
+	p := ecmsketch.Params{Epsilon: 0.05, Delta: 0.05, WindowLength: 1 << 20}
+	switch algo {
+	case "dw":
+		p.Algorithm = ecmsketch.AlgoDW
+	case "rw":
+		p.Algorithm = ecmsketch.AlgoRW
+		// RW synopses are an order of magnitude larger; the default budget
+		// would spend the bench in allocation. Same ε regime as the paper's
+		// RW rows.
+		p.Epsilon = 0.15
+	}
+	return p
+}
+
+// feedRecover streams [start, start+n) as batches of 256 over 4096 keys,
+// one tick per 8 events, and returns ns/event including the Flush barrier.
+func feedRecover(sh *ecmsketch.Sharded, start, n int) float64 {
+	const batchSize = 256
+	batch := make([]ecmsketch.Event, 0, batchSize)
+	t0 := time.Now()
+	for i := start; i < start+n; i++ {
+		batch = append(batch, ecmsketch.Event{Key: uint64(i % 4096), Tick: ecmsketch.Tick(i/8 + 1)})
+		if len(batch) == batchSize {
+			sh.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		sh.AddBatch(batch)
+	}
+	sh.Flush()
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+func runRecoverBench(label, out string, events int) error {
+	if events <= 0 {
+		events = 200_000
+	}
+	run := RecoverRun{Label: label, Events: events}
+	for _, algo := range []string{"eh", "dw", "rw"} {
+		res, err := recoverOnce(algo, events)
+		if err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		run.Results = append(run.Results, res)
+		fmt.Printf("%-3s %8d events  snapshot %7d B  checkpoint %6.2f ms  restore %6.2f ms  replay %8.0f events/s  ingest WAL off/on %6.1f/%6.1f ns/event (%+.1f%%)\n",
+			res.Algo, res.Events, res.SnapshotBytes,
+			float64(res.CheckpointNs)/1e6, float64(res.RestoreNs)/1e6,
+			res.ReplayEventsPerSec, res.IngestNsWALOff, res.IngestNsWALOn, res.WALOverheadPct)
+	}
+	return appendRun(out, "recover", run)
+}
+
+func recoverOnce(algo string, events int) (RecoverResult, error) {
+	res := RecoverResult{Algo: algo, Events: events, ReplayEvents: events / 4}
+	p := recoverParams(algo)
+
+	// Baseline: the same stream with no durability attached.
+	plain, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 8})
+	if err != nil {
+		return res, err
+	}
+	res.IngestNsWALOff = feedRecover(plain, 0, events)
+	plain.Close()
+
+	dir, err := os.MkdirTemp("", "ecmbench-recover-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ecmsketch.NewFileStore(dir)
+	if err != nil {
+		return res, err
+	}
+	mk := func() (*ecmsketch.Sharded, error) {
+		return ecmsketch.NewSharded(ecmsketch.ShardedConfig{Params: p, Shards: 8,
+			Durability: &ecmsketch.DurabilityConfig{
+				Store: store,
+				// Group commit: the fsync-per-batch default would measure the
+				// disk, not the WAL path. Periodic checkpoints stay manual so
+				// the phases below are cleanly separated.
+				SyncInterval: 5 * time.Millisecond,
+			}})
+	}
+
+	sh, err := mk()
+	if err != nil {
+		return res, err
+	}
+	res.IngestNsWALOn = feedRecover(sh, 0, events)
+	res.WALOverheadPct = (res.IngestNsWALOn/res.IngestNsWALOff - 1) * 100
+
+	t0 := time.Now()
+	if err := sh.Checkpoint(); err != nil {
+		return res, err
+	}
+	res.CheckpointNs = time.Since(t0).Nanoseconds()
+	if blob, err := store.Load("snapshot"); err == nil {
+		res.SnapshotBytes = len(blob)
+	}
+
+	// Phase split, part 1: a clean close leaves checkpoint-only state, so
+	// the next open times the pure snapshot restore.
+	if err := sh.Close(); err != nil {
+		return res, err
+	}
+	t0 = time.Now()
+	sh, err = mk()
+	if err != nil {
+		return res, err
+	}
+	res.RestoreNs = time.Since(t0).Nanoseconds()
+	if !sh.DurabilityStats().Recovered {
+		return res, fmt.Errorf("clean restart did not recover")
+	}
+
+	// Part 2: ingest the replay set on top, crash without a new checkpoint,
+	// and time the recovery that must restore and replay.
+	feedRecover(sh, events, res.ReplayEvents)
+	res.WALBytes = int64(sh.DurabilityStats().WALBytes)
+	sh.CloseAbrupt()
+	t0 = time.Now()
+	sh, err = mk()
+	if err != nil {
+		return res, err
+	}
+	recoverNs := time.Since(t0).Nanoseconds()
+	ds := sh.DurabilityStats()
+	if !ds.Recovered || ds.ReplayedRecords == 0 {
+		return res, fmt.Errorf("crash recovery replayed nothing (recovered=%v records=%d)",
+			ds.Recovered, ds.ReplayedRecords)
+	}
+	res.ReplayNs = recoverNs - res.RestoreNs
+	if res.ReplayNs < 1 {
+		res.ReplayNs = 1
+	}
+	res.ReplayEventsPerSec = float64(res.ReplayEvents) / (float64(res.ReplayNs) / 1e9)
+	return res, sh.Close()
+}

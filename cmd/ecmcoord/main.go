@@ -63,6 +63,8 @@ func main() {
 		tlsKey      = flag.String("tls-key", "", "server mode: private key file for -tls-cert")
 		siteCA      = flag.String("site-ca", "", "PEM file of root CAs to trust when pulling https:// sites (default: system roots)")
 		pprofOn     = flag.Bool("pprof", false, "server mode: mount net/http/pprof under /debug/pprof/ (behind -token auth when set)")
+		dataDir     = flag.String("data-dir", "", "server mode: persist the merged root (with its delta-serving epoch) and dynamic membership under this directory; a restart keeps serving deltas to parents holding pre-restart cursors")
+		snapIvl     = flag.Duration("snapshot-interval", time.Minute, "server mode: minimum period between merged-root persists (requires -data-dir)")
 	)
 	flag.Parse()
 	urls := splitSites(*sites)
@@ -94,6 +96,14 @@ func main() {
 		cs.siteToken = *siteToken
 		if *pprofOn {
 			cs.mountProfiling()
+		}
+		if *dataDir != "" {
+			store, err := ecmsketch.NewFileStore(*dataDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ecmcoord: opening -data-dir:", err)
+				os.Exit(1)
+			}
+			cs.enableDurability(store, *snapIvl)
 		}
 		runServe(cs, *serve, *token, *tlsCert, *tlsKey)
 		return

@@ -7,9 +7,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"os"
+	"os/signal"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ecmsketch"
@@ -46,6 +49,14 @@ type coordServer struct {
 	// pulls.
 	siteClient *http.Client
 	siteToken  string
+
+	// store, when non-nil, persists the merged root (with its
+	// delta-serving epoch and version vector) and the dynamic membership
+	// across restarts; see persist.go. persistIvl rate-limits root saves;
+	// lastPersist is guarded by refreshMu like the saves themselves.
+	store       ecmsketch.DurableStore
+	persistIvl  time.Duration
+	lastPersist time.Time
 
 	// refreshMu serializes refresh calls (the ticker loop and POST
 	// /v1/refresh): without it, a slow periodic pull finishing after a
@@ -160,6 +171,7 @@ func (cs *coordServer) refresh() error {
 	cs.standing.SetStrictAdvance(root.Params().Algorithm == ecmsketch.AlgoRW)
 	cells, all := cs.co.TakeChangedCells()
 	cs.standing.RefreshTarget(root, cells, all)
+	cs.maybePersistRoot()
 	return nil
 }
 
@@ -201,6 +213,18 @@ func runServe(cs *coordServer, addr, token, certFile, keyFile string) {
 		log.Printf("ecmcoord: initial pull failed (will retry every %v): %v", cs.interval, err)
 	}
 	go cs.run()
+	if cs.store != nil {
+		// A clean shutdown saves the freshest root so the restart resumes
+		// serving deltas from it; an unclean death just restores the last
+		// interval save and re-pulls the difference.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			cs.persistRootNow()
+			os.Exit(0)
+		}()
+	}
 	mode := "tree re-merge"
 	if cs.incremental {
 		mode = "incremental re-merge"
@@ -410,6 +434,18 @@ func (cs *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		out["mode"] = "tree"
 	}
+	if cs.store != nil {
+		cs.refreshMu.Lock()
+		last := cs.lastPersist
+		cs.refreshMu.Unlock()
+		dur := map[string]any{"enabled": true}
+		if !last.IsZero() {
+			dur["lastPersistUnixMs"] = u64(uint64(last.UnixMilli()))
+		}
+		out["durability"] = dur
+	} else {
+		out["durability"] = map[string]any{"enabled": false}
+	}
 	subs, queries, watchers, dropped := cs.standing.Stats()
 	out["standing"] = map[string]any{
 		"subscriptions": subs,
@@ -527,6 +563,7 @@ func (cs *coordServer) handleSitesAdd(w http.ResponseWriter, r *http.Request) {
 		site.(interface{ SetName(string) }).SetName(req.Name)
 	}
 	cs.co.AddSite(site)
+	cs.persistSites()
 	coordRespond(w, map[string]any{"ok": true, "sites": len(cs.co.Sites())})
 }
 
@@ -543,6 +580,7 @@ func (cs *coordServer) handleSitesRemove(w http.ResponseWriter, r *http.Request)
 		coordError(w, http.StatusNotFound, "no site named "+name)
 		return
 	}
+	cs.persistSites()
 	coordRespond(w, map[string]any{"ok": true, "sites": len(cs.co.Sites())})
 }
 

@@ -20,6 +20,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ecmsketch/ecmserver"
@@ -42,6 +44,9 @@ func main() {
 		tlsCert = flag.String("tls-cert", "", "serve TLS with this certificate file (requires -tls-key); pullers trusting a private CA pass it to ecmcoord -site-ca or ecmclient.WithRootCAs")
 		tlsKey  = flag.String("tls-key", "", "private key file for -tls-cert")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (behind -token auth when set)")
+		dataDir = flag.String("data-dir", "", "persist epoch, snapshots, and a batch WAL under this directory; a restart replays to the pre-crash state and keeps serving deltas (empty = memory only)")
+		snapIvl = flag.Duration("snapshot-interval", time.Minute, "how often to fold the WAL into a fresh snapshot (requires -data-dir)")
+		walSync = flag.Duration("wal-sync", 0, "group-commit WAL fsync period; 0 fsyncs every batch (requires -data-dir)")
 	)
 	flag.Parse()
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -49,22 +54,41 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := ecmserver.New(ecmserver.Config{
-		Epsilon:         *epsilon,
-		Delta:           *delta,
-		WindowLength:    *window,
-		Algorithm:       *algo,
-		UpperBound:      *ubound,
-		Seed:            *seed,
-		TopK:            *topk,
-		Shards:          *shards,
-		MergeTTL:        *ttl,
-		RefreshInterval: *refresh,
-		AuthToken:       *token,
-		EnableProfiling: *pprofOn,
+		Epsilon:          *epsilon,
+		Delta:            *delta,
+		WindowLength:     *window,
+		Algorithm:        *algo,
+		UpperBound:       *ubound,
+		Seed:             *seed,
+		TopK:             *topk,
+		Shards:           *shards,
+		MergeTTL:         *ttl,
+		RefreshInterval:  *refresh,
+		AuthToken:        *token,
+		EnableProfiling:  *pprofOn,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapIvl,
+		WALSyncInterval:  *walSync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecmserve:", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" {
+		// SIGINT/SIGTERM write a final checkpoint so the next start replays
+		// nothing; an unclean death is covered by WAL replay instead.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := srv.Close(); err != nil {
+				log.Printf("ecmserve: shutdown checkpoint: %v", err)
+			}
+			os.Exit(0)
+		}()
+		ds := srv.Engine().DurabilityStats()
+		log.Printf("ecmserve durable state in %s (epoch=%x recovered=%v replayed=%d records)",
+			*dataDir, ds.Epoch, ds.Recovered, ds.ReplayedRecords)
 	}
 	log.Printf("ecmserve listening on %s (eps=%v delta=%v window=%d algo=%s shards=%d)",
 		*addr, *epsilon, *delta, *window, *algo, srv.Engine().Shards())

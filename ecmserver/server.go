@@ -60,6 +60,26 @@ type Config struct {
 	// profiling surface is never reachable unauthenticated on an
 	// authenticated server.
 	EnableProfiling bool
+	// DataDir, when non-empty, makes the engine durable: epoch, periodic
+	// arena snapshots and a write-ahead log of ingested batches persist
+	// under this directory, and a restarted server replays to exactly its
+	// pre-crash state — same epoch, same cell versions — so coordinators
+	// holding delta cursors keep pulling increments instead of
+	// re-baselining. Empty (the default) keeps the engine memory-only.
+	DataDir string
+	// SnapshotInterval is the durable checkpoint cadence (see
+	// ecmsketch.DurabilityConfig.SnapshotInterval); meaningful only with
+	// DataDir or DurableStore set. 0 checkpoints only at startup and
+	// shutdown, letting the WAL grow between them.
+	SnapshotInterval time.Duration
+	// WALSyncInterval is the WAL fsync cadence (see
+	// ecmsketch.DurabilityConfig.SyncInterval): 0 fsyncs every append;
+	// a positive interval group-commits in the background.
+	WALSyncInterval time.Duration
+	// DurableStore, when non-nil, supplies the persistence backend directly
+	// (e.g. ecmsketch.NewMemStore in tests) and takes precedence over
+	// DataDir.
+	DurableStore ecmsketch.DurableStore
 }
 
 // Server is an HTTP front end over a sharded ECM-sketch engine. All
@@ -95,12 +115,27 @@ func New(cfg Config) (*Server, error) {
 		UpperBound:   cfg.UpperBound,
 		Seed:         cfg.Seed,
 	}
-	engine, err := ecmsketch.NewSharded(ecmsketch.ShardedConfig{
+	shCfg := ecmsketch.ShardedConfig{
 		Params:          params,
 		Shards:          cfg.Shards,
 		MergeTTL:        cfg.MergeTTL,
 		RefreshInterval: cfg.RefreshInterval,
-	})
+	}
+	store := cfg.DurableStore
+	if store == nil && cfg.DataDir != "" {
+		store, err = ecmsketch.NewFileStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if store != nil {
+		shCfg.Durability = &ecmsketch.DurabilityConfig{
+			Store:            store,
+			SnapshotInterval: cfg.SnapshotInterval,
+			SyncInterval:     cfg.WALSyncInterval,
+		}
+	}
+	engine, err := ecmsketch.NewSharded(shCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -618,7 +653,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"window":       u64field(asStrings, s.cfg.WindowLength),
 		"algorithm":    s.cfg.Algorithm,
 		"apiVersion":   "v1",
+		"durability":   durabilityStatsField(asStrings, s.engine),
 	})
+}
+
+// durabilityStatsField renders the durability block of /v1/stats: whether
+// the engine persists, the epoch it serves deltas under, the last
+// checkpoint (engine tick and wall clock), the WAL volume accumulated since
+// it, and the latency of the most recent fsync. Disabled engines report
+// {"enabled": false} only. 64-bit counters honor ?strings=1.
+func durabilityStatsField(asStrings bool, engine *ecmsketch.Sharded) map[string]any {
+	st := engine.DurabilityStats()
+	if !st.Enabled {
+		return map[string]any{"enabled": false}
+	}
+	return map[string]any{
+		"enabled":            true,
+		"epoch":              u64field(asStrings, st.Epoch),
+		"generation":         u64field(asStrings, st.Generation),
+		"lastSnapshotTick":   u64field(asStrings, st.LastSnapshotTick),
+		"lastSnapshotUnixMs": st.LastSnapshotUnixMs,
+		"walRecords":         u64field(asStrings, st.WALRecords),
+		"walBytes":           u64field(asStrings, st.WALBytes),
+		"lastFsyncNs":        st.LastFsyncNs,
+		"recovered":          st.Recovered,
+		"replayedRecords":    u64field(asStrings, st.ReplayedRecords),
+		"errors":             u64field(asStrings, st.Errors),
+	}
 }
 
 // rebuildStatsField renders the merged-view rebuild timing block of

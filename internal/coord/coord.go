@@ -185,6 +185,11 @@ func NewHTTPSite(baseURL string, hc *http.Client) *HTTPSite {
 // Name identifies the site (its base URL, unless renamed with SetName).
 func (s *HTTPSite) Name() string { return s.name }
 
+// URL reports the base URL the site pulls from — the piece of a dynamic
+// registration worth persisting so membership survives a coordinator
+// restart.
+func (s *HTTPSite) URL() string { return s.base }
+
 // SetName gives the site a stable identity independent of its address, so a
 // site re-registering from a new host/port replaces its old membership entry
 // instead of accumulating a duplicate. Configure before handing the site to

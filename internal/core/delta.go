@@ -184,6 +184,41 @@ func (s *Sketch) DeltaVersion() uint64 {
 // Epoch reports the engine-instance identifier cursors are bound to.
 func (s *Sketch) Epoch() uint64 { return s.epoch }
 
+// SetEpoch overrides the engine-instance identifier. The one legitimate
+// caller is durable recovery: a restarted engine that restored its
+// predecessor's exact content and version vector may also adopt its epoch,
+// so cursors issued before the crash keep validating. Injecting an epoch
+// without restoring the matching state silently serves wrong deltas —
+// every other path should let New mint a fresh epoch and re-baseline.
+func (s *Sketch) SetEpoch(e uint64) { s.epoch = e }
+
+// VersionVector exports the change-tracking state behind DeltaVersion: the
+// arrival-mutation counter plus per-cell last-modified versions. Wire
+// encodings deliberately omit these (Unmarshal starts a new engine
+// instance under a fresh epoch); durable snapshots persist them as a
+// sidecar next to the Marshal bytes so a restart restores cursor
+// continuity. The test-only exact engine tracks a sketch-level counter and
+// exports a nil vector.
+func (s *Sketch) VersionVector() (uint64, []uint64) {
+	if s.bank != nil {
+		return s.bank.VersionVector()
+	}
+	return s.waveVer, nil
+}
+
+// RestoreVersionVector installs previously exported change-tracking state;
+// the counterpart of VersionVector for durable recovery.
+func (s *Sketch) RestoreVersionVector(version uint64, vers []uint64) error {
+	if s.bank == nil {
+		if len(vers) != 0 {
+			return fmt.Errorf("core: exact engine has no per-cell versions, got %d", len(vers))
+		}
+		s.waveVer = version
+		return nil
+	}
+	return s.bank.RestoreVersionVector(version, vers)
+}
+
 // DeltaSnapshot implements the cursor-based snapshot contract on a single
 // sketch. Given the cursor from a previous pull it returns an incremental
 // payload holding only the cells that changed since (full == false); given

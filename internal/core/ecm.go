@@ -64,6 +64,8 @@ type cellBank interface {
 	EstimateSince(i int, since Tick) float64
 	EstimateRange(i int, r Tick) float64
 	Version() uint64
+	VersionVector() (uint64, []uint64)
+	RestoreVersionVector(version uint64, vers []uint64) error
 	CellChangedSince(i int, since uint64) bool
 	CellUntouched(i int) bool
 	ResetCell(i int)
@@ -246,6 +248,24 @@ func (s *Sketch) Now() Tick { return s.now }
 // identifiers; see window.RW.SetIDSalt.
 func (s *Sketch) SetIDSalt(salt uint64) { s.salt = salt }
 
+// NormalizeCellSalts re-derives every randomized-wave cell's auto-identifier
+// salt deterministically from the sketch identifier salt; a no-op for the
+// other algorithms. Cell salts default to process-unique values (so bank-level
+// auto-identifiers never collide across sites), but they are serialized, so
+// two identically configured sketches differ byte-wise until normalized.
+// Engines that never draw cell-level auto-identifiers — the sharded engine
+// inserts through the sketch salt — normalize them to make identically
+// configured instances byte-deterministic, which durable recovery tests
+// compare against.
+func (s *Sketch) NormalizeCellSalts() {
+	if s.rw == nil {
+		return
+	}
+	for i := 0; i < s.d*s.w; i++ {
+		s.rw.SetCellIDSalt(i, hashing.Mix64(s.salt^(uint64(i)+1)*0xD1B54A32D192ED03))
+	}
+}
+
 // Add registers one arrival of item key at tick t.
 func (s *Sketch) Add(key uint64, t Tick) { s.AddN(key, t, 1) }
 
@@ -294,6 +314,20 @@ func (s *Sketch) addRW(key uint64, t Tick, n uint64) {
 		for j := 0; j < s.d; j++ {
 			s.rw.AddID(j*s.w+s.fam.HashFolded(j, k), t, id)
 		}
+	}
+}
+
+// SetClock raises the sketch clock to t without advancing any counter —
+// subsequent arrivals clamp against t, but no expiry runs. This is the
+// durable-replay seam: WAL batch records carry the clock from immediately
+// before the original apply, and replay must reproduce the clamp while
+// leaving every cell's expiry to run exactly where the original ran it (at
+// inserts and at logged advances; randomized-wave content depends on that
+// ordering through capacity eviction). Not for general use — Advance is
+// the normal way to move the window.
+func (s *Sketch) SetClock(t Tick) {
+	if t > s.now {
+		s.now = t
 	}
 }
 

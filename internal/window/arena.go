@@ -118,6 +118,31 @@ func (b *EHBank) noteCellMutation(i int) {
 	b.vers[i] = b.version
 }
 
+// VersionVector exports the bank's change-tracking state — the
+// arrival-mutation counter plus the per-cell last-modified versions. The
+// wire encodings deliberately omit versions (they are engine-instance
+// state, meaningful only next to the epoch a cursor is bound to); durable
+// snapshots persist them as a sidecar so a restarted engine keeps honoring
+// cursors issued before the crash. The returned slice is a copy.
+func (b *EHBank) VersionVector() (uint64, []uint64) {
+	return b.version, append([]uint64(nil), b.vers...)
+}
+
+// RestoreVersionVector installs previously exported change-tracking state.
+func (b *EHBank) RestoreVersionVector(version uint64, vers []uint64) error {
+	if len(vers) != len(b.vers) {
+		return fmt.Errorf("window: version vector has %d cells, bank has %d", len(vers), len(b.vers))
+	}
+	for i, v := range vers {
+		if v > version {
+			return fmt.Errorf("window: cell %d version %d exceeds bank version %d", i, v, version)
+		}
+	}
+	b.version = version
+	copy(b.vers, vers)
+	return nil
+}
+
 // Config returns the shared configuration of the bank's cells.
 func (b *EHBank) Config() Config { return b.cfg }
 

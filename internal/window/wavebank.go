@@ -108,6 +108,27 @@ func (b *DWBank) noteCellMutation(i int) {
 	b.vers[i] = b.version
 }
 
+// VersionVector exports the bank's change-tracking state for durable
+// snapshots (see EHBank.VersionVector). The returned slice is a copy.
+func (b *DWBank) VersionVector() (uint64, []uint64) {
+	return b.version, append([]uint64(nil), b.vers...)
+}
+
+// RestoreVersionVector installs previously exported change-tracking state.
+func (b *DWBank) RestoreVersionVector(version uint64, vers []uint64) error {
+	if len(vers) != len(b.vers) {
+		return fmt.Errorf("window: version vector has %d cells, bank has %d", len(vers), len(b.vers))
+	}
+	for i, v := range vers {
+		if v > version {
+			return fmt.Errorf("window: cell %d version %d exceeds bank version %d", i, v, version)
+		}
+	}
+	b.version = version
+	copy(b.vers, vers)
+	return nil
+}
+
 // Config returns the shared configuration of the bank's cells.
 func (b *DWBank) Config() Config { return b.cfg }
 

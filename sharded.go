@@ -92,6 +92,11 @@ type Sharded struct {
 	// async, when non-nil, is the per-stripe ingest pipeline (Async config);
 	// writers enqueue grouped sub-batches instead of taking stripe locks.
 	async *asyncPipeline
+
+	// dur, when non-nil, is the durability subsystem (Durability config):
+	// applied mutations are WAL-appended under the stripe lock, and
+	// checkpoints/recovery keep epoch and cell versions across restarts.
+	dur *durableState
 }
 
 // shardedView is one immutable published state of the merged query engine.
@@ -171,6 +176,15 @@ type ShardedConfig struct {
 	// block (backpressure) when a stripe's queue is full. 0 means 256.
 	// Ignored unless Async is set.
 	AsyncQueue int
+	// Durability, when non-nil, makes the engine's state survive restarts:
+	// construction recovers the persisted epoch, arena snapshots and WAL
+	// from the Store (or starts a fresh epoch when there is nothing usable),
+	// every applied mutation is WAL-logged, and checkpoints run on
+	// SnapshotInterval. A recovered engine serves deltas from the same
+	// epoch and cell versions as its predecessor, so no puller re-baselines.
+	// On Async engines the durability boundary is apply time: Flush is the
+	// barrier that makes earlier writes both applied and fsynced.
+	Durability *DurabilityConfig
 }
 
 // NewSharded builds a lock-striped engine of identically configured,
@@ -200,7 +214,12 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		}
 		// Distinct identifier salts keep randomized-wave event identifiers
 		// globally unique across stripes (as NewCluster does across sites).
+		// Cell-level salts are normalized too: stripes never draw cell
+		// auto-identifiers, and deterministic salts make identically
+		// configured engines byte-identical — the recovery contract durable
+		// crash tests pin.
 		s.SetIDSalt(0x9e37_79b9_7f4a_7c15 * uint64(i+1))
+		s.NormalizeCellSalts()
 		sh.shards[i].sk = s
 	}
 	if cfg.RefreshInterval < 0 {
@@ -208,6 +227,14 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	if cfg.AsyncQueue < 0 {
 		return nil, fmt.Errorf("ecmsketch: AsyncQueue must be non-negative, got %d", cfg.AsyncQueue)
+	}
+	if cfg.Durability != nil {
+		// Recovery must complete before any background goroutine can
+		// mutate the stripes, so it runs ahead of the async pipeline and
+		// refresher below.
+		if err := sh.initDurable(cfg.Durability); err != nil {
+			return nil, fmt.Errorf("ecmsketch: durability: %w", err)
+		}
 	}
 	if cfg.Async {
 		depth := cfg.AsyncQueue
@@ -270,10 +297,13 @@ func (sh *Sharded) refreshView() {
 
 // Close stops the engine's background goroutines: the view refresher, if
 // any, and — on Async engines — the per-stripe ingest owners, after
-// draining every queued write. It is idempotent and a no-op on engines
-// built without either. The engine remains fully usable after Close;
-// writes simply revert to the synchronous path.
+// draining every queued write. On durable engines it then writes a final
+// checkpoint and shuts the WAL down synced, so a clean restart replays
+// nothing. It is idempotent and a no-op on engines built without any of
+// the three. The engine remains usable after Close; writes revert to the
+// synchronous path (and, on durable engines, stop being persisted).
 func (sh *Sharded) Close() error {
+	var err error
 	sh.closeOnce.Do(func() {
 		if sh.async != nil {
 			sh.async.stop()
@@ -282,8 +312,11 @@ func (sh *Sharded) Close() error {
 			close(sh.refreshStop)
 			<-sh.refreshDone
 		}
+		if sh.dur != nil {
+			err = sh.closeDurable()
+		}
 	})
-	return nil
+	return err
 }
 
 // Shards reports the stripe count P.
@@ -345,15 +378,38 @@ func (sh *Sharded) CellIndices(key uint64, dst []int) []int {
 // Add registers one arrival of key at tick t.
 func (sh *Sharded) Add(key uint64, t Tick) { sh.AddN(key, t, 1) }
 
-// AddN registers n arrivals of key at tick t.
+// AddN registers n arrivals of key at tick t; n = 0 counts as a unit
+// arrival, the engine-wide Event contract (previously only the async and
+// batch paths normalized it, so sync and async disagreed on n = 0).
 func (sh *Sharded) AddN(key uint64, t Tick, n uint64) {
+	if n == 0 {
+		n = 1
+	}
 	if sh.async != nil && sh.addNAsync(key, t, n) {
 		return
 	}
 	sh.observe(t)
-	s := sh.shardFor(key)
+	si := int(hashing.Mix64(key) & sh.mask)
+	s := &sh.shards[si]
 	s.mu.Lock()
+	pre := s.sk.Now()
+	// Apply the batch clamping contract (see Ingestor): ticks are 1-based
+	// and never behind the engine clock. The async path already normalizes
+	// (it routes through AddBatch); clamping here keeps sync ingest
+	// identical — and makes the logged record replay to the same state,
+	// since a below-clock tick would otherwise resolve against per-cell
+	// clocks the WAL cannot reconstruct.
+	if t < pre {
+		t = pre
+	}
+	if t == 0 {
+		t = 1
+	}
 	s.sk.AddN(key, t, n)
+	if sh.dur != nil {
+		one := [1]Event{{Key: key, Tick: t, N: n}}
+		sh.logBatch(si, pre, s.sk.DeltaVersion(), one[:])
+	}
 	s.noteMutation()
 	s.mu.Unlock()
 	if nt := sh.loadNotifier(); nt != nil {
@@ -390,7 +446,11 @@ func (sh *Sharded) AddBatch(events []Event) {
 		// its own batch validation is the engine-level one.
 		s := &sh.shards[0]
 		s.mu.Lock()
+		pre := s.sk.Now()
 		s.sk.AddBatch(events)
+		if sh.dur != nil {
+			sh.logBatch(0, pre, s.sk.DeltaVersion(), events)
+		}
 		maxTick := s.sk.Now()
 		s.noteMutation()
 		s.mu.Unlock()
@@ -421,7 +481,13 @@ func (sh *Sharded) AddBatch(events []Event) {
 		}
 		s := &sh.shards[si]
 		s.mu.Lock()
+		pre := s.sk.Now()
 		s.sk.AddBatch(sub)
+		if sh.dur != nil {
+			// sub carries the engine-clamped ticks, so the record replays
+			// through the same per-sketch fast path it was applied on.
+			sh.logBatch(si, pre, s.sk.DeltaVersion(), sub)
+		}
 		s.noteMutation()
 		s.mu.Unlock()
 		sc.sub = sub[:0] // retain any growth for the next stripe
@@ -566,6 +632,9 @@ func (sh *Sharded) stripeOwner(i int, q chan stripeMsg) {
 		case m.adv != nil:
 			s.mu.Lock()
 			s.sk.Advance(m.adv.t)
+			if sh.dur != nil {
+				sh.logAdvance(i, m.adv.t)
+			}
 			s.noteMutation()
 			s.mu.Unlock()
 			if m.adv.pending.Add(-1) == 0 {
@@ -575,7 +644,11 @@ func (sh *Sharded) stripeOwner(i int, q chan stripeMsg) {
 			}
 		default:
 			s.mu.Lock()
+			pre := s.sk.Now()
 			s.sk.AddBatch(m.events)
+			if sh.dur != nil {
+				sh.logBatch(i, pre, s.sk.DeltaVersion(), m.events)
+			}
 			s.noteMutation()
 			s.mu.Unlock()
 			if nt := sh.loadNotifier(); nt != nil {
@@ -655,25 +728,29 @@ func (sh *Sharded) advanceAsync(t Tick) bool {
 // Flush is the async-ingest barrier: it returns once every write enqueued
 // before the call has been applied to its stripe, so a subsequent query,
 // delta pull or standing-query evaluation observes all of them. On a
-// synchronous engine (Async off, or after Close) it is a no-op — writes
-// are already applied when their call returns.
+// synchronous engine (Async off, or after Close) the apply barrier is a
+// no-op — writes are already applied when their call returns. On durable
+// engines Flush additionally fsyncs the WAL, making everything it covers
+// durable regardless of SyncInterval.
 func (sh *Sharded) Flush() {
 	a := sh.async
-	if a == nil {
-		return
+	if a != nil {
+		a.mu.RLock()
+		if a.on {
+			var wg sync.WaitGroup
+			wg.Add(len(a.qs))
+			for _, q := range a.qs {
+				q <- stripeMsg{flush: &wg}
+			}
+			a.mu.RUnlock()
+			wg.Wait()
+		} else {
+			a.mu.RUnlock()
+		}
 	}
-	a.mu.RLock()
-	if !a.on {
-		a.mu.RUnlock()
-		return
+	if sh.dur != nil {
+		sh.dur.syncNow()
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(a.qs))
-	for _, q := range a.qs {
-		q <- stripeMsg{flush: &wg}
-	}
-	a.mu.RUnlock()
-	wg.Wait()
 }
 
 // Advance moves the window clock of every stripe forward.
@@ -686,6 +763,15 @@ func (sh *Sharded) Advance(t Tick) {
 		s := &sh.shards[i]
 		s.mu.Lock()
 		s.sk.Advance(t)
+		if sh.dur != nil {
+			// Advances are logged per stripe, under each stripe's lock, so
+			// per-stripe WAL order matches apply order even when a batch on
+			// another goroutine interleaves with this loop. Read-path
+			// advances (Estimate settling a stripe) are deliberately not
+			// logged: they are pure expiry, and batch records replay the
+			// expiry frontier they established via their pre-apply clock.
+			sh.logAdvance(i, t)
+		}
 		s.noteMutation()
 		s.mu.Unlock()
 	}
@@ -701,11 +787,12 @@ func (sh *Sharded) Advance(t Tick) {
 // the answers must come from one consistent cut, use QueryBatch.
 func (sh *Sharded) Estimate(key uint64, r Tick) float64 {
 	now := sh.now.Load()
-	s := sh.shardFor(key)
+	si := int(hashing.Mix64(key) & sh.mask)
+	s := &sh.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if now > s.sk.Now() {
-		s.sk.Advance(now)
+		sh.settleStripe(si, now)
 	}
 	return s.sk.Estimate(key, r)
 }
@@ -719,11 +806,12 @@ func (sh *Sharded) EstimateString(key string, r Tick) float64 {
 // again from the single stripe owning the key.
 func (sh *Sharded) EstimateInterval(key uint64, from, to Tick) float64 {
 	now := sh.now.Load()
-	s := sh.shardFor(key)
+	si := int(hashing.Mix64(key) & sh.mask)
+	s := &sh.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if now > s.sk.Now() {
-		s.sk.Advance(now)
+		sh.settleStripe(si, now)
 	}
 	return s.sk.EstimateInterval(key, from, to)
 }
@@ -816,7 +904,7 @@ func (sh *Sharded) QueryDirect(q QueryBatch) (QueryResult, error) {
 		s := &sh.shards[si]
 		s.mu.Lock()
 		if now > s.sk.Now() {
-			s.sk.Advance(now)
+			sh.settleStripe(si, now)
 		}
 		for _, i := range idxs {
 			res.Estimates[i] = s.sk.Estimate(q.Keys[i], r)
